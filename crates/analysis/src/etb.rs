@@ -1,0 +1,89 @@
+//! Execution-time-bound padding (§4.3, "Using ubd_m").
+//!
+//! With measurement-based timing analysis, the analyst determines an
+//! upper bound `nr` on the number of bus requests the software component
+//! performs and pads its execution-time bound with `pad = nr × ubd_m`.
+
+use std::fmt;
+
+/// The contention padding of one software component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EtbPadding {
+    /// Upper bound on bus requests of the component.
+    pub requests: u64,
+    /// The measured upper-bound delay per request.
+    pub ubd_m: u64,
+}
+
+impl EtbPadding {
+    /// A padding for `requests` requests at `ubd_m` cycles each.
+    pub fn new(requests: u64, ubd_m: u64) -> Self {
+        EtbPadding { requests, ubd_m }
+    }
+
+    /// `pad = nr × ubd_m`.
+    pub fn pad(&self) -> u64 {
+        self.requests * self.ubd_m
+    }
+
+    /// The execution-time bound: isolation time plus the pad.
+    ///
+    /// ```
+    /// use rrb_analysis::EtbPadding;
+    /// let p = EtbPadding::new(10_000, 27);
+    /// assert_eq!(p.etb(1_000_000), 1_270_000);
+    /// ```
+    pub fn etb(&self, isolation_time: u64) -> u64 {
+        isolation_time + self.pad()
+    }
+
+    /// How much an underestimated `ubd_m` undercuts the true bound, in
+    /// cycles: `nr × (ubd − ubd_m)`. This is the paper's motivation — a
+    /// naive `ubd_m` of 26 instead of 27 leaves every request one cycle
+    /// short, and the resulting ETB is unsound by `nr` cycles.
+    pub fn shortfall_against(&self, true_ubd: u64) -> u64 {
+        self.requests * true_ubd.saturating_sub(self.ubd_m)
+    }
+}
+
+impl fmt::Display for EtbPadding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pad = {} requests x {} cycles = {} cycles", self.requests, self.ubd_m, self.pad())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_is_product() {
+        assert_eq!(EtbPadding::new(0, 27).pad(), 0);
+        assert_eq!(EtbPadding::new(1000, 27).pad(), 27_000);
+    }
+
+    #[test]
+    fn etb_adds_isolation_time() {
+        assert_eq!(EtbPadding::new(100, 6).etb(500), 1100);
+    }
+
+    #[test]
+    fn shortfall_quantifies_unsoundness() {
+        // The naive ref-architecture estimate: ubd_m = 26, truth 27.
+        let naive = EtbPadding::new(10_000, 26);
+        assert_eq!(naive.shortfall_against(27), 10_000);
+        // The methodology's estimate is exact: no shortfall.
+        let exact = EtbPadding::new(10_000, 27);
+        assert_eq!(exact.shortfall_against(27), 0);
+        // Overestimates are safe (never negative).
+        let over = EtbPadding::new(10_000, 30);
+        assert_eq!(over.shortfall_against(27), 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = EtbPadding::new(2, 3).to_string();
+        assert!(s.contains("2 requests"));
+        assert!(s.contains("6 cycles"));
+    }
+}

@@ -1,0 +1,175 @@
+//! The analytic contention model of §3 (Eq. 1 and Eq. 2).
+
+/// Eq. 1: the worst-case (upper-bound) delay of one bus request on a
+/// round-robin bus with `num_cores` requesters and a per-transaction
+/// occupancy of `l_bus` cycles.
+///
+/// ```
+/// use rrb_analysis::ubd_from_parameters;
+/// assert_eq!(ubd_from_parameters(4, 9), 27); // the NGMP configuration
+/// assert_eq!(ubd_from_parameters(4, 2), 6);  // the toy bus of Figs. 2–3
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_cores` is zero.
+pub fn ubd_from_parameters(num_cores: u64, l_bus: u64) -> u64 {
+    assert!(num_cores > 0, "a bus needs at least one requester");
+    (num_cores - 1) * l_bus
+}
+
+/// The synchrony-effect contention model (Eq. 2): on a fully loaded
+/// round-robin bus, a request issued `δ` cycles after the previous
+/// request's completion suffers a fixed contention delay `γ(δ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GammaModel {
+    ubd: u64,
+}
+
+impl GammaModel {
+    /// A model for a bus whose upper-bound delay is `ubd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ubd` is zero (a zero-latency bus has no contention to
+    /// model).
+    pub fn new(ubd: u64) -> Self {
+        assert!(ubd > 0, "ubd must be positive");
+        GammaModel { ubd }
+    }
+
+    /// The model's `ubd`.
+    pub fn ubd(&self) -> u64 {
+        self.ubd
+    }
+
+    /// Eq. 2:
+    ///
+    /// ```text
+    /// γ(δ) = ubd                              if δ = 0
+    ///      = (ubd - (δ mod ubd)) mod ubd      otherwise
+    /// ```
+    pub fn gamma(&self, delta: u64) -> u64 {
+        if delta == 0 {
+            self.ubd
+        } else {
+            (self.ubd - (delta % self.ubd)) % self.ubd
+        }
+    }
+
+    /// The saw-tooth period of `γ(δ)` — exactly `ubd`, for any δ offset
+    /// (§4.1: "the period of the saw-tooth is exactly the ubd value
+    /// regardless of δ_rsk").
+    pub fn period(&self) -> u64 {
+        self.ubd
+    }
+
+    /// The largest γ reachable with strictly positive injection time:
+    /// `ubd - 1` (§4.1). Only δ = 0 reaches `ubd` itself.
+    pub fn max_gamma_positive_delta(&self) -> u64 {
+        self.ubd - 1
+    }
+
+    /// Samples the saw-tooth over nop counts `0..len`, with base injection
+    /// time `delta_rsk` and per-nop latency `delta_nop` — the analytic
+    /// counterpart of a `rsk-nop` k-sweep (Fig. 4).
+    pub fn sweep(&self, delta_rsk: u64, delta_nop: u64, len: usize) -> Vec<u64> {
+        (0..len as u64).map(|k| self.gamma(delta_rsk + k * delta_nop)).collect()
+    }
+
+    /// The slowdown a scua with `requests` bus requests, all with
+    /// injection time `delta`, suffers against saturating contenders —
+    /// the analytic prediction for `d_bus(t, k)` of §4.2.
+    pub fn slowdown(&self, requests: u64, delta: u64) -> u64 {
+        requests * self.gamma(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_matrix_values() {
+        // The δ → γ matrix of Fig. 3 (ubd = 6).
+        let m = GammaModel::new(6);
+        let expected = [6, 5, 4, 3, 2, 1, 0, 5, 4, 3, 2, 1, 0, 5];
+        for (delta, &gamma) in expected.iter().enumerate() {
+            assert_eq!(m.gamma(delta as u64), gamma, "delta = {delta}");
+        }
+    }
+
+    #[test]
+    fn only_delta_zero_reaches_ubd() {
+        let m = GammaModel::new(27);
+        assert_eq!(m.gamma(0), 27);
+        for delta in 1..200 {
+            assert!(m.gamma(delta) < 27, "delta = {delta}");
+        }
+        assert_eq!(m.max_gamma_positive_delta(), 26);
+    }
+
+    #[test]
+    fn gamma_is_periodic_in_delta() {
+        let m = GammaModel::new(27);
+        for delta in 1..100u64 {
+            assert_eq!(m.gamma(delta), m.gamma(delta + 27));
+            assert_eq!(m.gamma(delta), m.gamma(delta + 54));
+        }
+    }
+
+    #[test]
+    fn peaks_sit_one_past_each_multiple_of_ubd() {
+        // §3.2: at δ = ubd + 1 the contention is ubd - 1 again.
+        let m = GammaModel::new(27);
+        assert_eq!(m.gamma(1), 26);
+        assert_eq!(m.gamma(28), 26);
+        assert_eq!(m.gamma(27), 0);
+        assert_eq!(m.gamma(54), 0);
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_evaluation() {
+        let m = GammaModel::new(6);
+        let s = m.sweep(1, 1, 14);
+        for (k, &v) in s.iter().enumerate() {
+            assert_eq!(v, m.gamma(1 + k as u64));
+        }
+    }
+
+    #[test]
+    fn sweep_with_slow_nops_subsamples() {
+        let m = GammaModel::new(27);
+        let s = m.sweep(1, 3, 10);
+        assert_eq!(s[0], m.gamma(1));
+        assert_eq!(s[1], m.gamma(4));
+        assert_eq!(s[9], m.gamma(28));
+    }
+
+    #[test]
+    fn slowdown_scales_with_requests() {
+        let m = GammaModel::new(27);
+        assert_eq!(m.slowdown(10_000, 1), 260_000);
+        assert_eq!(m.slowdown(10_000, 27), 0);
+    }
+
+    #[test]
+    fn eq1_matches_paper_setups() {
+        assert_eq!(ubd_from_parameters(4, 9), 27);
+        assert_eq!(ubd_from_parameters(2, 9), 9);
+        assert_eq!(ubd_from_parameters(8, 9), 63);
+        assert_eq!(ubd_from_parameters(1, 9), 0, "single core: no contention");
+    }
+
+    #[test]
+    #[should_panic(expected = "ubd must be positive")]
+    fn zero_ubd_panics() {
+        let _ = GammaModel::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one requester")]
+    fn zero_cores_panics() {
+        let _ = ubd_from_parameters(0, 9);
+    }
+}

@@ -1,0 +1,42 @@
+//! # rrb-analysis — synchrony-effect analytics for round-robin buses
+//!
+//! The mathematical layer of the reproduction, independent of any
+//! simulator:
+//!
+//! * [`gamma`] — the paper's Eq. 2 model of per-request contention
+//!   `γ(δ)` under the synchrony effect, and Eq. 1 (`ubd = (Nc-1)·l_bus`);
+//! * [`sawtooth`] — recovery of the saw-tooth period (and hence `ubd`)
+//!   from a measured slowdown series `d_bus(k)`, including the δ_nop > 1
+//!   sampled case of §4.2;
+//! * [`histogram`] — integer histograms for the Fig. 6 plots;
+//! * [`stats`] — small summary-statistics helpers;
+//! * [`etb`] — execution-time-bound padding (`pad = nr × ubd_m`, §4.3).
+//!
+//! ## Example: the γ(δ) saw-tooth
+//!
+//! ```
+//! use rrb_analysis::gamma::GammaModel;
+//!
+//! let model = GammaModel::new(27); // ubd of the NGMP configuration
+//! assert_eq!(model.gamma(0), 27);  // δ = 0 is the only way to suffer ubd
+//! assert_eq!(model.gamma(1), 26);
+//! assert_eq!(model.gamma(27), 0);
+//! assert_eq!(model.gamma(28), 26); // period ubd
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consensus;
+pub mod etb;
+pub mod gamma;
+pub mod histogram;
+pub mod sawtooth;
+pub mod stats;
+
+pub use consensus::{period_consensus, Consensus};
+pub use etb::EtbPadding;
+pub use gamma::{ubd_from_parameters, GammaModel};
+pub use histogram::Histogram;
+pub use sawtooth::{detect_period, first_tooth_length, peak_positions, peak_spacing, ubd_candidates, PeriodEstimate, PeriodMethod};
+pub use stats::{max_u64, mean, min_u64, percentile, variance};

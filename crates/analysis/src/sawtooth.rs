@@ -1,0 +1,434 @@
+//! Saw-tooth period detection — the heart of the methodology (§4.2).
+//!
+//! Given the measured slowdown series `d_bus(t, k)` for `k = 0, 1, 2, …`
+//! nops, the paper recovers `ubd` as the period of the saw-tooth (Eq. 3):
+//!
+//! ```text
+//! ubd(t) = |ki − kj| : (ki ≠ kj) and (d_bus(t, ki) = d_bus(t, kj))
+//! ```
+//!
+//! Real measurements carry small perturbations (cold-start transients,
+//! loop boundaries), so beyond the exact Eq. 3 matcher this module
+//! provides a tolerance-based matcher and an autocorrelation fallback,
+//! combined by [`detect_period`].
+//!
+//! When the nop latency `δ_nop` exceeds one cycle, a k-sweep *samples*
+//! the δ-space saw-tooth every `δ_nop` cycles; [`ubd_candidates`] inverts
+//! that sampling once `δ_nop` has been calibrated (§4.2).
+
+use std::fmt;
+
+/// How a period was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeriodMethod {
+    /// All samples matched exactly one period apart (Eq. 3).
+    Exact,
+    /// Samples matched within the configured tolerance.
+    Tolerant,
+    /// Autocorrelation peak (noisiest data).
+    Autocorrelation,
+}
+
+impl fmt::Display for PeriodMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeriodMethod::Exact => write!(f, "exact"),
+            PeriodMethod::Tolerant => write!(f, "tolerant"),
+            PeriodMethod::Autocorrelation => write!(f, "autocorrelation"),
+        }
+    }
+}
+
+/// A detected saw-tooth period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodEstimate {
+    /// The period, in samples (k steps).
+    pub period: u64,
+    /// The matcher that produced it.
+    pub method: PeriodMethod,
+    /// Fraction of sample pairs one period apart that matched (1.0 for
+    /// exact detection).
+    pub confidence: f64,
+}
+
+/// The smallest period `p >= 2` such that `values[i] == values[i + p]`
+/// for every valid `i` — the literal Eq. 3.
+///
+/// Returns `None` for series shorter than two periods of any candidate
+/// or for constant/aperiodic series. Requires at least `2 * p` samples
+/// to accept `p`, so the match is witnessed over a full period.
+pub fn exact_period(values: &[u64]) -> Option<u64> {
+    let n = values.len();
+    for p in 2..=(n / 2) {
+        if (0..n - p).all(|i| values[i] == values[i + p]) && !is_constant(&values[..p]) {
+            return Some(p as u64);
+        }
+    }
+    None
+}
+
+/// Like [`exact_period`] but allowing `|a − b| <= tolerance` per pair.
+pub fn tolerant_period(values: &[u64], tolerance: u64) -> Option<(u64, f64)> {
+    let n = values.len();
+    for p in 2..=(n / 2) {
+        let pairs = n - p;
+        let matched = (0..pairs)
+            .filter(|&i| values[i].abs_diff(values[i + p]) <= tolerance)
+            .count();
+        if matched == pairs && !is_constant(&values[..p]) {
+            return Some((p as u64, 1.0));
+        }
+    }
+    None
+}
+
+/// Autocorrelation-based fallback: the lag in `[2, n/2]` with the highest
+/// normalised autocorrelation of the *first-differenced* series.
+///
+/// Differencing removes flat offsets and linear trends — a monotone ramp
+/// has a constant derivative and is correctly reported as aperiodic —
+/// while a saw-tooth's derivative (a train of `-1` steps with one big
+/// positive jump per tooth) stays strongly periodic.
+pub fn autocorrelation_period(values: &[u64]) -> Option<(u64, f64)> {
+    let n = values.len();
+    if n < 8 {
+        return None;
+    }
+    let diffs: Vec<f64> = values.windows(2).map(|w| w[1] as f64 - w[0] as f64).collect();
+    if diffs.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9) {
+        return None; // flat or pure trend
+    }
+    let m = diffs.len();
+    let mean = diffs.iter().sum::<f64>() / m as f64;
+    let centred: Vec<f64> = diffs.iter().map(|&d| d - mean).collect();
+    let energy: f64 = centred.iter().map(|x| x * x).sum();
+    if energy == 0.0 {
+        return None;
+    }
+    let mut best: Option<(u64, f64)> = None;
+    for lag in 2..=(m / 2) {
+        let score: f64 = (0..m - lag).map(|i| centred[i] * centred[i + lag]).sum::<f64>()
+            / energy
+            * m as f64
+            / (m - lag) as f64;
+        match best {
+            // Strictly-greater keeps the *smallest* lag among equal peaks,
+            // so harmonics (2p, 3p, …) do not displace the fundamental.
+            Some((_, s)) if score <= s => {}
+            _ => best = Some((lag as u64, score)),
+        }
+    }
+    best.filter(|&(_, s)| s > 0.5)
+}
+
+fn is_constant(values: &[u64]) -> bool {
+    values.windows(2).all(|w| w[0] == w[1])
+}
+
+/// Detects the saw-tooth period of a slowdown series, trying the exact
+/// Eq. 3 matcher first, then a tolerance of `tolerance` cycles, then
+/// autocorrelation.
+///
+/// Returns `None` when no matcher finds a credible period (series too
+/// short, constant, or aperiodic) — which the methodology reports as
+/// "bus is not behaving like a loaded round-robin bus".
+pub fn detect_period(values: &[u64], tolerance: u64) -> Option<PeriodEstimate> {
+    if let Some(p) = exact_period(values) {
+        return Some(PeriodEstimate { period: p, method: PeriodMethod::Exact, confidence: 1.0 });
+    }
+    if tolerance > 0 {
+        if let Some((p, c)) = tolerant_period(values, tolerance) {
+            return Some(PeriodEstimate { period: p, method: PeriodMethod::Tolerant, confidence: c });
+        }
+    }
+    autocorrelation_period(values).map(|(p, c)| PeriodEstimate {
+        period: p,
+        method: PeriodMethod::Autocorrelation,
+        confidence: c.min(1.0),
+    })
+}
+
+/// Inverts δ_nop sampling (§4.2): given an observed k-space period
+/// `k_period` and the calibrated per-nop latency `delta_nop`, returns
+/// every `ubd` consistent with the observation, in increasing order.
+///
+/// A sweep stepping δ by `q = delta_nop` samples a saw-tooth of true
+/// period `ubd` with apparent period `ubd / gcd(q, ubd)`; all `ubd` in
+/// `[2, k_period · q]` with that apparent period are returned. With
+/// `q = 1` the answer is always exactly `{k_period}`.
+///
+/// The methodology disambiguates multiple candidates with the largest
+/// observed per-request contention (`ubd > γ_max`).
+pub fn ubd_candidates(k_period: u64, delta_nop: u64) -> Vec<u64> {
+    assert!(k_period >= 2, "a saw-tooth period is at least 2");
+    assert!(delta_nop >= 1, "nops cannot be free");
+    (2..=k_period * delta_nop)
+        .filter(|&c| c / gcd(delta_nop, c) == k_period)
+        .collect()
+}
+
+/// Positions of the series' peaks: samples within `rel_tol` (a fraction
+/// of the maximum) of the global maximum. On a clean saw-tooth the peaks
+/// sit one period apart, giving the Eq. 3 reading "ubd = |ki - kj|" that
+/// Fig. 7(a) annotates ("27 = 54 - 27" on ref, "27 = 51 - 24" on var).
+///
+/// # Panics
+///
+/// Panics if `rel_tol` is outside `[0, 1]`.
+pub fn peak_positions(series: &[u64], rel_tol: f64) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&rel_tol), "rel_tol must be in [0, 1]");
+    let max = series.iter().max().copied().unwrap_or(0);
+    let threshold = max.saturating_sub((max as f64 * rel_tol).round() as u64);
+    series
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v >= threshold && v > 0)
+        .map(|(k, _)| k)
+        .collect()
+}
+
+/// The spacing between consecutive peaks, if they are evenly spaced —
+/// the direct Eq. 3 period reading.
+pub fn peak_spacing(series: &[u64], rel_tol: f64) -> Option<u64> {
+    let peaks = peak_positions(series, rel_tol);
+    if peaks.len() < 2 {
+        return None;
+    }
+    let gaps: Vec<u64> = peaks.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+    let first = gaps[0];
+    gaps.iter().all(|&g| g == first).then_some(first)
+}
+
+/// Length of the *first tooth* of a one-tooth series — the Fig. 7(b)
+/// store reading: a store rsk-nop's slowdown decays over one period and
+/// then collapses to (near) zero because the store buffer hides the bus
+/// latency. The paper reads `ubd` off the span of that single tooth
+/// ("the first period spans k in [1..28], whose length matches the ubd",
+/// modulo a small buffer-dependent shift).
+///
+/// Returns the first index `k` after the global maximum at which the
+/// series drops below `threshold_frac` of its maximum and never rises
+/// above it again. `None` if the series never collapses (no store-buffer
+/// hiding — e.g. the load series, which stays periodic).
+///
+/// # Panics
+///
+/// Panics if `threshold_frac` is outside `(0, 1)`.
+pub fn first_tooth_length(series: &[u64], threshold_frac: f64) -> Option<u64> {
+    assert!(
+        threshold_frac > 0.0 && threshold_frac < 1.0,
+        "threshold_frac must be in (0, 1)"
+    );
+    let max = series.iter().max().copied()?;
+    if max == 0 {
+        return None;
+    }
+    let threshold = (max as f64 * threshold_frac) as u64;
+    let peak = series.iter().position(|&v| v == max)?;
+    let collapse = (peak..series.len()).find(|&i| series[i] <= threshold)?;
+    // The collapse must be final: a second tooth (values climbing back
+    // toward the peak) means the series is periodic, not one-shot. A
+    // slowly creeping residual tail — second-order measurement overhead
+    // that grows with k — is tolerated up to half the tooth height.
+    if series[collapse..].iter().any(|&v| v > max / 2) {
+        return None;
+    }
+    Some(collapse as u64)
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::GammaModel;
+
+    fn sawtooth(ubd: u64, delta0: u64, step: u64, len: usize) -> Vec<u64> {
+        GammaModel::new(ubd).sweep(delta0, step, len)
+    }
+
+    #[test]
+    fn exact_recovers_clean_period() {
+        let s = sawtooth(27, 1, 1, 90);
+        assert_eq!(exact_period(&s), Some(27));
+        let s6 = sawtooth(6, 1, 1, 30);
+        assert_eq!(exact_period(&s6), Some(6));
+    }
+
+    #[test]
+    fn exact_period_independent_of_offset() {
+        // §4.1: the period is ubd regardless of δ_rsk.
+        for delta0 in [1u64, 2, 4, 9, 26] {
+            let s = sawtooth(27, delta0, 1, 100);
+            assert_eq!(exact_period(&s), Some(27), "delta0 = {delta0}");
+        }
+    }
+
+    #[test]
+    fn exact_rejects_constant_series() {
+        assert_eq!(exact_period(&[5; 40]), None);
+    }
+
+    #[test]
+    fn exact_rejects_too_short_series() {
+        let s = sawtooth(27, 1, 1, 40); // < 2 periods
+        assert_eq!(exact_period(&s), None);
+    }
+
+    #[test]
+    fn tolerant_absorbs_bounded_noise() {
+        let mut s = sawtooth(27, 1, 1, 90);
+        // Deterministic perturbation whose own period (5) does not divide
+        // the tooth period, so exact matching cannot succeed by accident.
+        for (i, v) in s.iter_mut().enumerate() {
+            *v += ((i * i) % 5) as u64;
+        }
+        assert_eq!(exact_period(&s), None, "noise defeats exact matching");
+        let (p, _) = tolerant_period(&s, 4).expect("tolerant must recover");
+        assert_eq!(p, 27);
+    }
+
+    #[test]
+    fn autocorrelation_handles_scaled_series() {
+        // Slowdown series = per-request gamma * request count.
+        let s: Vec<u64> = sawtooth(27, 1, 1, 120).iter().map(|g| g * 10_000).collect();
+        let (p, score) = autocorrelation_period(&s).expect("periodic");
+        assert_eq!(p, 27);
+        assert!(score > 0.9);
+    }
+
+    #[test]
+    fn detect_period_prefers_exact() {
+        let s = sawtooth(6, 1, 1, 40);
+        let est = detect_period(&s, 3).expect("periodic");
+        assert_eq!(est.period, 6);
+        assert_eq!(est.method, PeriodMethod::Exact);
+        assert_eq!(est.confidence, 1.0);
+    }
+
+    #[test]
+    fn detect_period_none_for_flat_or_random() {
+        assert!(detect_period(&[7; 50], 0).is_none());
+        // A monotone ramp has no period.
+        let ramp: Vec<u64> = (0..50).collect();
+        assert!(detect_period(&ramp, 0).is_none());
+    }
+
+    #[test]
+    fn candidates_with_unit_nop_are_exact() {
+        assert_eq!(ubd_candidates(27, 1), vec![27]);
+        assert_eq!(ubd_candidates(6, 1), vec![6]);
+    }
+
+    #[test]
+    fn candidates_with_slow_nops_include_truth() {
+        // δ_nop = 3, ubd = 27: sampled period is 27/gcd(3,27) = 9.
+        let s = sawtooth(27, 1, 3, 40);
+        let p = exact_period(&s).expect("sampled saw-tooth is periodic");
+        assert_eq!(p, 9);
+        let cands = ubd_candidates(p, 3);
+        assert!(cands.contains(&27), "candidates: {cands:?}");
+        // Disambiguation: γ up to 26 is observed, so ubd = 9 is excluded.
+        let max_gamma = s.iter().max().copied().expect("non-empty");
+        let resolved: Vec<u64> = cands.into_iter().filter(|&c| c > max_gamma).collect();
+        assert_eq!(resolved, vec![27]);
+    }
+
+    #[test]
+    fn candidates_with_coprime_nop_latency() {
+        // δ_nop = 2, ubd = 27 (coprime): apparent period is still 27.
+        let s = sawtooth(27, 1, 2, 80);
+        let p = exact_period(&s).expect("periodic");
+        assert_eq!(p, 27);
+        let cands = ubd_candidates(p, 2);
+        assert_eq!(cands, vec![27, 54]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_candidate_period_panics() {
+        let _ = ubd_candidates(1, 1);
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(PeriodMethod::Exact.to_string(), "exact");
+        assert_eq!(PeriodMethod::Autocorrelation.to_string(), "autocorrelation");
+    }
+
+    #[test]
+    fn peaks_of_clean_sawtooth_sit_one_period_apart() {
+        // ref-style: δ0 = 1 peaks at k ≡ 0 (mod 27).
+        let s = sawtooth(27, 1, 1, 82);
+        assert_eq!(peak_positions(&s, 0.0), vec![0, 27, 54, 81]);
+        assert_eq!(peak_spacing(&s, 0.0), Some(27));
+        // var-style: δ0 = 4 peaks at k ≡ 24 (mod 27) — "27 = 51 - 24".
+        let v = sawtooth(27, 4, 1, 80);
+        assert_eq!(peak_positions(&v, 0.0), vec![24, 51, 78]);
+        assert_eq!(peak_spacing(&v, 0.0), Some(27));
+    }
+
+    #[test]
+    fn peak_tolerance_admits_near_peaks() {
+        // Realistic scale: slowdown = γ × requests, so the tooth step is
+        // large and a small relative tolerance re-admits a slightly
+        // depressed peak without swallowing its neighbours.
+        let mut s: Vec<u64> = sawtooth(27, 1, 1, 60).iter().map(|g| g * 1000).collect();
+        s[27] -= 10; // measurement jitter on one peak
+        assert_eq!(peak_positions(&s, 0.0), vec![0, 54]);
+        assert_eq!(peak_spacing(&s, 0.001), Some(27));
+    }
+
+    #[test]
+    fn uneven_peaks_yield_no_spacing() {
+        assert_eq!(peak_spacing(&[9, 0, 9, 0, 0, 9], 0.0), None);
+        assert_eq!(peak_spacing(&[1, 2, 3], 0.0), None, "single peak");
+    }
+
+    #[test]
+    #[should_panic(expected = "rel_tol")]
+    fn bad_tolerance_panics() {
+        let _ = peak_positions(&[1], 2.0);
+    }
+
+    #[test]
+    fn first_tooth_length_reads_store_series() {
+        // Synthetic Fig. 7(b): decays 28000, 27000, …, 0 and stays near
+        // zero from k = 28 on.
+        let mut s: Vec<u64> = (0..29).rev().map(|v| (v as u64) * 1000).collect();
+        s.extend(std::iter::repeat_n(40u64, 40)); // noisy near-zero tail
+        assert_eq!(first_tooth_length(&s, 0.02), Some(28));
+    }
+
+    #[test]
+    fn first_tooth_rejects_periodic_series() {
+        // The load series keeps re-peaking: no single tooth.
+        let s: Vec<u64> = sawtooth(27, 1, 1, 80).iter().map(|g| g * 1000).collect();
+        assert_eq!(first_tooth_length(&s, 0.05), None);
+    }
+
+    #[test]
+    fn first_tooth_none_for_flat_zero() {
+        assert_eq!(first_tooth_length(&[0; 10], 0.1), None);
+        assert_eq!(first_tooth_length(&[], 0.1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold_frac")]
+    fn first_tooth_bad_threshold_panics() {
+        let _ = first_tooth_length(&[1, 0], 1.5);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(27, 3), 3);
+        assert_eq!(gcd(2, 27), 1);
+        assert_eq!(gcd(12, 18), 6);
+    }
+}

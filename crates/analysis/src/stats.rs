@@ -1,0 +1,84 @@
+//! Small summary-statistics helpers used across the experiments.
+
+/// Arithmetic mean of a slice of `u64` samples; `None` when empty.
+///
+/// ```
+/// use rrb_analysis::mean;
+/// assert_eq!(mean(&[2, 4, 6]), Some(4.0));
+/// assert_eq!(mean(&[]), None);
+/// ```
+pub fn mean(values: &[u64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Population variance; `None` when empty.
+pub fn variance(values: &[u64]) -> Option<f64> {
+    let m = mean(values)?;
+    Some(values.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / values.len() as f64)
+}
+
+/// Maximum; `None` when empty.
+pub fn max_u64(values: &[u64]) -> Option<u64> {
+    values.iter().max().copied()
+}
+
+/// Minimum; `None` when empty.
+pub fn min_u64(values: &[u64]) -> Option<u64> {
+    values.iter().min().copied()
+}
+
+/// The `q`-quantile (nearest-rank) of the samples, `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile(values: &[u64], q: f64) -> Option<u64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[1, 2, 3, 4]), Some(2.5));
+        assert_eq!(variance(&[5, 5, 5]), Some(0.0));
+        let v = variance(&[2, 4]).expect("non-empty");
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(max_u64(&[3, 9, 1]), Some(9));
+        assert_eq!(min_u64(&[3, 9, 1]), Some(1));
+        assert_eq!(max_u64(&[]), None);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&v, 0.0), Some(10));
+        assert_eq!(percentile(&v, 0.5), Some(30));
+        assert_eq!(percentile(&v, 0.9), Some(50));
+        assert_eq!(percentile(&v, 1.0), Some(50));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_percentile_panics() {
+        let _ = percentile(&[1], 2.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Ablation: the saw-tooth period tracks `l_bus` (Eq. 1) across bus
+//! speeds, from the toy 2-cycle bus to a slow 12-cycle one.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin ablation_bus_latency
+//! ```
+
+use rrb::methodology::{derive_ubd, MethodologyConfig};
+use rrb_sim::MachineConfig;
+
+fn main() {
+    println!("Nc = 4; sweeping the bus occupancy l_bus\n");
+    println!("l_bus  true ubd  derived ubd_m  k-period");
+    for l_bus in [2u64, 5, 9, 12] {
+        let cfg = MachineConfig::toy(4, l_bus);
+        let expected = cfg.ubd();
+        let mut mcfg = MethodologyConfig::fast();
+        mcfg.max_k = (expected as usize) * 3;
+        match derive_ubd(&cfg, &mcfg) {
+            Ok(d) => println!("{l_bus:>5}  {expected:>8}  {:>13}  {:>8}", d.ubd_m, d.k_period),
+            Err(e) => println!("{l_bus:>5}  {expected:>8}  refused: {e}"),
+        }
+    }
+    println!("\nexpected: ubd_m = 3 * l_bus at every latency (the NGMP's l_bus = 9 gives 27).");
+}

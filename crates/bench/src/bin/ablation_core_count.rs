@@ -1,0 +1,35 @@
+//! Ablation: Eq. 1 scaling — `ubd = (Nc - 1) · l_bus` recovered blind
+//! across core counts.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin ablation_core_count
+//! ```
+
+use rrb::methodology::{derive_ubd, MethodologyConfig};
+use rrb_kernels::AccessKind;
+use rrb_sim::MachineConfig;
+
+fn main() {
+    let l_bus = 3u64;
+    println!("l_bus = {l_bus}; sweeping core count\n");
+    println!("Nc  true ubd  derived ubd_m  contenders");
+    for nc in 2..=4usize {
+        let cfg = MachineConfig::toy(nc, l_bus);
+        let expected = cfg.ubd();
+        let mut mcfg = MethodologyConfig::fast();
+        mcfg.max_k = (expected as usize) * 3;
+        // One load contender cannot saturate a 2-core bus; use store
+        // contenders there (they inject back to back, §5.3).
+        let contenders = if nc == 2 {
+            mcfg.contender_access = AccessKind::Store;
+            "store rsk"
+        } else {
+            "load rsk"
+        };
+        match derive_ubd(&cfg, &mcfg) {
+            Ok(d) => println!("{nc:>2}  {expected:>8}  {:>13}  {contenders}", d.ubd_m),
+            Err(e) => println!("{nc:>2}  {expected:>8}  {:>13}  {contenders} ({e})", "refused"),
+        }
+    }
+    println!("\nexpected: derived ubd_m equals (Nc-1)*{l_bus} for every Nc.");
+}

@@ -1,0 +1,36 @@
+//! Ablation: δ_nop > 1 (§4.2's "unlikely case"). Varying k then *samples*
+//! the δ-space saw-tooth; the calibrated δ_nop plus the candidate
+//! disambiguation must still recover the exact `ubd`.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin ablation_slow_nop
+//! ```
+
+use rrb::methodology::{derive_ubd, MethodologyConfig};
+use rrb_sim::MachineConfig;
+
+fn main() {
+    println!("NGMP ref (true ubd = 27); sweeping the nop latency\n");
+    println!("delta_nop  k-period  candidates           derived ubd_m");
+    for nop_latency in [1u64, 2, 3] {
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.nop_latency = nop_latency;
+        let mut mcfg = MethodologyConfig::paper();
+        mcfg.iterations = 200;
+        mcfg.max_k = 70;
+        match derive_ubd(&cfg, &mcfg) {
+            Ok(d) => println!(
+                "{:>9}  {:>8}  {:<20} {:>12}",
+                d.delta_nop,
+                d.k_period,
+                format!("{:?}", d.candidates),
+                d.ubd_m
+            ),
+            Err(e) => println!("{nop_latency:>9}  refused: {e}"),
+        }
+    }
+    println!(
+        "\nexpected: delta_nop = 2 keeps an apparent period of 27 (coprime);\n\
+         delta_nop = 3 collapses it to 9 with candidates {{9, 27}}; both derive 27."
+    );
+}

@@ -1,0 +1,61 @@
+//! Ablation: the loop-unrolling guidance of §5.2. Sweeps the unroll
+//! factor of a branch-terminated rsk and reports (a) the loop-control
+//! execution-time overhead and (b) the fraction of boundary loads whose
+//! γ deviates from the interior mode.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin ablation_unrolling
+//! ```
+
+use rrb_analysis::Histogram;
+use rrb_kernels::{rsk, AccessKind, RskBuilder};
+use rrb_sim::{CoreId, Machine, MachineConfig};
+
+fn main() {
+    let cfg = MachineConfig::ngmp_ref();
+    println!("branch-terminated load rsk vs 3 rsk, NGMP ref (interior gamma = 26)\n");
+    println!("unroll  et overhead vs ideal  boundary-gamma fraction");
+    for unroll in [1usize, 2, 4, 8, 16] {
+        let iterations = (1600 / unroll) as u64; // constant dynamic loads
+        let ideal = execution_time(&cfg, unroll, false, iterations);
+        let with_branch = execution_time(&cfg, unroll, true, iterations);
+        let overhead = (with_branch as f64 - ideal as f64) / ideal as f64;
+
+        let h = gamma_hist(&cfg, unroll, iterations);
+        let mode = h.mode().expect("requests");
+        let off_mode = 1.0 - h.fraction(mode);
+        println!("{unroll:>6}  {:>19.2}%  {:>22.3}", overhead * 100.0, off_mode);
+    }
+    println!(
+        "\nexpected: overhead and boundary fraction shrink ~1/unroll; at unroll 16\n\
+         the paper's <2% loop-control overhead holds."
+    );
+}
+
+fn execution_time(cfg: &MachineConfig, unroll: usize, branch: bool, iterations: u64) -> u64 {
+    let p = RskBuilder::new(AccessKind::Load)
+        .unroll(unroll)
+        .with_branch(branch)
+        .iterations(iterations)
+        .build(cfg, CoreId::new(0));
+    let mut m = Machine::new(cfg.clone()).expect("config");
+    m.load_program(CoreId::new(0), p);
+    m.run().expect("run").core(CoreId::new(0)).execution_time().expect("done")
+}
+
+fn gamma_hist(cfg: &MachineConfig, unroll: usize, iterations: u64) -> Histogram {
+    let p = RskBuilder::new(AccessKind::Load)
+        .unroll(unroll)
+        .with_branch(true)
+        .iterations(iterations)
+        .build(cfg, CoreId::new(0));
+    let mut m = Machine::new(cfg.clone()).expect("config");
+    m.load_program(CoreId::new(0), p);
+    for i in 1..cfg.num_cores {
+        m.load_program(CoreId::new(i), rsk(AccessKind::Load, cfg, CoreId::new(i)));
+    }
+    m.run().expect("run");
+    Histogram::from_bins(
+        m.pmc().core(CoreId::new(0)).gamma_histogram.iter().map(|(&g, &n)| (g, n)),
+    )
+}

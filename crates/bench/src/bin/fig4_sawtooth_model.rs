@@ -1,0 +1,44 @@
+//! Regenerates the paper's **Figure 4**: the saw-tooth behaviour of the
+//! contention delay γ(δ) under high load, from the analytic model and
+//! from simulation side by side.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin fig4_sawtooth_model
+//! ```
+
+use rrb::report::render_sawtooth;
+use rrb_analysis::GammaModel;
+use rrb_kernels::{rsk, rsk_nop, AccessKind};
+use rrb_sim::{CoreId, Machine, MachineConfig};
+
+fn main() {
+    let cfg = MachineConfig::ngmp_ref();
+    let ubd = cfg.ubd();
+    let model = GammaModel::new(ubd);
+    let len = 70usize;
+
+    println!("Figure 4 — saw-tooth of gamma(delta), NGMP ref (ubd = {ubd})\n");
+
+    let analytic = model.sweep(1, 1, len);
+    println!("analytic gamma(1 + k), k = 0..{len}:");
+    println!("{}", render_sawtooth(&analytic, 9));
+
+    println!("simulated mode gamma of rsk-nop(load, k) against 3 rsk:");
+    let simulated: Vec<u64> = (0..len).map(|k| measure(&cfg, k)).collect();
+    println!("{}", render_sawtooth(&simulated, 9));
+
+    let agree = analytic == simulated;
+    println!("max gamma with delta > 0 : {} (= ubd - 1)", model.max_gamma_positive_delta());
+    println!("saw-tooth period         : {} (= ubd)", model.period());
+    println!("analytic == simulated    : {}", if agree { "yes" } else { "NO" });
+}
+
+fn measure(cfg: &MachineConfig, k: usize) -> u64 {
+    let mut m = Machine::new(cfg.clone()).expect("valid config");
+    m.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, k, cfg, CoreId::new(0), 150));
+    for i in 1..cfg.num_cores {
+        m.load_program(CoreId::new(i), rsk(AccessKind::Load, cfg, CoreId::new(i)));
+    }
+    m.run().expect("run");
+    m.pmc().core(CoreId::new(0)).mode_gamma().expect("requests observed").0
+}

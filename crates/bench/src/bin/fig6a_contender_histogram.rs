@@ -1,0 +1,62 @@
+//! Regenerates the paper's **Figure 6(a)**: histogram of the number of
+//! contenders ready to send a request when the observed task in core c0
+//! tries to access the bus — for 8 random 4-task EEMBC workloads versus
+//! a workload of 4 saturating rsk.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin fig6a_contender_histogram
+//! ```
+//!
+//! Expected shape (as in the paper): the EEMBC scua finds the bus empty
+//! or with one contender most of the time; the rsk workload pins the
+//! count at `Nc - 1 = 3` on almost every request.
+
+use rrb::report::render_histogram;
+use rrb_analysis::Histogram;
+use rrb_kernels::{random_eembc_workload, rsk, rsk_nop, AccessKind};
+use rrb_sim::{CoreId, Machine, MachineConfig};
+
+fn main() {
+    let cfg = MachineConfig::ngmp_ref();
+
+    // Dark bars: 8 randomly generated 4-task EEMBC workloads.
+    let mut eembc = Histogram::new();
+    for seed in 0..8u64 {
+        let w = random_eembc_workload(&cfg, seed, 200);
+        let scua = w.scua;
+        let mut m = w.into_machine(&cfg).expect("machine");
+        m.run().expect("run");
+        let h = Histogram::from_bins(
+            m.pmc().core(scua).contender_histogram.iter().map(|(&c, &n)| (u64::from(c), n)),
+        );
+        println!(
+            "workload {seed}: mode {} contenders, 0-or-1 fraction {:.2}",
+            h.mode().unwrap_or(0),
+            (h.count(0) + h.count(1)) as f64 / h.total().max(1) as f64
+        );
+        eembc.merge(&h);
+    }
+    println!();
+    println!(
+        "{}",
+        render_histogram("EEMBC scua vs 3 EEMBC (contenders ready at each request):", &eembc)
+    );
+
+    // Light bars: 4 rsk.
+    let mut m = Machine::new(cfg.clone()).expect("machine");
+    m.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 2000));
+    for i in 1..cfg.num_cores {
+        m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));
+    }
+    m.run().expect("run");
+    let rsk_hist = Histogram::from_bins(
+        m.pmc().core(CoreId::new(0)).contender_histogram.iter().map(|(&c, &n)| (u64::from(c), n)),
+    );
+    println!("{}", render_histogram("rsk scua vs 3 rsk:", &rsk_hist));
+
+    println!(
+        "paper's reading: EEMBC mostly 0-1 contenders (here {:.0}%), rsk pinned at 3 (here {:.0}%).",
+        (eembc.count(0) + eembc.count(1)) as f64 / eembc.total() as f64 * 100.0,
+        rsk_hist.fraction(3) * 100.0
+    );
+}

@@ -1,0 +1,38 @@
+//! The headline table of the reproduction (§4.2 / §5.3): for each
+//! architecture, the true `ubd`, what the naive estimators measure, and
+//! what the rsk-nop methodology derives.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin methodology_summary
+//! ```
+
+use rrb::methodology::{derive_ubd, MethodologyConfig};
+use rrb::naive::naive_rsk_vs_rsk;
+use rrb::report;
+use rrb_kernels::AccessKind;
+use rrb_sim::MachineConfig;
+
+fn main() {
+    println!("architecture | true ubd | naive det/nr | naive max-gamma | rsk-nop methodology");
+    println!("-------------+----------+--------------+-----------------+--------------------");
+    let mut rows = Vec::new();
+    for (name, cfg) in [("ref", MachineConfig::ngmp_ref()), ("var", MachineConfig::ngmp_var())] {
+        let naive = naive_rsk_vs_rsk(&cfg, AccessKind::Load, 500).expect("naive estimate");
+        let mut mcfg = MethodologyConfig::paper();
+        mcfg.iterations = 400;
+        let derived = derive_ubd(&cfg, &mcfg).expect("derivation");
+        println!(
+            "{name:>12} | {:>8} | {:>12} | {:>15} | {:>19}",
+            cfg.ubd(),
+            naive.ubd_m_det_over_nr,
+            naive.ubd_m_max_gamma,
+            derived.ubd_m
+        );
+        rows.push((name, cfg, naive, derived));
+    }
+    println!();
+    for (name, cfg, naive, derived) in rows {
+        println!("=== {name} ===");
+        println!("{}", report::render_comparison(&naive, &derived, cfg.ubd()));
+    }
+}

@@ -1,0 +1,2 @@
+//! Figure regenerators live in `src/bin`; criterion benches in `benches/`.
+#![allow(missing_docs)]

@@ -1,0 +1,162 @@
+//! Minimal flag parser (kept dependency-free on purpose; see DESIGN.md).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Parsed {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// A command-line parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArgsError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArgsError::MissingCommand => write!(f, "no command given (try `rrb help`)"),
+            ParseArgsError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ParseArgsError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument `{arg}`")
+            }
+            ParseArgsError::BadValue { flag, value, expected } => {
+                write!(f, "--{flag}: `{value}` is not {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// Boolean flags that take no value.
+const SWITCHES: &[&str] = &["store-scua", "store-contenders", "verbose"];
+
+impl Parsed {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] on malformed input.
+    pub fn parse(argv: &[String]) -> Result<Self, ParseArgsError> {
+        let mut it = argv.iter();
+        let command = it.next().ok_or(ParseArgsError::MissingCommand)?.clone();
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ParseArgsError::UnexpectedPositional(arg.clone()));
+            };
+            if SWITCHES.contains(&name) {
+                flags.insert(name.to_string(), String::from("true"));
+            } else {
+                let value =
+                    it.next().ok_or_else(|| ParseArgsError::MissingValue(name.to_string()))?;
+                flags.insert(name.to_string(), value.clone());
+            }
+        }
+        Ok(Parsed { command, flags })
+    }
+
+    /// A string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// An integer flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::BadValue`] when present but non-numeric.
+    pub fn get_u64(&self, flag: &str, default: u64) -> Result<u64, ParseArgsError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ParseArgsError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+                expected: "a non-negative integer",
+            }),
+        }
+    }
+
+    /// A boolean switch.
+    pub fn get_switch(&self, flag: &str) -> bool {
+        self.flags.get(flag).is_some_and(|v| v == "true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = Parsed::parse(&argv("derive --arch var --max-k 70")).expect("parse");
+        assert_eq!(p.command, "derive");
+        assert_eq!(p.get("arch"), Some("var"));
+        assert_eq!(p.get_u64("max-k", 0).expect("num"), 70);
+        assert_eq!(p.get_u64("iterations", 500).expect("num"), 500);
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let p = Parsed::parse(&argv("derive --store-scua --max-k 10")).expect("parse");
+        assert!(p.get_switch("store-scua"));
+        assert!(!p.get_switch("verbose"));
+        assert_eq!(p.get_u64("max-k", 0).expect("num"), 10);
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        assert_eq!(Parsed::parse(&[]), Err(ParseArgsError::MissingCommand));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = Parsed::parse(&argv("derive --max-k")).expect_err("must fail");
+        assert_eq!(e, ParseArgsError::MissingValue("max-k".into()));
+    }
+
+    #[test]
+    fn positional_rejected() {
+        let e = Parsed::parse(&argv("derive extra")).expect_err("must fail");
+        assert!(matches!(e, ParseArgsError::UnexpectedPositional(_)));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let p = Parsed::parse(&argv("derive --max-k many")).expect("parse");
+        assert!(matches!(
+            p.get_u64("max-k", 0),
+            Err(ParseArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_helpful() {
+        assert!(ParseArgsError::MissingCommand.to_string().contains("rrb help"));
+        assert!(ParseArgsError::MissingValue("x".into()).to_string().contains("--x"));
+    }
+}

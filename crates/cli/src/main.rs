@@ -1,0 +1,31 @@
+//! `rrb` — command-line driver for the contention-bound toolkit.
+//!
+//! ```text
+//! rrb derive  [--arch ref|var] [--cores N --l-bus N] [--max-k N]
+//!             [--iterations N] [--store-scua] [--repeats N]
+//! rrb naive   [--arch ref|var] [--iterations N]
+//! rrb gamma   [--ubd N] [--max-delta N]
+//! rrb audit   [--arch ref|var] [--kernel NAME] [--iterations N]
+//! rrb simulate [--arch ref|var] [--seed N] [--scua-iterations N]
+//! ```
+//!
+//! Run `rrb help` for details.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

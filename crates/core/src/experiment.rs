@@ -1,0 +1,204 @@
+//! The shared experiment harness: isolated and contended runs.
+//!
+//! Every estimator in this crate is built from the same two measurements
+//! the paper uses (§1, §4.2):
+//!
+//! * the execution time of a program **in isolation**
+//!   (`ExecTime_isol`), and
+//! * its execution time **against contenders** (`ExecTime_rsk`),
+//!
+//! whose difference `det = ExecTime_rsk − ExecTime_isol` is the total
+//! contention the bus inflicted.
+
+use rrb_analysis::Histogram;
+use rrb_kernels::workload::scua_vs_contenders;
+use rrb_sim::{CoreId, Machine, MachineConfig, Program, SimError};
+
+/// Result of running a program alone on the machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolatedRun {
+    /// Execution time in cycles.
+    pub execution_time: u64,
+    /// Bus requests the program performed (`nr`).
+    pub bus_requests: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+}
+
+/// Result of running a scua against contenders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContendedRun {
+    /// Execution time in cycles.
+    pub execution_time: u64,
+    /// Bus requests of the scua.
+    pub bus_requests: u64,
+    /// Histogram of per-request contention delays (γ) of the scua.
+    pub gamma_histogram: Histogram,
+    /// Histogram of ready-time contender counts of the scua (Fig. 6(a)).
+    pub contender_histogram: Histogram,
+    /// Overall bus utilisation during the run.
+    pub bus_utilization: f64,
+}
+
+/// A paired isolated/contended measurement of one scua.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowdownMeasurement {
+    /// The isolated run.
+    pub isolated: IsolatedRun,
+    /// The contended run.
+    pub contended: ContendedRun,
+}
+
+impl SlowdownMeasurement {
+    /// `det = ExecTime_contended − ExecTime_isol`, the total contention.
+    pub fn det(&self) -> u64 {
+        self.contended.execution_time.saturating_sub(self.isolated.execution_time)
+    }
+
+    /// The naive per-request bound `ubd_m = det / nr` (rounded up, the
+    /// conservative reading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scua made no bus requests.
+    pub fn naive_ubd_m(&self) -> u64 {
+        assert!(self.isolated.bus_requests > 0, "scua made no bus requests");
+        self.det().div_ceil(self.isolated.bus_requests)
+    }
+}
+
+/// Runs `program` alone on core 0 of a machine built from `cfg`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is invalid or the cycle
+/// budget is exhausted.
+pub fn run_isolated(cfg: &MachineConfig, program: Program) -> Result<IsolatedRun, SimError> {
+    let mut machine = Machine::new(cfg.clone())?;
+    let scua = CoreId::new(0);
+    machine.load_program(scua, program);
+    let summary = machine.run()?;
+    let core = summary.core(scua);
+    Ok(IsolatedRun {
+        execution_time: core.execution_time().expect("finite program completed"),
+        bus_requests: core.bus_requests,
+        instructions: core.instructions,
+    })
+}
+
+/// Runs `scua_program` on core 0 against `contender(core)` on every other
+/// core.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is invalid or the cycle
+/// budget is exhausted.
+pub fn run_contended<F>(
+    cfg: &MachineConfig,
+    scua_program: Program,
+    contender: F,
+) -> Result<ContendedRun, SimError>
+where
+    F: FnMut(CoreId) -> Program,
+{
+    let workload = scua_vs_contenders(cfg, scua_program, contender);
+    let scua = workload.scua;
+    let mut machine = workload.into_machine(cfg)?;
+    let summary = machine.run()?;
+    let core = summary.core(scua);
+    let pmc = machine.pmc().core(scua);
+    Ok(ContendedRun {
+        execution_time: core.execution_time().expect("finite program completed"),
+        bus_requests: core.bus_requests,
+        gamma_histogram: Histogram::from_bins(
+            pmc.gamma_histogram.iter().map(|(&g, &n)| (g, n)),
+        ),
+        contender_histogram: Histogram::from_bins(
+            pmc.contender_histogram.iter().map(|(&c, &n)| (u64::from(c), n)),
+        ),
+        bus_utilization: summary.bus_utilization,
+    })
+}
+
+/// Runs both measurements for one scua.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from either run.
+pub fn measure_slowdown<F>(
+    cfg: &MachineConfig,
+    scua_program: Program,
+    contender: F,
+) -> Result<SlowdownMeasurement, SimError>
+where
+    F: FnMut(CoreId) -> Program,
+{
+    let isolated = run_isolated(cfg, scua_program.clone())?;
+    let contended = run_contended(cfg, scua_program, contender)?;
+    Ok(SlowdownMeasurement { isolated, contended })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrb_kernels::{rsk, rsk_nop, AccessKind};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::ngmp_ref()
+    }
+
+    #[test]
+    fn isolated_run_reports_requests() {
+        let cfg = cfg();
+        let p = rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 100);
+        let r = run_isolated(&cfg, p).expect("run");
+        assert!(r.execution_time > 0);
+        // 5 loads x 100 iterations plus a few cold ifetch/refill requests.
+        assert!(r.bus_requests >= 500);
+        assert_eq!(r.instructions, 500);
+    }
+
+    #[test]
+    fn contention_slows_the_scua_down() {
+        let cfg = cfg();
+        let p = rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 200);
+        let m = measure_slowdown(&cfg, p, |c| rsk(AccessKind::Load, &cfg, c)).expect("run");
+        assert!(m.det() > 0, "contenders must slow the scua down");
+        // Each request suffers γ = 26 on the ref architecture.
+        let per_request = m.det() as f64 / m.isolated.bus_requests as f64;
+        assert!(
+            (20.0..=27.0).contains(&per_request),
+            "per-request contention {per_request} out of range"
+        );
+        assert!(m.contended.bus_utilization > 0.95);
+    }
+
+    #[test]
+    fn naive_ubd_m_underestimates_truth() {
+        // The paper's core observation, as a harness-level test.
+        let cfg = cfg();
+        let p = rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 500);
+        let m = measure_slowdown(&cfg, p, |c| rsk(AccessKind::Load, &cfg, c)).expect("run");
+        let naive = m.naive_ubd_m();
+        assert!(naive < cfg.ubd(), "naive {naive} must undercut ubd {}", cfg.ubd());
+        assert!(naive >= 20, "but it is not absurdly low either");
+    }
+
+    #[test]
+    fn gamma_histogram_shows_synchrony_mode() {
+        let cfg = cfg();
+        let p = rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 300);
+        let r = run_contended(&cfg, p, |c| rsk(AccessKind::Load, &cfg, c)).expect("run");
+        assert_eq!(r.gamma_histogram.mode(), Some(26));
+        assert!(r.gamma_histogram.fraction(26) > 0.9);
+    }
+
+    #[test]
+    fn det_is_zero_without_contenders() {
+        let cfg = cfg();
+        let p = rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 50);
+        let iso = run_isolated(&cfg, p.clone()).expect("run");
+        let contended = run_contended(&cfg, p, |_| Program::empty()).expect("run");
+        assert_eq!(contended.execution_time, iso.execution_time);
+    }
+}

@@ -1,0 +1,64 @@
+//! # rrb — measurement-based contention bounds for round-robin buses
+//!
+//! A full reproduction of *"Increasing Confidence on Measurement-Based
+//! Contention Bounds for Real-Time Round-Robin Buses"* (Fernandez, Jalle,
+//! Abella, Quiñones, Vardanega, Cazorla — DAC 2015).
+//!
+//! On a COTS multicore whose cores share a round-robin (RR) bus, the
+//! worst-case delay one bus request can suffer is `ubd = (Nc-1)·l_bus`
+//! (Eq. 1) — but `l_bus` is rarely documented, so `ubd` must be
+//! *measured*. This crate implements:
+//!
+//! * the **naive estimators** used in prior practice ([`naive`]): run the
+//!   software under analysis against resource-stressing kernels and read
+//!   `ubd_m = det/nr` off the slowdown, or the largest observed
+//!   per-request delay off the performance counters — both of which
+//!   under-estimate `ubd` because of the *synchrony effect* (§3);
+//! * the paper's **rsk-nop methodology** ([`methodology`]): calibrate the
+//!   nop latency, sweep the injection time by inserting `k` nops between
+//!   bus accesses, and recover `ubd` as the period of the saw-tooth that
+//!   the slowdown traces out (Eq. 3) — requiring *no* knowledge of bus
+//!   timing;
+//! * the **experiment harness** ([`experiment`]) shared by both, and
+//!   plain-text reporting ([`report`]) used by the figure regenerators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rrb::methodology::{derive_ubd, MethodologyConfig};
+//! use rrb_sim::MachineConfig;
+//!
+//! # fn main() -> Result<(), rrb::methodology::MethodologyError> {
+//! // A bus whose timing we pretend not to know:
+//! let machine = MachineConfig::toy(4, 2); // secretly ubd = 6
+//! let derivation = derive_ubd(&machine, &MethodologyConfig::fast())?;
+//! assert_eq!(derivation.ubd_m, 6);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The companion crates are re-exported under [`sim`], [`kernels`] and
+//! [`analysis`] so downstream users need a single dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod mbta;
+pub mod methodology;
+pub mod naive;
+pub mod report;
+pub mod validation;
+
+/// Re-export of the simulator substrate.
+pub use rrb_analysis as analysis;
+/// Re-export of the kernel generators.
+pub use rrb_kernels as kernels;
+/// Re-export of the analytic layer.
+pub use rrb_sim as sim;
+
+pub use experiment::{ContendedRun, IsolatedRun, SlowdownMeasurement};
+pub use mbta::{BoundValidation, MbtaAnalysis, TaskBound, TaskSpec};
+pub use methodology::{derive_ubd, derive_ubd_repeated, store_tooth_check, MethodologyConfig, MethodologyError, RepeatedDerivation, StoreToothCheck, UbdDerivation};
+pub use naive::{naive_rsk_vs_rsk, naive_scua_vs_rsk, NaiveEstimate};
+pub use validation::{validate_gamma_model, GammaComparison, ValidationReport};

@@ -1,0 +1,157 @@
+//! Cross-validation of the cycle-accurate machine against the analytic
+//! synchrony model (Eq. 2) — the reproduction's equivalent of the paper's
+//! simulator-vs-board validation campaign (§5.1 reports < 3 % deviation
+//! against the N2X board; here the reference is the closed-form model,
+//! and the agreement is exact by construction of the timing semantics).
+
+use rrb_analysis::GammaModel;
+use rrb_kernels::{rsk, rsk_nop, AccessKind};
+use rrb_sim::{CoreId, Machine, MachineConfig, SimError};
+use std::fmt;
+
+/// One δ point of a validation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaComparison {
+    /// Nop count used.
+    pub k: u64,
+    /// The injection time this k produces (`dl1.latency + k·δ_nop`).
+    pub delta: u64,
+    /// Eq. 2's prediction.
+    pub predicted: u64,
+    /// The machine's dominant per-request γ.
+    pub measured: u64,
+    /// Fraction of requests at the dominant γ (synchrony strength).
+    pub mode_fraction: f64,
+}
+
+impl GammaComparison {
+    /// Whether model and machine agree at this point.
+    pub fn agrees(&self) -> bool {
+        self.predicted == self.measured
+    }
+}
+
+/// Result of a full validation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Per-k comparisons.
+    pub points: Vec<GammaComparison>,
+}
+
+impl ValidationReport {
+    /// Whether every point agreed.
+    pub fn all_agree(&self) -> bool {
+        self.points.iter().all(GammaComparison::agrees)
+    }
+
+    /// The points where model and machine diverge.
+    pub fn disagreements(&self) -> Vec<GammaComparison> {
+        self.points.iter().copied().filter(|p| !p.agrees()).collect()
+    }
+
+    /// The weakest synchrony observed (smallest mode fraction).
+    pub fn min_mode_fraction(&self) -> f64 {
+        self.points.iter().map(|p| p.mode_fraction).fold(1.0, f64::min)
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  k  delta  predicted  measured  mode%  agree")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>3}  {:>5}  {:>9}  {:>8}  {:>4.0}%  {}",
+                p.k,
+                p.delta,
+                p.predicted,
+                p.measured,
+                p.mode_fraction * 100.0,
+                if p.agrees() { "yes" } else { "NO" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps `k = 0..=max_k` with `rsk-nop(load, k)` against saturating load
+/// rsk on a machine built from `cfg`, comparing the machine's dominant γ
+/// against Eq. 2 at every point.
+///
+/// Uses the configuration's ground-truth `ubd` for the model — this is a
+/// *white-box* validation of the simulator, not a blind derivation.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if any run fails.
+pub fn validate_gamma_model(
+    cfg: &MachineConfig,
+    max_k: u64,
+    iterations: u64,
+) -> Result<ValidationReport, SimError> {
+    let model = GammaModel::new(cfg.ubd());
+    let mut points = Vec::with_capacity(max_k as usize + 1);
+    for k in 0..=max_k {
+        let mut machine = Machine::new(cfg.clone())?;
+        machine.load_program(
+            CoreId::new(0),
+            rsk_nop(AccessKind::Load, k as usize, cfg, CoreId::new(0), iterations),
+        );
+        for i in 1..cfg.num_cores {
+            machine.load_program(CoreId::new(i), rsk(AccessKind::Load, cfg, CoreId::new(i)));
+        }
+        machine.run()?;
+        let pmc = machine.pmc().core(CoreId::new(0));
+        let (measured, count) = pmc.mode_gamma().expect("scua made requests");
+        let delta = cfg.dl1.latency + k * cfg.nop_latency;
+        points.push(GammaComparison {
+            k,
+            delta,
+            predicted: model.gamma(delta),
+            measured,
+            mode_fraction: count as f64 / pmc.bus_requests() as f64,
+        });
+    }
+    Ok(ValidationReport { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_machine_matches_model_over_two_periods() {
+        let cfg = MachineConfig::toy(4, 2);
+        let r = validate_gamma_model(&cfg, 13, 250).expect("sweep");
+        assert!(r.all_agree(), "disagreements: {:?}", r.disagreements());
+        assert!(r.min_mode_fraction() > 0.9, "synchrony must dominate");
+    }
+
+    #[test]
+    fn ngmp_ref_matches_model_at_salient_points() {
+        // Full 0..=80 sweeps live in the bench target; unit tests check
+        // the tooth's edges.
+        let cfg = MachineConfig::ngmp_ref();
+        let r = validate_gamma_model(&cfg, 2, 150).expect("sweep");
+        assert!(r.all_agree(), "disagreements: {:?}", r.disagreements());
+        assert_eq!(r.points[0].predicted, 26);
+    }
+
+    #[test]
+    fn report_renders_table() {
+        let cfg = MachineConfig::toy(4, 2);
+        let r = validate_gamma_model(&cfg, 3, 100).expect("sweep");
+        let text = r.to_string();
+        assert!(text.contains("predicted"));
+        assert!(text.contains("yes"));
+    }
+
+    #[test]
+    fn variant_delta_includes_dl1_latency() {
+        let cfg = MachineConfig::ngmp_var();
+        let r = validate_gamma_model(&cfg, 1, 100).expect("sweep");
+        assert_eq!(r.points[0].delta, 4);
+        assert_eq!(r.points[1].delta, 5);
+        assert!(r.all_agree());
+    }
+}

@@ -1,0 +1,160 @@
+//! Address-layout arithmetic for kernel construction.
+//!
+//! The paper's rsk (§2) needs `W + 1` load addresses that
+//!
+//! 1. all map to the **same DL1 set** (so a `W`-way LRU/FIFO set thrashes
+//!    and every access misses DL1), and
+//! 2. all **fit in the core's L2 partition** without evicting each other
+//!    or the kernel's own instruction lines (so every bus request is an
+//!    L2 hit with the maximal occupancy).
+//!
+//! This module derives such layouts from a [`MachineConfig`] instead of
+//! hard-coding NGMP constants, so the same kernels work on the toy and
+//! swept configurations of the ablation benches.
+
+use rrb_sim::{Addr, CoreId, MachineConfig};
+
+/// A derived data-address layout for one core's kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataLayout {
+    /// First data address.
+    pub base: Addr,
+    /// Stride between consecutive conflict addresses (one full DL1 span,
+    /// so consecutive addresses share a DL1 set).
+    pub stride: Addr,
+    /// Number of conflict addresses available before the layout would
+    /// wrap onto its own L2 sets.
+    pub max_lines: u64,
+}
+
+impl DataLayout {
+    /// Derives the layout for `core` under `cfg`.
+    ///
+    /// The base sits halfway through the core's L2 partition so the low
+    /// L2 sets — which hold the kernel's instruction lines (instruction
+    /// regions start at a 2^n boundary and therefore map to L2 set 0
+    /// onward) — are never evicted by data. Each core gets a disjoint
+    /// address range so DRAM rows are not shared between cores.
+    pub fn for_core(cfg: &MachineConfig, core: CoreId) -> Self {
+        let line = cfg.dl1.line_bytes;
+        let dl1_span = cfg.dl1.sets() * line; // stride keeping the DL1 set
+        let partition_bytes = cfg.l2.partition(cfg.num_cores).size_bytes;
+        let half = partition_bytes / 2;
+        // Keep the base DL1-set aligned: round half down to a DL1 span.
+        let base_offset = half / dl1_span * dl1_span;
+        let core_region = partition_bytes * 4; // disjoint per-core regions
+        let base = base_offset + core_region * core.index() as Addr;
+        // Data occupies L2 sets base_offset/line + i * dl1_sets; it may
+        // use the upper half of the partition before wrapping onto the
+        // instruction sets.
+        let l2_sets = partition_bytes / line;
+        let dl1_sets = cfg.dl1.sets();
+        let max_lines = ((l2_sets - base_offset / line) / dl1_sets).max(1);
+        DataLayout { base, stride: dl1_span, max_lines }
+    }
+
+    /// The `i`-th conflict address.
+    pub fn addr(&self, i: u64) -> Addr {
+        self.base + i * self.stride
+    }
+
+    /// The first `n` conflict addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`DataLayout::max_lines`]; such a layout
+    /// would evict its own instruction lines from the L2 partition and
+    /// silently break the "all requests hit L2" property.
+    pub fn addrs(&self, n: u64) -> Vec<Addr> {
+        assert!(
+            n <= self.max_lines,
+            "requested {n} conflict lines but the layout supports {}",
+            self.max_lines
+        );
+        (0..n).map(|i| self.addr(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrb_sim::{Cache, CoreId};
+
+    #[test]
+    fn ngmp_layout_matches_hand_computed_values() {
+        let cfg = MachineConfig::ngmp_ref();
+        let l = DataLayout::for_core(&cfg, CoreId::new(0));
+        assert_eq!(l.stride, 4096, "128 sets * 32 B");
+        assert_eq!(l.base, 32 * 1024, "half of the 64 KB partition");
+        assert!(l.max_lines >= 5, "need W+1 = 5 lines");
+    }
+
+    #[test]
+    fn all_addresses_share_one_dl1_set() {
+        let cfg = MachineConfig::ngmp_ref();
+        let l = DataLayout::for_core(&cfg, CoreId::new(2));
+        let dl1 = Cache::new(cfg.dl1);
+        let sets: Vec<usize> = l.addrs(5).iter().map(|&a| dl1.set_of(a)).collect();
+        assert!(sets.windows(2).all(|w| w[0] == w[1]), "sets: {sets:?}");
+    }
+
+    #[test]
+    fn addresses_map_to_distinct_l2_sets() {
+        let cfg = MachineConfig::ngmp_ref();
+        let l = DataLayout::for_core(&cfg, CoreId::new(0));
+        let part = Cache::new(cfg.l2.partition(cfg.num_cores));
+        let mut sets: Vec<usize> = l.addrs(5).iter().map(|&a| part.set_of(a)).collect();
+        sets.sort_unstable();
+        sets.dedup();
+        assert_eq!(sets.len(), 5, "L2 sets must be distinct");
+    }
+
+    #[test]
+    fn data_avoids_low_l2_sets_reserved_for_instructions() {
+        let cfg = MachineConfig::ngmp_ref();
+        let l = DataLayout::for_core(&cfg, CoreId::new(0));
+        let part = Cache::new(cfg.l2.partition(cfg.num_cores));
+        for &a in &l.addrs(5) {
+            assert!(
+                part.set_of(a) >= 1024,
+                "data at 0x{a:x} lands in instruction sets (set {})",
+                part.set_of(a)
+            );
+        }
+    }
+
+    #[test]
+    fn cores_get_disjoint_regions() {
+        let cfg = MachineConfig::ngmp_ref();
+        let spans: Vec<(Addr, Addr)> = (0..4)
+            .map(|i| {
+                let l = DataLayout::for_core(&cfg, CoreId::new(i));
+                (l.addr(0), l.addr(4))
+            })
+            .collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(
+                    spans[i].1 < spans[j].0 || spans[j].1 < spans[i].0,
+                    "core {i} and {j} overlap: {spans:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "conflict lines")]
+    fn oversubscribing_layout_panics() {
+        let cfg = MachineConfig::ngmp_ref();
+        let l = DataLayout::for_core(&cfg, CoreId::new(0));
+        let _ = l.addrs(l.max_lines + 1);
+    }
+
+    #[test]
+    fn variant_architecture_layout_is_identical() {
+        // Only latencies differ between ref and var; geometry is shared.
+        let a = DataLayout::for_core(&MachineConfig::ngmp_ref(), CoreId::new(0));
+        let b = DataLayout::for_core(&MachineConfig::ngmp_var(), CoreId::new(0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,95 @@
+//! The δ_nop calibration kernel (§4.2).
+//!
+//! "We have designed a rsk in which all the operations in the loop-body
+//! are nops. The loop body is made as big as possible without causing
+//! instruction cache misses. By dividing the execution time of such rsk
+//! by the number of nop operations executed we can derive δ_nop very
+//! accurately."
+
+use rrb_sim::{MachineConfig, Program, ProgramBuilder};
+
+/// Builds the pure-nop calibration kernel: a body sized to fill the IL1
+/// without overflowing it, repeated `iterations` times.
+///
+/// ```
+/// use rrb_sim::MachineConfig;
+/// use rrb_kernels::nop_kernel;
+/// let cfg = MachineConfig::ngmp_ref();
+/// let p = nop_kernel(&cfg, 100);
+/// // 16 KB IL1 / 4 B per instruction, halved for safety margin.
+/// assert_eq!(p.body().len(), 2048);
+/// ```
+pub fn nop_kernel(cfg: &MachineConfig, iterations: u64) -> Program {
+    // 4 bytes per instruction; keep to half the IL1 so the loop plus any
+    // surrounding code can never overflow it.
+    let max_instrs = (cfg.il1.size_bytes / 4 / 2).max(1) as usize;
+    ProgramBuilder::new().nops(max_instrs).iterations(iterations).build()
+}
+
+/// Derives δ_nop from a measured execution time.
+///
+/// Divides `execution_time` by the number of nops executed, rounding to
+/// the nearest cycle. Cold-start fetch misses make the raw quotient
+/// slightly exceed the true latency; with the body sizes produced by
+/// [`nop_kernel`] the bias is far below half a cycle, so rounding
+/// recovers the exact integer latency.
+///
+/// # Panics
+///
+/// Panics if `total_nops` is zero.
+pub fn estimate_delta_nop(execution_time: u64, total_nops: u64) -> u64 {
+    assert!(total_nops > 0, "cannot calibrate over zero nops");
+    (execution_time + total_nops / 2) / total_nops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrb_sim::{CoreId, Machine};
+
+    #[test]
+    fn kernel_fits_il1() {
+        let cfg = MachineConfig::ngmp_ref();
+        let p = nop_kernel(&cfg, 1);
+        assert!(p.body().len() as u64 * 4 <= cfg.il1.size_bytes);
+    }
+
+    #[test]
+    fn calibration_recovers_unit_nop_latency() {
+        let cfg = MachineConfig::ngmp_ref();
+        let mut m = Machine::new(cfg.clone()).expect("config");
+        let p = nop_kernel(&cfg, 20);
+        let nops = p.dynamic_instruction_count().expect("finite");
+        m.load_program(CoreId::new(0), p);
+        let s = m.run().expect("run");
+        let et = s.core(CoreId::new(0)).execution_time().expect("done");
+        assert_eq!(estimate_delta_nop(et, nops), cfg.nop_latency);
+    }
+
+    #[test]
+    fn calibration_recovers_slow_nops() {
+        // δ_nop > 1 (§4.2's "unlikely case"): the estimate must track it.
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.nop_latency = 3;
+        let mut m = Machine::new(cfg.clone()).expect("config");
+        let p = nop_kernel(&cfg, 20);
+        let nops = p.dynamic_instruction_count().expect("finite");
+        m.load_program(CoreId::new(0), p);
+        let s = m.run().expect("run");
+        let et = s.core(CoreId::new(0)).execution_time().expect("done");
+        assert_eq!(estimate_delta_nop(et, nops), 3);
+    }
+
+    #[test]
+    fn calibration_is_noise_tolerant() {
+        // A few percent of measurement overhead must not shift the round.
+        assert_eq!(estimate_delta_nop(10_250, 10_000), 1);
+        assert_eq!(estimate_delta_nop(30_499, 10_000), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero nops")]
+    fn zero_nops_panics() {
+        let _ = estimate_delta_nop(100, 0);
+    }
+}

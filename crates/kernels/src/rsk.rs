@@ -1,0 +1,287 @@
+//! Resource-stressing kernels (rsk) and the `rsk-nop(t, k)` variant.
+//!
+//! Following §2, an rsk is a loop of `W + 1` same-type memory instructions
+//! (where `W` is the DL1 associativity) whose addresses share one DL1 set
+//! and fit the L2: every access misses DL1 and hits L2, maximising bus
+//! pressure with the shortest possible turn-around.
+//!
+//! `rsk-nop(t, k)` (§4.1, Fig. 1(b)) inserts `k` nops after every memory
+//! instruction, stretching the injection time from `δ_rsk` to
+//! `δ_rsk + k·δ_nop` and thereby walking the saw-tooth of Eq. 2.
+//!
+//! The paper unrolls loop bodies "as much as possible not to cause
+//! instruction cache misses", keeping loop-control overhead under 2 %
+//! (§5.2). The builder exposes the same choice: [`RskBuilder::unroll`]
+//! replicates the body and [`RskBuilder::with_branch`] appends the
+//! loop-control instruction the unrolling amortises.
+
+use crate::layout::DataLayout;
+use rrb_sim::{CoreId, MachineConfig, Program, ProgramBuilder};
+use std::fmt;
+
+/// The type `t` of the bus-accessing instruction in `rsk(t)` and
+/// `rsk-nop(t, k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load instructions — the paper's default; an L2 load hit keeps the
+    /// bus busy until the L2 answers, producing the highest contention.
+    Load,
+    /// Store instructions — buffered by the store buffer (§5.3).
+    Store,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => write!(f, "load"),
+            AccessKind::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// Builder for rsk / rsk-nop programs.
+///
+/// ```
+/// use rrb_sim::{MachineConfig, CoreId};
+/// use rrb_kernels::{AccessKind, RskBuilder};
+///
+/// let cfg = MachineConfig::ngmp_ref();
+/// // rsk-nop(load, k=2), 1000 iterations, unrolled 4x:
+/// let p = RskBuilder::new(AccessKind::Load)
+///     .nops(2)
+///     .unroll(4)
+///     .iterations(1000)
+///     .build(&cfg, CoreId::new(0));
+/// // Each unrolled body: 4 * 5 groups of (load + 2 nops).
+/// assert_eq!(p.body().len(), 4 * 5 * 3);
+/// assert_eq!(p.memory_ops_per_iteration(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RskBuilder {
+    access: AccessKind,
+    nops: usize,
+    unroll: usize,
+    branch: bool,
+    iterations: Option<u64>,
+    lines_override: Option<u64>,
+}
+
+impl RskBuilder {
+    /// A builder for an rsk of the given access type with no nops, no
+    /// unrolling, no loop-control overhead, running endlessly.
+    pub fn new(access: AccessKind) -> Self {
+        RskBuilder {
+            access,
+            nops: 0,
+            unroll: 1,
+            branch: false,
+            iterations: None,
+            lines_override: None,
+        }
+    }
+
+    /// Sets `k`, the number of nops after each memory instruction.
+    pub fn nops(mut self, k: usize) -> Self {
+        self.nops = k;
+        self
+    }
+
+    /// Replicates the body `factor` times (paper's unrolling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn unroll(mut self, factor: usize) -> Self {
+        assert!(factor > 0, "unroll factor must be at least 1");
+        self.unroll = factor;
+        self
+    }
+
+    /// Appends an explicit loop-control instruction to the body,
+    /// modelling a non-unrolled loop's compare-and-branch overhead.
+    pub fn with_branch(mut self, branch: bool) -> Self {
+        self.branch = branch;
+        self
+    }
+
+    /// Runs the kernel for `n` iterations of the (unrolled) body.
+    pub fn iterations(mut self, n: u64) -> Self {
+        self.iterations = Some(n);
+        self
+    }
+
+    /// Runs the kernel until the machine stops (contender role).
+    pub fn endless(mut self) -> Self {
+        self.iterations = None;
+        self
+    }
+
+    /// Overrides the number of conflict lines (default `W + 1`).
+    ///
+    /// Useful for building kernels that *fail* to thrash DL1 (`W` lines)
+    /// in negative tests.
+    pub fn lines(mut self, lines: u64) -> Self {
+        self.lines_override = Some(lines);
+        self
+    }
+
+    /// Materialises the program for `core` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived layout cannot supply enough conflict lines
+    /// (see [`DataLayout::addrs`]).
+    pub fn build(&self, cfg: &MachineConfig, core: CoreId) -> Program {
+        let lines = self.lines_override.unwrap_or(u64::from(cfg.dl1.ways) + 1);
+        let layout = DataLayout::for_core(cfg, core);
+        let addrs = layout.addrs(lines);
+        let mut b = ProgramBuilder::new();
+        for _ in 0..self.unroll {
+            for &a in &addrs {
+                b = match self.access {
+                    AccessKind::Load => b.load(a),
+                    AccessKind::Store => b.store(a),
+                };
+                b = b.nops(self.nops);
+            }
+        }
+        if self.branch {
+            b = b.branch();
+        }
+        match self.iterations {
+            Some(n) => b.iterations(n).build(),
+            None => b.endless().build(),
+        }
+    }
+}
+
+/// The plain rsk of §2: `rsk(t)`, endless, suitable as a contender.
+///
+/// ```
+/// use rrb_sim::{MachineConfig, CoreId};
+/// use rrb_kernels::{rsk, AccessKind};
+/// let p = rsk(AccessKind::Load, &MachineConfig::ngmp_ref(), CoreId::new(1));
+/// assert_eq!(p.memory_ops_per_iteration(), 5); // W + 1
+/// ```
+pub fn rsk(access: AccessKind, cfg: &MachineConfig, core: CoreId) -> Program {
+    RskBuilder::new(access).endless().build(cfg, core)
+}
+
+/// The paper's `rsk-nop(t, k)` (§4.1) as a finite scua with `iterations`
+/// body repetitions.
+///
+/// ```
+/// use rrb_sim::{MachineConfig, CoreId};
+/// use rrb_kernels::{rsk_nop, AccessKind};
+/// let p = rsk_nop(AccessKind::Load, 6, &MachineConfig::ngmp_ref(), CoreId::new(0), 500);
+/// assert_eq!(p.body().len(), 5 * 7); // 5 loads, each followed by 6 nops
+/// ```
+pub fn rsk_nop(
+    access: AccessKind,
+    k: usize,
+    cfg: &MachineConfig,
+    core: CoreId,
+    iterations: u64,
+) -> Program {
+    RskBuilder::new(access).nops(k).iterations(iterations).build(cfg, core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrb_sim::{Instr, Iterations, Machine};
+
+    #[test]
+    fn rsk_has_w_plus_one_memory_ops() {
+        let cfg = MachineConfig::ngmp_ref();
+        let p = rsk(AccessKind::Load, &cfg, CoreId::new(0));
+        assert_eq!(p.memory_ops_per_iteration(), u64::from(cfg.dl1.ways) + 1);
+        assert_eq!(p.iterations(), Iterations::Infinite);
+        assert!(p.body().iter().all(|i| matches!(i, Instr::Load(_))));
+    }
+
+    #[test]
+    fn rsk_nop_interleaves_k_nops() {
+        let cfg = MachineConfig::ngmp_ref();
+        let p = rsk_nop(AccessKind::Load, 3, &cfg, CoreId::new(0), 10);
+        let body = p.body();
+        assert_eq!(body.len(), 5 * 4);
+        for chunk in body.chunks(4) {
+            assert!(matches!(chunk[0], Instr::Load(_)));
+            assert!(chunk[1..].iter().all(|i| *i == Instr::Nop));
+        }
+    }
+
+    #[test]
+    fn store_rsk_uses_stores() {
+        let cfg = MachineConfig::ngmp_ref();
+        let p = rsk(AccessKind::Store, &cfg, CoreId::new(0));
+        assert!(p.body().iter().all(|i| matches!(i, Instr::Store(_))));
+    }
+
+    #[test]
+    fn unroll_replicates_body_and_branch_is_appended_once() {
+        let cfg = MachineConfig::ngmp_ref();
+        let p = RskBuilder::new(AccessKind::Load)
+            .unroll(8)
+            .with_branch(true)
+            .iterations(1)
+            .build(&cfg, CoreId::new(0));
+        assert_eq!(p.body().len(), 8 * 5 + 1);
+        assert_eq!(*p.body().last().expect("non-empty"), Instr::Branch);
+    }
+
+    #[test]
+    fn rsk_misses_dl1_and_hits_l2_in_steady_state() {
+        // End-to-end property: run the generated kernel on the machine it
+        // was generated for and check the §2 invariants.
+        let cfg = MachineConfig::ngmp_ref();
+        let mut m = Machine::new(cfg.clone()).expect("config");
+        let p = RskBuilder::new(AccessKind::Load).iterations(200).build(&cfg, CoreId::new(0));
+        m.load_program(CoreId::new(0), p);
+        m.run().expect("run");
+        let dl1 = m.dl1_stats(CoreId::new(0));
+        assert_eq!(dl1.hits, 0, "rsk loads must never hit DL1");
+        let pmc = m.pmc().core(CoreId::new(0));
+        assert!(
+            pmc.l2_misses <= 8,
+            "only cold misses may go to memory, got {}",
+            pmc.l2_misses
+        );
+    }
+
+    #[test]
+    fn w_lines_kernel_hits_dl1_after_warmup() {
+        // Negative control: with exactly W lines the set does not thrash.
+        let cfg = MachineConfig::ngmp_ref();
+        let mut m = Machine::new(cfg.clone()).expect("config");
+        let p = RskBuilder::new(AccessKind::Load)
+            .lines(u64::from(cfg.dl1.ways))
+            .iterations(200)
+            .build(&cfg, CoreId::new(0));
+        m.load_program(CoreId::new(0), p);
+        m.run().expect("run");
+        let dl1 = m.dl1_stats(CoreId::new(0));
+        assert!(dl1.hits > dl1.misses * 10, "W lines must mostly hit: {dl1:?}");
+    }
+
+    #[test]
+    fn variant_architecture_rsk_is_program_identical() {
+        // Same program text; only the machine latencies differ.
+        let a = rsk(AccessKind::Load, &MachineConfig::ngmp_ref(), CoreId::new(0));
+        let b = rsk(AccessKind::Load, &MachineConfig::ngmp_var(), CoreId::new(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unroll factor")]
+    fn zero_unroll_panics() {
+        let _ = RskBuilder::new(AccessKind::Load).unroll(0);
+    }
+
+    #[test]
+    fn access_kind_display() {
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+}

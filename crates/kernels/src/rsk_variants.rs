@@ -1,0 +1,232 @@
+//! Alternative resource-stressing kernel designs.
+//!
+//! §2 notes that beyond the same-set `W + 1` construction, "other rsk
+//! designs focusing on exceeding cache capacity, not a single set, can be
+//! easily implemented". This module provides those designs, plus kernels
+//! that press on the *memory controller* instead of the bus — useful as
+//! negative controls (they must NOT exhibit the bus saw-tooth) and for
+//! characterising the DRAM substrate.
+
+use crate::layout::DataLayout;
+use crate::rsk::AccessKind;
+use rrb_sim::{Addr, CoreId, Instr, MachineConfig, Program, ProgramBuilder};
+
+/// An rsk that exceeds the whole DL1 *capacity* instead of one set: it
+/// streams through `capacity_factor` times the DL1 size at line
+/// granularity. With a working set strictly larger than DL1, steady-state
+/// accesses miss DL1; the footprint still fits the L2 partition, so every
+/// request is an L2 hit, as the bus-stressing role requires.
+///
+/// # Panics
+///
+/// Panics if the resulting working set does not fit the core's L2
+/// partition (which would silently break the L2-hit property), or if
+/// `capacity_factor < 2` (the stream must exceed DL1).
+///
+/// ```
+/// use rrb_sim::{MachineConfig, CoreId};
+/// use rrb_kernels::rsk_variants::rsk_capacity;
+/// let cfg = MachineConfig::ngmp_ref();
+/// let p = rsk_capacity(rrb_kernels::AccessKind::Load, &cfg, CoreId::new(0), 2);
+/// // 2x the 16 KB DL1 at 32-byte lines = 1024 loads per iteration.
+/// assert_eq!(p.memory_ops_per_iteration(), 1024);
+/// ```
+pub fn rsk_capacity(
+    access: AccessKind,
+    cfg: &MachineConfig,
+    core: CoreId,
+    capacity_factor: u64,
+) -> Program {
+    assert!(capacity_factor >= 2, "the stream must exceed the DL1 capacity");
+    let line = cfg.dl1.line_bytes;
+    let ws = cfg.dl1.size_bytes * capacity_factor;
+    let partition = cfg.l2.partition(cfg.num_cores).size_bytes;
+    assert!(
+        ws <= partition / 2,
+        "working set {ws} B exceeds half the {partition} B L2 partition; \
+         the kernel would stop hitting in L2"
+    );
+    // Base in the data half of the partition, per-core disjoint.
+    let base: Addr = partition / 2 + partition * 4 * core.index() as Addr;
+    let mut b = ProgramBuilder::new();
+    for i in 0..(ws / line) {
+        let addr = base + i * line;
+        b = match access {
+            AccessKind::Load => b.load(addr),
+            AccessKind::Store => b.store(addr),
+        };
+    }
+    b.endless().build()
+}
+
+/// A dependent pointer-chase kernel: each load's address is a fixed
+/// pseudo-random permutation step over the working set, so consecutive
+/// requests cannot be overlapped even on a machine with more memory-level
+/// parallelism than ours. Deterministic for a given `seed`.
+pub fn rsk_pointer_chase(
+    cfg: &MachineConfig,
+    core: CoreId,
+    lines: u64,
+    seed: u64,
+) -> Program {
+    let layout = DataLayout::for_core(cfg, core);
+    let n = lines.max(2).min(layout.max_lines);
+    // A simple LCG-walk permutation over the n conflict lines, seeded
+    // through a splitmix-style mix so neighbouring seeds diverge.
+    let mut order: Vec<u64> = (0..n).collect();
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    state = (state ^ (state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    state = (state ^ (state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    state ^= state >> 31;
+    for i in (1..n as usize).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    let mut b = ProgramBuilder::new();
+    for &i in &order {
+        b = b.load(layout.addr(i));
+    }
+    b.endless().build()
+}
+
+/// A memory-controller stressing kernel: every access misses both DL1 and
+/// the L2 partition (the working set exceeds the partition), so each
+/// request crosses the bus as a *split* transaction and queues at the
+/// DRAM controller. A negative control for the bus methodology: the
+/// slowdown is dominated by DRAM banking, not by the RR window.
+pub fn rsk_l2_miss(cfg: &MachineConfig, core: CoreId) -> Program {
+    let line = cfg.dl1.line_bytes;
+    let partition = cfg.l2.partition(cfg.num_cores).size_bytes;
+    // Twice the partition, strided by one DL1 span so DL1 also misses.
+    let dl1_span = cfg.dl1.sets() * line;
+    let count = 2 * partition / dl1_span;
+    let base: Addr = 0x4000_0000 + 0x0400_0000 * core.index() as Addr;
+    let mut b = ProgramBuilder::new();
+    for i in 0..count {
+        b = b.load(base + i * dl1_span);
+    }
+    b.endless().build()
+}
+
+/// A mixed kernel: alternating loads and stores over the conflict lines,
+/// exercising the interaction between the load path and the store buffer.
+pub fn rsk_mixed(cfg: &MachineConfig, core: CoreId, iterations: Option<u64>) -> Program {
+    let layout = DataLayout::for_core(cfg, core);
+    let lines = u64::from(cfg.dl1.ways) + 1;
+    let addrs = layout.addrs(lines);
+    let mut body = Vec::new();
+    for (i, &a) in addrs.iter().enumerate() {
+        if i % 2 == 0 {
+            body.push(Instr::Load(a));
+        } else {
+            body.push(Instr::Store(a));
+        }
+    }
+    match iterations {
+        Some(n) => Program::from_body(body, n),
+        None => Program::endless(body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrb_sim::Machine;
+
+    fn run_alone(cfg: &MachineConfig, p: Program, cycles: u64) -> Machine {
+        let mut m = Machine::new(cfg.clone()).expect("config");
+        // Endless kernels: bound the run.
+        m.load_program(CoreId::new(0), p);
+        m.run_for(cycles);
+        m
+    }
+
+    #[test]
+    fn capacity_rsk_misses_dl1_in_steady_state() {
+        let cfg = MachineConfig::ngmp_ref();
+        let p = rsk_capacity(AccessKind::Load, &cfg, CoreId::new(0), 2);
+        let m = run_alone(&cfg, p, 120_000);
+        let stats = m.dl1_stats(CoreId::new(0));
+        // The stream is longer than DL1: in steady state everything
+        // misses; allow the first-pass compulsory fills in the ratio.
+        assert!(stats.misses > stats.hits * 50, "{stats:?}");
+    }
+
+    #[test]
+    fn capacity_rsk_hits_l2_in_steady_state() {
+        let cfg = MachineConfig::ngmp_ref();
+        let p = rsk_capacity(AccessKind::Load, &cfg, CoreId::new(0), 2);
+        let m = run_alone(&cfg, p, 300_000);
+        let pmc = m.pmc().core(CoreId::new(0));
+        // One compulsory L2 miss per line; thereafter all hits.
+        assert!(
+            pmc.l2_hits > pmc.l2_misses * 2,
+            "hits {} misses {}",
+            pmc.l2_hits,
+            pmc.l2_misses
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the DL1 capacity")]
+    fn capacity_factor_one_is_rejected() {
+        let cfg = MachineConfig::ngmp_ref();
+        let _ = rsk_capacity(AccessKind::Load, &cfg, CoreId::new(0), 1);
+    }
+
+    #[test]
+    fn pointer_chase_is_deterministic_and_permutes() {
+        let cfg = MachineConfig::ngmp_ref();
+        let a = rsk_pointer_chase(&cfg, CoreId::new(0), 5, 42);
+        let b = rsk_pointer_chase(&cfg, CoreId::new(0), 5, 42);
+        let c = rsk_pointer_chase(&cfg, CoreId::new(0), 5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Every conflict line appears exactly once.
+        let mut addrs: Vec<_> = a
+            .body()
+            .iter()
+            .map(|i| match i {
+                Instr::Load(a) => *a,
+                other => panic!("unexpected {other}"),
+            })
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 5);
+    }
+
+    #[test]
+    fn pointer_chase_misses_dl1_every_time() {
+        let cfg = MachineConfig::ngmp_ref();
+        let p = rsk_pointer_chase(&cfg, CoreId::new(0), 5, 7);
+        let m = run_alone(&cfg, p, 30_000);
+        assert_eq!(m.dl1_stats(CoreId::new(0)).hits, 0);
+    }
+
+    #[test]
+    fn l2_miss_kernel_reaches_dram() {
+        let cfg = MachineConfig::ngmp_ref();
+        let p = rsk_l2_miss(&cfg, CoreId::new(0));
+        let m = run_alone(&cfg, p, 100_000);
+        assert!(
+            m.dram().stats().requests > 100,
+            "memory kernel must generate DRAM traffic, got {}",
+            m.dram().stats().requests
+        );
+    }
+
+    #[test]
+    fn mixed_kernel_generates_loads_and_stores() {
+        let cfg = MachineConfig::ngmp_ref();
+        let p = rsk_mixed(&cfg, CoreId::new(0), Some(100));
+        let loads = p.body().iter().filter(|i| matches!(i, Instr::Load(_))).count();
+        let stores = p.body().iter().filter(|i| matches!(i, Instr::Store(_))).count();
+        assert!(loads >= 2 && stores >= 2);
+        let mut m = Machine::new(cfg.clone()).expect("config");
+        m.load_program(CoreId::new(0), p);
+        let s = m.run().expect("run");
+        assert!(s.core(CoreId::new(0)).completed());
+    }
+}

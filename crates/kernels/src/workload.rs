@@ -1,0 +1,152 @@
+//! Multi-core workload assembly.
+//!
+//! A *workload* assigns one program per core. The two shapes the paper
+//! uses are:
+//!
+//! * a software-component-under-analysis (scua) on one core against
+//!   `Nc - 1` identical contenders — the measurement setup of §3–§5; and
+//! * randomly drawn 4-task EEMBC workloads — the realistic baseline of
+//!   Fig. 6(a).
+
+use crate::eembc::AutobenchKernel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rrb_sim::{CoreId, Machine, MachineConfig, Program, SimError};
+
+/// A complete per-core program assignment.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    programs: Vec<Program>,
+    /// The core hosting the software component under analysis.
+    pub scua: CoreId,
+}
+
+impl WorkloadSpec {
+    /// A workload from explicit per-core programs; `scua` marks the
+    /// observed core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scua` is out of range.
+    pub fn new(programs: Vec<Program>, scua: CoreId) -> Self {
+        assert!(scua.index() < programs.len(), "scua core out of range");
+        WorkloadSpec { programs, scua }
+    }
+
+    /// The program of each core, in core order.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// Loads every program onto a fresh machine built from `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is invalid or the
+    /// workload has more programs than the machine has cores.
+    pub fn into_machine(self, cfg: &MachineConfig) -> Result<Machine, SimError> {
+        let mut machine = Machine::new(cfg.clone())?;
+        for (i, prog) in self.programs.into_iter().enumerate() {
+            machine.try_load_program(CoreId::new(i), prog)?;
+        }
+        Ok(machine)
+    }
+}
+
+/// Builds the measurement workload of §4.2: `scua_program` on core 0 and
+/// `Nc - 1` copies of `contender_program(core)` on the remaining cores.
+pub fn scua_vs_contenders<F>(
+    cfg: &MachineConfig,
+    scua_program: Program,
+    mut contender_program: F,
+) -> WorkloadSpec
+where
+    F: FnMut(CoreId) -> Program,
+{
+    let mut programs = vec![scua_program];
+    for i in 1..cfg.num_cores {
+        programs.push(contender_program(CoreId::new(i)));
+    }
+    WorkloadSpec::new(programs, CoreId::new(0))
+}
+
+/// Draws a random `Nc`-task EEMBC workload (Fig. 6(a)'s "8 randomly
+/// generated 4-task workloads"): distinct kernels, the scua on core 0
+/// finite with `scua_iterations`, contenders endless.
+pub fn random_eembc_workload(
+    cfg: &MachineConfig,
+    seed: u64,
+    scua_iterations: u64,
+) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kernels = AutobenchKernel::all().to_vec();
+    kernels.shuffle(&mut rng);
+    let programs = (0..cfg.num_cores)
+        .map(|i| {
+            let core = CoreId::new(i);
+            let iters = if i == 0 { Some(scua_iterations) } else { None };
+            kernels[i % kernels.len()].profile().program(cfg, core, seed.wrapping_add(i as u64), iters)
+        })
+        .collect();
+    WorkloadSpec::new(programs, CoreId::new(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsk::{rsk, rsk_nop, AccessKind};
+
+    #[test]
+    fn scua_vs_contenders_fills_every_core() {
+        let cfg = MachineConfig::ngmp_ref();
+        let w = scua_vs_contenders(
+            &cfg,
+            rsk_nop(AccessKind::Load, 2, &cfg, CoreId::new(0), 10),
+            |c| rsk(AccessKind::Load, &cfg, c),
+        );
+        assert_eq!(w.programs().len(), 4);
+        assert_eq!(w.scua, CoreId::new(0));
+        assert!(w.programs()[0].iterations().finite().is_some());
+        assert!(w.programs()[1].iterations().finite().is_none());
+    }
+
+    #[test]
+    fn workload_runs_on_machine() {
+        let cfg = MachineConfig::ngmp_ref();
+        let w = scua_vs_contenders(
+            &cfg,
+            rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 50),
+            |c| rsk(AccessKind::Load, &cfg, c),
+        );
+        let mut m = w.into_machine(&cfg).expect("machine");
+        let s = m.run().expect("run");
+        assert!(s.core(CoreId::new(0)).completed());
+    }
+
+    #[test]
+    fn random_workloads_are_deterministic_and_distinct() {
+        let cfg = MachineConfig::ngmp_ref();
+        let a = random_eembc_workload(&cfg, 1, 10);
+        let b = random_eembc_workload(&cfg, 1, 10);
+        let c = random_eembc_workload(&cfg, 2, 10);
+        assert_eq!(a.programs(), b.programs());
+        assert_ne!(a.programs(), c.programs());
+    }
+
+    #[test]
+    fn random_workload_scua_is_finite_contenders_endless() {
+        let cfg = MachineConfig::ngmp_ref();
+        let w = random_eembc_workload(&cfg, 7, 25);
+        assert_eq!(w.programs()[0].iterations().finite(), Some(25));
+        for p in &w.programs()[1..] {
+            assert!(p.iterations().finite().is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scua core out of range")]
+    fn bad_scua_panics() {
+        let _ = WorkloadSpec::new(vec![Program::empty()], CoreId::new(3));
+    }
+}

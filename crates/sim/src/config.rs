@@ -1,0 +1,535 @@
+//! Machine and component configuration.
+//!
+//! Two presets mirror the paper's evaluation setups (§5.1):
+//!
+//! * [`MachineConfig::ngmp_ref`] — the reference NGMP-like architecture:
+//!   4 cores, 16 KB 4-way IL1/DL1 with 1-cycle latency, a shared
+//!   round-robin bus whose L2-hit occupancy is 9 cycles (6-cycle L2 hit +
+//!   3-cycle transfer and arbitration handover), a way-partitioned 256 KB
+//!   4-way L2, and a DDR2-667-like memory behind an FCFS controller.
+//!   `ubd = (4 - 1) * 9 = 27` cycles.
+//! * [`MachineConfig::ngmp_var`] — identical except IL1/DL1 latency is
+//!   4 cycles, which raises the injection time of every bus-accessing
+//!   instruction from 1 to 4 cycles.
+//!
+//! [`MachineConfig::toy`] builds the small bus of the paper's Figures 2–3
+//! (`l_bus = 2`, `ubd = 6`) for didactic experiments and exact unit tests.
+
+use crate::bus::ArbiterKind;
+use crate::error::ConfigError;
+
+/// Cache replacement policy.
+///
+/// The paper's reference architecture uses LRU everywhere; FIFO is included
+/// because the rsk construction in §2 explicitly supports it, and random
+/// replacement is included as a stress case for the kernel generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// Evict the least recently used line.
+    #[default]
+    Lru,
+    /// Evict lines in insertion order.
+    Fifo,
+    /// Evict a pseudo-random line (xorshift over the access counter).
+    Random,
+}
+
+impl std::fmt::Display for Replacement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Replacement::Lru => write!(f, "LRU"),
+            Replacement::Fifo => write!(f, "FIFO"),
+            Replacement::Random => write!(f, "random"),
+        }
+    }
+}
+
+/// Geometry and latency of one cache (IL1, DL1, or one L2 partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a power of two.
+    pub size_bytes: u64,
+    /// Associativity. Must be non-zero and divide `size_bytes / line_bytes`.
+    pub ways: u32,
+    /// Line size in bytes. Must be a power of two.
+    pub line_bytes: u64,
+    /// Hit latency in cycles (also the time from instruction issue to the
+    /// miss request becoming ready at the bus).
+    pub latency: u64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// The paper's 16 KB, 4-way, 32-byte-line L1 with the given latency.
+    pub fn l1_ngmp(latency: u64) -> Self {
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 32,
+            latency,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * u64::from(self.ways))
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any size is zero or not a power of two,
+    /// or if the set count does not come out integral (and a power of two).
+    pub fn validate(&self, name: &'static str) -> Result<(), ConfigError> {
+        if self.size_bytes == 0 {
+            return Err(ConfigError::ZeroParameter { name: "size_bytes" });
+        }
+        if self.ways == 0 {
+            return Err(ConfigError::ZeroParameter { name: "ways" });
+        }
+        if self.line_bytes == 0 {
+            return Err(ConfigError::ZeroParameter { name: "line_bytes" });
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo { name: "line_bytes", value: self.line_bytes });
+        }
+        let denom = self.line_bytes * u64::from(self.ways);
+        if !self.size_bytes.is_multiple_of(denom) {
+            return Err(ConfigError::BadCacheGeometry {
+                detail: format!(
+                    "{name}: size {} is not a multiple of ways*line = {denom}",
+                    self.size_bytes
+                ),
+            });
+        }
+        let sets = self.size_bytes / denom;
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::BadCacheGeometry {
+                detail: format!("{name}: set count {sets} is not a power of two"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Shared-bus timing and arbitration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Bus occupancy of an L2 *hit*, in cycles. On the NGMP configuration
+    /// this is 9: a 6-cycle L2 hit plus 3 cycles of transfer and
+    /// arbitration handover (§5.2). This is the `l_bus` of Eq. 1.
+    pub l2_hit_occupancy: u64,
+    /// Bus occupancy of each phase (request, response) of a *split* L2-miss
+    /// transaction, in cycles.
+    pub transfer_occupancy: u64,
+    /// Bus occupancy of a write-through store, in cycles. Stores are
+    /// posted writes — "immediately answered" (§2) — so on the NGMP they
+    /// hold the bus only for the transfer, not the L2 round trip.
+    pub store_occupancy: u64,
+    /// Arbitration policy.
+    pub arbiter: ArbiterKind,
+}
+
+impl BusConfig {
+    /// Round-robin bus with the NGMP timing (`l_bus = 9`, posted stores
+    /// occupy 3 cycles).
+    pub fn ngmp() -> Self {
+        BusConfig {
+            l2_hit_occupancy: 9,
+            transfer_occupancy: 3,
+            store_occupancy: 3,
+            arbiter: ArbiterKind::RoundRobin,
+        }
+    }
+
+    /// Validates the bus timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroParameter`] if either occupancy is zero,
+    /// or [`ConfigError::TdmaSlotTooShort`] for an unusable TDMA schedule.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.l2_hit_occupancy == 0 {
+            return Err(ConfigError::ZeroParameter { name: "l2_hit_occupancy" });
+        }
+        if self.transfer_occupancy == 0 {
+            return Err(ConfigError::ZeroParameter { name: "transfer_occupancy" });
+        }
+        if self.store_occupancy == 0 {
+            return Err(ConfigError::ZeroParameter { name: "store_occupancy" });
+        }
+        if let ArbiterKind::Tdma { slot_cycles } = self.arbiter {
+            if slot_cycles < self.l2_hit_occupancy {
+                return Err(ConfigError::TdmaSlotTooShort {
+                    slot: slot_cycles,
+                    occupancy: self.l2_hit_occupancy,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Way-partitioned shared L2 configuration.
+///
+/// Each core receives `ways_per_core` ways of the shared cache, so cores
+/// never conflict in the L2 and contention arises only on the bus and the
+/// memory controller, as in the paper (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Config {
+    /// Total capacity in bytes across all partitions.
+    pub size_bytes: u64,
+    /// Total associativity across all partitions.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Replacement policy inside each partition.
+    pub replacement: Replacement,
+}
+
+impl L2Config {
+    /// The paper's 256 KB 4-way L2 with 32-byte lines.
+    pub fn ngmp() -> Self {
+        L2Config {
+            size_bytes: 256 * 1024,
+            ways: 4,
+            line_bytes: 32,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// The per-core partition as a standalone cache geometry.
+    ///
+    /// With one way per core the partition behaves as a direct-mapped cache
+    /// of `size_bytes / ways` bytes.
+    pub fn partition(&self, num_cores: usize) -> CacheConfig {
+        let ways_per_core = (self.ways as usize / num_cores).max(1) as u32;
+        CacheConfig {
+            size_bytes: self.size_bytes / u64::from(self.ways) * u64::from(ways_per_core),
+            ways: ways_per_core,
+            line_bytes: self.line_bytes,
+            // L2 hit latency is folded into the bus occupancy, per the
+            // paper's definition of l_bus; the partition itself adds none.
+            latency: 0,
+            replacement: self.replacement,
+        }
+    }
+
+    /// Validates the geometry for a machine with `num_cores` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for zero/non-power-of-two sizes or when
+    /// there are more cores than L2 ways to partition among them.
+    pub fn validate(&self, num_cores: usize) -> Result<(), ConfigError> {
+        if self.ways == 0 {
+            return Err(ConfigError::ZeroParameter { name: "l2.ways" });
+        }
+        if num_cores > self.ways as usize {
+            return Err(ConfigError::TooManyCores { requested: num_cores, max: self.ways as usize });
+        }
+        self.partition(num_cores).validate("l2.partition")
+    }
+}
+
+/// DDR2-like DRAM timing, in core cycles.
+///
+/// This stands in for the paper's DRAMsim2 + DDR2-667 configuration; see
+/// DESIGN.md for the substitution argument. Defaults approximate a
+/// one-rank, 4-bank DDR2-667 part driven by a 200 MHz core clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks.
+    pub banks: u32,
+    /// Row-buffer (page) size in bytes.
+    pub row_bytes: u64,
+    /// Activate-to-read delay (tRCD), core cycles.
+    pub t_rcd: u64,
+    /// Precharge delay (tRP), core cycles.
+    pub t_rp: u64,
+    /// CAS latency (tCL), core cycles.
+    pub t_cl: u64,
+    /// Data-burst occupancy per access, core cycles.
+    pub burst: u64,
+    /// Fixed controller overhead per request, core cycles.
+    pub controller_overhead: u64,
+}
+
+impl DramConfig {
+    /// DDR2-667-like timing at a 200 MHz core clock.
+    pub fn ddr2_667() -> Self {
+        DramConfig {
+            banks: 4,
+            row_bytes: 2048,
+            t_rcd: 4,
+            t_rp: 4,
+            t_cl: 4,
+            burst: 2,
+            controller_overhead: 2,
+        }
+    }
+
+    /// Validates the timing parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if banks, row size, or burst length is zero,
+    /// or the row size is not a power of two.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.banks == 0 {
+            return Err(ConfigError::ZeroParameter { name: "dram.banks" });
+        }
+        if self.row_bytes == 0 {
+            return Err(ConfigError::ZeroParameter { name: "dram.row_bytes" });
+        }
+        if !self.row_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo { name: "dram.row_bytes", value: self.row_bytes });
+        }
+        if self.burst == 0 {
+            return Err(ConfigError::ZeroParameter { name: "dram.burst" });
+        }
+        Ok(())
+    }
+}
+
+/// Store-buffer sizing (§5.3).
+///
+/// Write-through stores retire from the pipeline as soon as they enter the
+/// buffer; the buffer drains to the bus in FIFO order. Once full, the
+/// pipeline stalls and, crucially for the paper's store experiment, the
+/// buffered requests reach the bus with zero injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreBufferConfig {
+    /// Number of entries.
+    pub entries: usize,
+}
+
+impl StoreBufferConfig {
+    /// The default 8-entry buffer.
+    pub fn ngmp() -> Self {
+        StoreBufferConfig { entries: 8 }
+    }
+
+    /// Validates the sizing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroParameter`] for an empty buffer.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.entries == 0 {
+            return Err(ConfigError::ZeroParameter { name: "store_buffer.entries" });
+        }
+        Ok(())
+    }
+}
+
+/// Complete machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of cores (bus requesters).
+    pub num_cores: usize,
+    /// Private data cache.
+    pub dl1: CacheConfig,
+    /// Private instruction cache.
+    pub il1: CacheConfig,
+    /// Shared, partitioned L2.
+    pub l2: L2Config,
+    /// Shared bus.
+    pub bus: BusConfig,
+    /// Memory controller + DRAM.
+    pub dram: DramConfig,
+    /// Per-core store buffer.
+    pub store_buffer: StoreBufferConfig,
+    /// Latency of a `nop` instruction, cycles (δ_nop). Almost always 1.
+    pub nop_latency: u64,
+    /// Latency of loop-control (branch) instructions, cycles.
+    pub branch_latency: u64,
+    /// Cycle budget for [`Machine::run`]; guards against livelock.
+    ///
+    /// [`Machine::run`]: crate::Machine::run
+    pub max_cycles: u64,
+    /// Whether the PMC records every individual bus request (needed for
+    /// per-request histograms; costs memory on long runs).
+    pub record_requests: bool,
+    /// Whether to record a bus-event trace (used by timeline figures).
+    pub record_trace: bool,
+}
+
+impl MachineConfig {
+    /// The paper's reference architecture (§5.1): 1-cycle L1s, `ubd = 27`.
+    pub fn ngmp_ref() -> Self {
+        MachineConfig {
+            num_cores: 4,
+            dl1: CacheConfig::l1_ngmp(1),
+            il1: CacheConfig::l1_ngmp(1),
+            l2: L2Config::ngmp(),
+            bus: BusConfig::ngmp(),
+            dram: DramConfig::ddr2_667(),
+            store_buffer: StoreBufferConfig::ngmp(),
+            nop_latency: 1,
+            branch_latency: 1,
+            max_cycles: 200_000_000,
+            record_requests: true,
+            record_trace: false,
+        }
+    }
+
+    /// The paper's variant architecture (§5.1): 4-cycle L1s, so the
+    /// injection time of every bus-accessing instruction rises from 1 to 4.
+    pub fn ngmp_var() -> Self {
+        let mut cfg = Self::ngmp_ref();
+        cfg.dl1.latency = 4;
+        cfg.il1.latency = 4;
+        cfg
+    }
+
+    /// The toy bus of Figures 2–3: `num_cores` cores, a *uniform*
+    /// per-transaction occupancy of `l_bus` cycles (loads and stores
+    /// alike), and tiny caches, so `ubd = (num_cores-1)*l_bus`.
+    pub fn toy(num_cores: usize, l_bus: u64) -> Self {
+        let mut cfg = Self::ngmp_ref();
+        cfg.num_cores = num_cores;
+        cfg.bus.l2_hit_occupancy = l_bus;
+        cfg.bus.store_occupancy = l_bus;
+        cfg.bus.transfer_occupancy = l_bus;
+        cfg.l2.ways = num_cores.max(4) as u32;
+        cfg
+    }
+
+    /// The theoretical upper-bound delay of this configuration (Eq. 1):
+    /// `ubd = (Nc - 1) * l_bus`, with `l_bus` the *longest* transaction
+    /// any contender can hold the bus for (the L2-hit occupancy on the
+    /// NGMP, where stores and split-transaction phases are shorter).
+    ///
+    /// The whole point of the paper is that a COTS user *cannot* compute
+    /// this (the latencies are undocumented); the simulator exposes it so
+    /// experiments can compare measured estimates against the truth.
+    pub fn ubd(&self) -> u64 {
+        let worst = self
+            .bus
+            .l2_hit_occupancy
+            .max(self.bus.transfer_occupancy)
+            .max(self.bus.store_occupancy);
+        (self.num_cores as u64 - 1) * worst
+    }
+
+    /// Validates every component.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found in any component.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_cores == 0 {
+            return Err(ConfigError::ZeroParameter { name: "num_cores" });
+        }
+        if self.nop_latency == 0 {
+            return Err(ConfigError::ZeroParameter { name: "nop_latency" });
+        }
+        if self.max_cycles == 0 {
+            return Err(ConfigError::ZeroParameter { name: "max_cycles" });
+        }
+        self.dl1.validate("dl1")?;
+        self.il1.validate("il1")?;
+        self.l2.validate(self.num_cores)?;
+        self.bus.validate()?;
+        self.dram.validate()?;
+        self.store_buffer.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::ngmp_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ngmp_ref_matches_paper_numbers() {
+        let cfg = MachineConfig::ngmp_ref();
+        assert_eq!(cfg.num_cores, 4);
+        assert_eq!(cfg.bus.l2_hit_occupancy, 9);
+        assert_eq!(cfg.ubd(), 27);
+        assert_eq!(cfg.dl1.latency, 1);
+        assert_eq!(cfg.dl1.sets(), 128);
+        cfg.validate().expect("reference config must validate");
+    }
+
+    #[test]
+    fn ngmp_var_only_changes_l1_latency() {
+        let r = MachineConfig::ngmp_ref();
+        let v = MachineConfig::ngmp_var();
+        assert_eq!(v.dl1.latency, 4);
+        assert_eq!(v.il1.latency, 4);
+        assert_eq!(v.ubd(), r.ubd());
+        v.validate().expect("variant config must validate");
+    }
+
+    #[test]
+    fn toy_config_matches_figure_three() {
+        let cfg = MachineConfig::toy(4, 2);
+        assert_eq!(cfg.ubd(), 6);
+        cfg.validate().expect("toy config must validate");
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.num_cores = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroParameter { name: "num_cores" }));
+    }
+
+    #[test]
+    fn more_cores_than_l2_ways_rejected() {
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.num_cores = 8;
+        assert!(matches!(cfg.validate(), Err(ConfigError::TooManyCores { .. })));
+    }
+
+    #[test]
+    fn bad_line_size_rejected() {
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.dl1.line_bytes = 48;
+        assert!(matches!(cfg.validate(), Err(ConfigError::NotPowerOfTwo { .. })));
+    }
+
+    #[test]
+    fn l2_partition_is_direct_mapped_per_core() {
+        let l2 = L2Config::ngmp();
+        let part = l2.partition(4);
+        assert_eq!(part.ways, 1);
+        assert_eq!(part.size_bytes, 64 * 1024);
+        assert_eq!(part.sets(), 2048);
+    }
+
+    #[test]
+    fn tdma_slot_shorter_than_occupancy_rejected() {
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 4 };
+        assert!(matches!(cfg.validate(), Err(ConfigError::TdmaSlotTooShort { .. })));
+    }
+
+    #[test]
+    fn ubd_scales_with_core_count_and_latency() {
+        for nc in 2..=4usize {
+            for lbus in [2u64, 5, 9, 12] {
+                let cfg = MachineConfig::toy(nc, lbus);
+                assert_eq!(cfg.ubd(), (nc as u64 - 1) * lbus);
+            }
+        }
+    }
+
+    #[test]
+    fn dram_validation_rejects_zero_banks() {
+        let mut d = DramConfig::ddr2_667();
+        d.banks = 0;
+        assert!(d.validate().is_err());
+    }
+}

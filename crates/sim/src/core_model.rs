@@ -1,0 +1,447 @@
+//! The in-order core pipeline model.
+//!
+//! Each core executes its [`Program`] one instruction at a time:
+//!
+//! * `nop` / `alu` / `branch` burn their configured latency;
+//! * a load probes DL1 after `dl1.latency` cycles — on a hit the
+//!   instruction retires, on a miss the core posts a bus request and
+//!   stalls until the data returns (so the *injection time* between two
+//!   consecutive DL1-missing loads is exactly `dl1.latency`, matching the
+//!   paper's `δ_rsk` of 1 on the reference and 4 on the variant setup);
+//! * a store retires as soon as it enters the store buffer and only stalls
+//!   the pipeline when the buffer is full (§5.3);
+//! * instruction fetch goes through IL1; a fetch miss stalls the pipeline
+//!   through a bus transaction like a load miss. Kernels are unrolled to
+//!   fit IL1, as in the paper, so steady-state fetches always hit.
+//!
+//! The core is a single bus master: at most one of {demand load, fetch
+//! miss, refill, store drain} is posted at a time, with refills first,
+//! then demand misses, then store drains.
+
+use crate::bus::BusOpKind;
+use crate::cache::{Access, Cache};
+use crate::config::MachineConfig;
+use crate::instr::{Instr, Iterations, Program};
+use crate::store_buffer::StoreBuffer;
+use crate::types::{Addr, CoreId, Cycle};
+
+/// Base of the per-core instruction address region (64 MB apart so no two
+/// cores alias instruction lines in DRAM rows).
+const IFETCH_BASE: Addr = 0x8000_0000;
+/// Size of each core's instruction region.
+const IFETCH_STRIDE: Addr = 0x0400_0000;
+/// Bytes per instruction.
+const INSTR_BYTES: Addr = 4;
+
+/// What a core wants to post on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingPost {
+    /// Transaction kind ([`BusOpKind::Load`], [`BusOpKind::Ifetch`], or
+    /// [`BusOpKind::MissResponse`]; store drains are generated from the
+    /// store buffer directly).
+    pub kind: BusOpKind,
+    /// Target address.
+    pub addr: Addr,
+    /// Cycle at which the request is (or becomes) ready.
+    pub ready: Cycle,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Next instruction dispatches once `resume_at` is reached.
+    Idle { resume_at: Cycle },
+    /// Stalled on a demand-load bus transaction.
+    WaitLoad,
+    /// Stalled on an instruction-fetch bus transaction.
+    WaitIfetch,
+    /// Program complete.
+    Done,
+}
+
+/// The execution state of one core.
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    id: CoreId,
+    program: Program,
+    pc: usize,
+    iteration: u64,
+    state: State,
+    /// Demand request waiting for the bus slot (fetch/load miss, refill).
+    want_post: Option<PendingPost>,
+    /// Private data cache.
+    pub(crate) dl1: Cache,
+    /// Private instruction cache.
+    pub(crate) il1: Cache,
+    /// Store buffer.
+    pub(crate) store_buffer: StoreBuffer,
+    completed_at: Option<Cycle>,
+    instructions: u64,
+    dl1_lat: u64,
+    il1_lat: u64,
+    nop_lat: u64,
+    branch_lat: u64,
+    line_bytes: Addr,
+}
+
+impl CoreModel {
+    /// Builds an idle core with cold caches and an empty program.
+    pub fn new(id: CoreId, cfg: &MachineConfig) -> Self {
+        CoreModel {
+            id,
+            program: Program::empty(),
+            pc: 0,
+            iteration: 0,
+            state: State::Done,
+            want_post: None,
+            dl1: Cache::new(cfg.dl1),
+            il1: Cache::new(cfg.il1),
+            store_buffer: StoreBuffer::new(cfg.store_buffer.entries),
+            completed_at: Some(0),
+            instructions: 0,
+            dl1_lat: cfg.dl1.latency,
+            il1_lat: cfg.il1.latency,
+            nop_lat: cfg.nop_latency,
+            branch_lat: cfg.branch_latency,
+            line_bytes: cfg.dl1.line_bytes,
+        }
+    }
+
+    /// The core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Installs `program` and restarts execution from cycle `start`.
+    pub fn load_program(&mut self, program: Program, start: Cycle) {
+        let empty = match program.iterations() {
+            Iterations::Finite(n) => n == 0 || program.body().is_empty(),
+            Iterations::Infinite => program.body().is_empty(),
+        };
+        self.program = program;
+        self.pc = 0;
+        self.iteration = 0;
+        self.want_post = None;
+        if empty {
+            self.state = State::Done;
+            self.completed_at = Some(start);
+        } else {
+            self.state = State::Idle { resume_at: start };
+            self.completed_at = None;
+        }
+    }
+
+    /// Whether the core has retired its whole (finite) program.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    /// Completion cycle of a finished finite program.
+    pub fn completed_at(&self) -> Option<Cycle> {
+        self.completed_at
+    }
+
+    /// Retired instruction count.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The address of the instruction at `pc` in this core's fetch region.
+    fn pc_addr(&self) -> Addr {
+        IFETCH_BASE + IFETCH_STRIDE * self.id.index() as Addr + INSTR_BYTES * self.pc as Addr
+    }
+
+    fn line_of(&self, addr: Addr) -> Addr {
+        addr / self.line_bytes * self.line_bytes
+    }
+
+    /// Advances the program counter, wrapping at the body end and counting
+    /// iterations; transitions to `Done` when the last iteration retires.
+    fn advance_pc(&mut self, now: Cycle) {
+        self.instructions += 1;
+        self.pc += 1;
+        if self.pc == self.program.body().len() {
+            self.pc = 0;
+            self.iteration += 1;
+            if let Iterations::Finite(n) = self.program.iterations() {
+                if self.iteration >= n {
+                    self.state = State::Done;
+                    self.completed_at = Some(now);
+                }
+            }
+        }
+    }
+
+    /// The request this core wants the machine to post (if the bus slot is
+    /// free). Cleared by [`CoreModel::take_post`].
+    pub(crate) fn want_post(&self) -> Option<PendingPost> {
+        self.want_post
+    }
+
+    /// Consumes the pending post once the machine has placed it on the bus.
+    pub(crate) fn take_post(&mut self) -> Option<PendingPost> {
+        self.want_post.take()
+    }
+
+    /// Called when DRAM produced the line: the core asks to post the
+    /// refill (response phase) on the bus.
+    pub(crate) fn enqueue_refill(&mut self, addr: Addr, ready: Cycle) {
+        debug_assert!(self.want_post.is_none(), "refill while another post pending");
+        self.want_post = Some(PendingPost { kind: BusOpKind::MissResponse, addr, ready });
+    }
+
+    /// Called when the final data for the in-flight demand miss is back
+    /// (either an L2 hit completed, or the refill response completed).
+    /// Fills the relevant L1 and resumes the pipeline at `now`.
+    pub(crate) fn on_data_return(&mut self, addr: Addr, now: Cycle) {
+        match self.state {
+            State::WaitIfetch => {
+                self.il1.touch(addr);
+                // Fetch satisfied: dispatch the fetched instruction now.
+                self.state = State::Idle { resume_at: now };
+            }
+            State::WaitLoad => {
+                // The DL1 line was already allocated by the dispatch-time
+                // lookup; re-touching here would double-count a hit.
+                // The load retires as the data arrives.
+                self.advance_pc(now);
+                if !self.is_done() {
+                    self.state = State::Idle { resume_at: now };
+                }
+            }
+            s => unreachable!("data return in state {s:?}"),
+        }
+    }
+
+    /// Advances the pipeline at cycle `now`. Dispatches at most one
+    /// instruction (every instruction costs at least one cycle). Returns
+    /// the number of store-buffer stall cycles incurred this tick.
+    pub(crate) fn tick(&mut self, now: Cycle) -> u64 {
+        let State::Idle { resume_at } = self.state else {
+            return 0;
+        };
+        if resume_at > now || self.want_post.is_some() {
+            return 0;
+        }
+        // Instruction fetch.
+        let fetch_line = self.line_of(self.pc_addr());
+        if self.il1.probe(fetch_line) {
+            self.il1.touch(fetch_line);
+        } else {
+            self.state = State::WaitIfetch;
+            self.want_post = Some(PendingPost {
+                kind: BusOpKind::Ifetch,
+                addr: fetch_line,
+                ready: now + self.il1_lat,
+            });
+            return 0;
+        }
+        let instr = self.program.body()[self.pc];
+        match instr {
+            Instr::Nop => {
+                self.advance_pc(now + self.nop_lat);
+                if !self.is_done() {
+                    self.state = State::Idle { resume_at: now + self.nop_lat };
+                }
+            }
+            Instr::Alu { latency } => {
+                let done = now + latency.max(1);
+                self.advance_pc(done);
+                if !self.is_done() {
+                    self.state = State::Idle { resume_at: done };
+                }
+            }
+            Instr::Branch => {
+                self.advance_pc(now + self.branch_lat);
+                if !self.is_done() {
+                    self.state = State::Idle { resume_at: now + self.branch_lat };
+                }
+            }
+            Instr::Load(addr) => {
+                let line = self.line_of(addr);
+                if self.dl1.touch(line) == Access::Hit {
+                    let done = now + self.dl1_lat;
+                    self.advance_pc(done);
+                    if !self.is_done() {
+                        self.state = State::Idle { resume_at: done };
+                    }
+                } else {
+                    // Miss known after the DL1 lookup: request ready then.
+                    self.state = State::WaitLoad;
+                    self.want_post = Some(PendingPost {
+                        kind: BusOpKind::Load,
+                        addr: line,
+                        ready: now + self.dl1_lat,
+                    });
+                }
+            }
+            Instr::Store(addr) => {
+                let line = self.line_of(addr);
+                if self.store_buffer.try_push(line, now + self.dl1_lat) {
+                    // Write-through, write-no-allocate DL1: refresh on hit
+                    // only.
+                    if self.dl1.probe(line) {
+                        self.dl1.touch(line);
+                    }
+                    let done = now + self.dl1_lat;
+                    self.advance_pc(done);
+                    if !self.is_done() {
+                        self.state = State::Idle { resume_at: done };
+                    }
+                } else {
+                    // Full buffer: stall one cycle and retry.
+                    self.state = State::Idle { resume_at: now + 1 };
+                    return 1;
+                }
+            }
+        }
+        0
+    }
+
+    /// Whether the pipeline is stalled waiting for a bus transaction.
+    pub fn is_waiting_for_bus(&self) -> bool {
+        matches!(self.state, State::WaitLoad | State::WaitIfetch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn core(cfg: &MachineConfig) -> CoreModel {
+        CoreModel::new(CoreId::new(0), cfg)
+    }
+
+    #[test]
+    fn empty_program_is_done_immediately() {
+        let cfg = MachineConfig::ngmp_ref();
+        let mut c = core(&cfg);
+        c.load_program(Program::empty(), 5);
+        assert!(c.is_done());
+        assert_eq!(c.completed_at(), Some(5));
+    }
+
+    #[test]
+    fn nop_program_takes_nop_latency_each() {
+        let cfg = MachineConfig::ngmp_ref();
+        let mut c = core(&cfg);
+        c.load_program(Program::from_body(vec![Instr::Nop; 3], 2), 0);
+        let mut now = 0;
+        // First tick triggers an ifetch miss; resolve it by hand.
+        c.tick(now);
+        let post = c.take_post().expect("cold IL1 misses");
+        assert_eq!(post.kind, BusOpKind::Ifetch);
+        c.on_data_return(post.addr, 10);
+        now = 10;
+        while !c.is_done() && now < 100 {
+            c.tick(now);
+            if let Some(p) = c.take_post() {
+                // All 6 nops fit one IL1 line; no more fetch misses.
+                panic!("unexpected post {p:?}");
+            }
+            now += 1;
+        }
+        // 6 nops at 1 cycle each, starting at cycle 10.
+        assert_eq!(c.completed_at(), Some(16));
+        assert_eq!(c.instructions(), 6);
+    }
+
+    #[test]
+    fn load_miss_posts_after_dl1_latency() {
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.dl1.latency = 4; // variant architecture
+        let mut c = core(&cfg);
+        c.load_program(Program::from_body(vec![Instr::load(0x8000)], 1), 0);
+        // Warm the IL1 first.
+        c.tick(0);
+        let f = c.take_post().expect("ifetch miss");
+        c.on_data_return(f.addr, 20);
+        c.tick(20);
+        let p = c.take_post().expect("DL1 miss must request the bus");
+        assert_eq!(p.kind, BusOpKind::Load);
+        assert_eq!(p.ready, 24, "ready = dispatch + dl1 latency (4)");
+        assert!(c.is_waiting_for_bus());
+        c.on_data_return(p.addr, 40);
+        assert!(c.is_done());
+        assert_eq!(c.completed_at(), Some(40));
+    }
+
+    #[test]
+    fn second_load_to_same_line_hits_dl1() {
+        let cfg = MachineConfig::ngmp_ref();
+        let mut c = core(&cfg);
+        c.load_program(Program::from_body(vec![Instr::load(0x8000), Instr::load(0x8008)], 1), 0);
+        c.tick(0);
+        let f = c.take_post().expect("ifetch");
+        c.on_data_return(f.addr, 10);
+        c.tick(10);
+        let p = c.take_post().expect("first load misses");
+        c.on_data_return(p.addr, 30);
+        // Second load: same 32-byte line, must hit and retire in 1 cycle.
+        c.tick(30);
+        assert!(c.take_post().is_none());
+        assert!(c.is_done());
+        assert_eq!(c.completed_at(), Some(31));
+    }
+
+    #[test]
+    fn store_retires_into_buffer_without_stalling() {
+        let cfg = MachineConfig::ngmp_ref();
+        let mut c = core(&cfg);
+        c.load_program(Program::from_body(vec![Instr::store(0x9000); 3], 1), 0);
+        c.tick(0);
+        let f = c.take_post().expect("ifetch");
+        c.on_data_return(f.addr, 10);
+        for now in 10..13 {
+            let stalls = c.tick(now);
+            assert_eq!(stalls, 0);
+            assert!(c.take_post().is_none(), "stores do not post demand requests");
+        }
+        assert!(c.is_done());
+        assert_eq!(c.completed_at(), Some(13), "one cycle per buffered store");
+        assert_eq!(c.store_buffer.len(), 3);
+    }
+
+    #[test]
+    fn full_store_buffer_stalls_pipeline() {
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.store_buffer.entries = 2;
+        let mut c = core(&cfg);
+        c.load_program(Program::from_body(vec![Instr::store(0x9000); 3], 1), 0);
+        c.tick(0);
+        let f = c.take_post().expect("ifetch");
+        c.on_data_return(f.addr, 10);
+        c.tick(10);
+        c.tick(11);
+        assert!(c.store_buffer.is_full());
+        // Third store cannot enter; stalls accumulate until a drain.
+        assert_eq!(c.tick(12), 1);
+        assert_eq!(c.tick(13), 1);
+        c.store_buffer.complete_head(14);
+        assert_eq!(c.tick(14), 0);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn infinite_program_never_completes() {
+        let cfg = MachineConfig::ngmp_ref();
+        let mut c = core(&cfg);
+        c.load_program(Program::endless(vec![Instr::Nop]), 0);
+        c.tick(0);
+        let f = c.take_post().expect("ifetch");
+        c.on_data_return(f.addr, 5);
+        for now in 5..200 {
+            c.tick(now);
+        }
+        assert!(!c.is_done());
+        assert!(c.instructions() > 100);
+    }
+
+    #[test]
+    fn pc_addresses_are_per_core_disjoint() {
+        let cfg = MachineConfig::ngmp_ref();
+        let a = CoreModel::new(CoreId::new(0), &cfg);
+        let b = CoreModel::new(CoreId::new(1), &cfg);
+        assert_ne!(a.pc_addr(), b.pc_addr());
+    }
+}

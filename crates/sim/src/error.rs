@@ -1,0 +1,147 @@
+//! Error types for simulator construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid machine or component configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A parameter that must be non-zero was zero.
+    ZeroParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A size that must be a power of two was not.
+    NotPowerOfTwo {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// Cache geometry is inconsistent (e.g. `size < ways * line`).
+    BadCacheGeometry {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// The number of cores exceeds what a component supports.
+    TooManyCores {
+        /// Requested number of cores.
+        requested: usize,
+        /// Maximum supported by the component.
+        max: usize,
+    },
+    /// TDMA slot length is too short to fit a single bus transaction.
+    TdmaSlotTooShort {
+        /// Configured slot length in cycles.
+        slot: u64,
+        /// Longest bus occupancy in cycles.
+        occupancy: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroParameter { name } => {
+                write!(f, "configuration parameter `{name}` must be non-zero")
+            }
+            ConfigError::NotPowerOfTwo { name, value } => {
+                write!(f, "configuration parameter `{name}` must be a power of two, got {value}")
+            }
+            ConfigError::BadCacheGeometry { detail } => {
+                write!(f, "invalid cache geometry: {detail}")
+            }
+            ConfigError::TooManyCores { requested, max } => {
+                write!(f, "requested {requested} cores but at most {max} are supported")
+            }
+            ConfigError::TdmaSlotTooShort { slot, occupancy } => {
+                write!(
+                    f,
+                    "TDMA slot of {slot} cycles cannot fit a bus transaction of {occupancy} cycles"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// An error raised while constructing or running a [`Machine`].
+///
+/// [`Machine`]: crate::Machine
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The machine configuration was rejected.
+    Config(ConfigError),
+    /// The run exceeded the configured cycle budget before all finite
+    /// programs completed; likely livelock or an undersized budget.
+    CycleBudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+        /// Cores that had not completed.
+        incomplete: Vec<usize>,
+    },
+    /// A program was loaded onto a core index outside the machine.
+    NoSuchCore {
+        /// The rejected index.
+        core: usize,
+        /// Number of cores in the machine.
+        num_cores: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::CycleBudgetExhausted { budget, incomplete } => write!(
+                f,
+                "cycle budget of {budget} exhausted with cores {incomplete:?} incomplete"
+            ),
+            SimError::NoSuchCore { core, num_cores } => {
+                write!(f, "core index {core} out of range for machine with {num_cores} cores")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ConfigError::ZeroParameter { name: "ways" };
+        assert_eq!(e.to_string(), "configuration parameter `ways` must be non-zero");
+        let e = SimError::NoSuchCore { core: 5, num_cores: 4 };
+        assert!(e.to_string().contains("core index 5"));
+    }
+
+    #[test]
+    fn sim_error_sources_config_error() {
+        let e = SimError::from(ConfigError::ZeroParameter { name: "x" });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,80 @@
+//! # rrb-sim — cycle-accurate round-robin-bus multicore simulator
+//!
+//! This crate implements the hardware substrate used by the DAC 2015 paper
+//! *"Increasing Confidence on Measurement-Based Contention Bounds for
+//! Real-Time Round-Robin Buses"* (Fernandez et al.): a model of the 4-core
+//! Cobham Gaisler NGMP (LEON4) in which each core owns private IL1/DL1
+//! caches and reaches a partitioned L2 cache and an on-chip memory
+//! controller through a shared, round-robin arbitrated bus.
+//!
+//! The simulator is *timing-first*: its purpose is to reproduce, cycle by
+//! cycle, the contention algebra the paper studies — in particular the
+//! **synchrony effect** of heavily loaded round-robin buses and the
+//! saw-tooth relation between request *injection time* and per-request
+//! contention delay. Functional data values are not modelled; addresses
+//! are, because cache hit/miss behaviour drives the timing.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  core 0      core 1      core 2      core 3        (in-order, 1 req
+//!  IL1/DL1/SB  IL1/DL1/SB  IL1/DL1/SB  IL1/DL1/SB     outstanding each)
+//!     |           |           |           |
+//!     +-----------+-----+-----+-----------+
+//!                       |  shared bus (RR / TDMA / FP / FIFO arbiter)
+//!               +-------+--------+
+//!               |  L2 (way-partitioned per core)
+//!               |  memory controller + DDR2-like DRAM
+//! ```
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rrb_sim::{Machine, MachineConfig, Program, Instr, CoreId};
+//!
+//! # fn main() -> Result<(), rrb_sim::SimError> {
+//! let mut machine = Machine::new(MachineConfig::ngmp_ref())?;
+//! // A two-instruction program on core 0: one load and one nop.
+//! let prog = Program::from_body(vec![Instr::load(0x1000), Instr::Nop], 100);
+//! machine.load_program(CoreId::new(0), prog);
+//! let summary = machine.run()?;
+//! assert!(summary.core(CoreId::new(0)).completed());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The companion crates build on this substrate: [`rrb-kernels`] generates
+//! resource-stressing kernels, [`rrb-analysis`] provides the γ(δ) model and
+//! saw-tooth period detection, and [`rrb`] implements the paper's
+//! measurement-based methodology end to end.
+//!
+//! [`rrb-kernels`]: https://example.invalid/rrb
+//! [`rrb-analysis`]: https://example.invalid/rrb
+//! [`rrb`]: https://example.invalid/rrb
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cache;
+pub mod config;
+pub mod core_model;
+pub mod dram;
+mod error;
+pub mod instr;
+pub mod l2;
+pub mod machine;
+pub mod pmc;
+pub mod store_buffer;
+pub mod trace;
+mod types;
+
+pub use bus::{Arbiter, ArbiterKind, Bus, BusOpKind, FifoArbiter, FixedPriorityArbiter, GroupedRoundRobinArbiter, RoundRobinArbiter, TdmaArbiter};
+pub use cache::{Cache, CacheStats, Replacement};
+pub use config::{BusConfig, CacheConfig, DramConfig, L2Config, MachineConfig, StoreBufferConfig};
+pub use error::{ConfigError, SimError};
+pub use instr::{Instr, Iterations, Program, ProgramBuilder};
+pub use machine::{CoreSummary, Machine, RunSummary};
+pub use pmc::{Pmc, RequestRecord};
+pub use trace::{Trace, TraceEvent};
+pub use types::{Addr, CoreId, Cycle};

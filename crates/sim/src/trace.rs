@@ -1,0 +1,205 @@
+//! Bus-event tracing for timeline figures.
+//!
+//! When enabled, the machine records every request-ready, grant, and
+//! completion event. The Fig. 5 regenerator renders these as an ASCII
+//! Gantt chart equivalent to the paper's timing diagrams.
+
+use crate::bus::BusOpKind;
+use crate::types::{CoreId, Cycle};
+
+/// One traced bus event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A core's request became ready at the bus.
+    Ready {
+        /// Requesting core.
+        core: CoreId,
+        /// Cycle of readiness.
+        cycle: Cycle,
+        /// Transaction kind.
+        kind: BusOpKind,
+    },
+    /// The bus granted a request.
+    Grant {
+        /// Granted core.
+        core: CoreId,
+        /// Grant cycle.
+        cycle: Cycle,
+        /// Contention suffered (γ).
+        gamma: u64,
+        /// Occupancy in cycles.
+        occupancy: u64,
+        /// Transaction kind.
+        kind: BusOpKind,
+    },
+    /// A transaction left the bus.
+    Complete {
+        /// Owning core.
+        core: CoreId,
+        /// Completion cycle.
+        cycle: Cycle,
+        /// Transaction kind.
+        kind: BusOpKind,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle this event occurred.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            TraceEvent::Ready { cycle, .. }
+            | TraceEvent::Grant { cycle, .. }
+            | TraceEvent::Complete { cycle, .. } => cycle,
+        }
+    }
+
+    /// The core this event belongs to.
+    pub fn core(&self) -> CoreId {
+        match *self {
+            TraceEvent::Ready { core, .. }
+            | TraceEvent::Grant { core, .. }
+            | TraceEvent::Complete { core, .. } => core,
+        }
+    }
+}
+
+/// An append-only event log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records events only when `enabled`.
+    pub fn new(enabled: bool) -> Self {
+        Trace { events: Vec::new(), enabled }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event (no-op when disabled).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events, in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Renders an ASCII Gantt chart of bus occupancy over
+    /// `[from, to)`, one row per core — the shape of the paper's
+    /// Figures 2 and 5. `#` marks occupied cycles, `.` marks cycles where
+    /// the core had a ready-but-waiting request, and spaces are idle.
+    pub fn gantt(&self, num_cores: usize, from: Cycle, to: Cycle) -> String {
+        let width = (to - from) as usize;
+        let mut rows = vec![vec![b' '; width]; num_cores];
+        // Mark waiting periods first so grants can overwrite them.
+        let mut ready_at: Vec<Option<Cycle>> = vec![None; num_cores];
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Ready { core, cycle, .. } => {
+                    ready_at[core.index()] = Some(cycle);
+                }
+                TraceEvent::Grant { core, cycle, occupancy, .. } => {
+                    if let Some(r) = ready_at[core.index()].take() {
+                        for t in r..cycle {
+                            if t >= from && t < to {
+                                rows[core.index()][(t - from) as usize] = b'.';
+                            }
+                        }
+                    }
+                    for t in cycle..cycle + occupancy {
+                        if t >= from && t < to {
+                            rows[core.index()][(t - from) as usize] = b'#';
+                        }
+                    }
+                }
+                TraceEvent::Complete { .. } => {}
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!("c{i} |"));
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(false);
+        t.push(TraceEvent::Ready { core: CoreId::new(0), cycle: 1, kind: BusOpKind::Load });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_keeps_order() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Ready { core: CoreId::new(0), cycle: 1, kind: BusOpKind::Load });
+        t.push(TraceEvent::Grant {
+            core: CoreId::new(0),
+            cycle: 3,
+            gamma: 2,
+            occupancy: 2,
+            kind: BusOpKind::Load,
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].cycle(), 1);
+        assert_eq!(t.events()[1].core(), CoreId::new(0));
+    }
+
+    #[test]
+    fn gantt_draws_wait_and_occupancy() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Ready { core: CoreId::new(0), cycle: 0, kind: BusOpKind::Load });
+        t.push(TraceEvent::Grant {
+            core: CoreId::new(0),
+            cycle: 2,
+            gamma: 2,
+            occupancy: 3,
+            kind: BusOpKind::Load,
+        });
+        let g = t.gantt(1, 0, 6);
+        assert_eq!(g, "c0 |..### |\n");
+    }
+
+    #[test]
+    fn gantt_clips_to_window() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Grant {
+            core: CoreId::new(0),
+            cycle: 0,
+            gamma: 0,
+            occupancy: 10,
+            kind: BusOpKind::Load,
+        });
+        let g = t.gantt(1, 2, 5);
+        assert_eq!(g, "c0 |###|\n");
+    }
+
+    #[test]
+    fn clear_empties_log() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Complete { core: CoreId::new(1), cycle: 9, kind: BusOpKind::Store });
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! The paper's headline experiment (§5.3): derive `ubd` on the NGMP-like
+//! reference and variant architectures and compare against the naive
+//! estimators that prior practice used.
+//!
+//! ```sh
+//! cargo run --release --example derive_ubd_cots
+//! ```
+//!
+//! Expected outcome (matching the paper):
+//!
+//! * naive rsk-vs-rsk reads 26 on `ref` and 23 on `var` — both unsound;
+//! * the rsk-nop methodology reads 27 on both — exact, and identical
+//!   across the two setups even though their injection times differ.
+
+use rrb::methodology::{derive_ubd, MethodologyConfig};
+use rrb::naive::naive_rsk_vs_rsk;
+use rrb::report;
+use rrb_kernels::AccessKind;
+use rrb_sim::MachineConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (name, cfg) in [
+        ("ref (DL1 latency 1, delta_rsk = 1)", MachineConfig::ngmp_ref()),
+        ("var (DL1 latency 4, delta_rsk = 4)", MachineConfig::ngmp_var()),
+    ] {
+        println!("=== architecture: {name} ===\n");
+
+        let naive = naive_rsk_vs_rsk(&cfg, AccessKind::Load, 500)?;
+        let mut mcfg = MethodologyConfig::paper();
+        mcfg.iterations = 300; // enough for a clean tooth, quick to run
+        let derivation = derive_ubd(&cfg, &mcfg)?;
+
+        println!("{}", report::render_comparison(&naive, &derivation, cfg.ubd()));
+        println!("audit trail:");
+        println!("{}", report::render_derivation(&derivation));
+    }
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Cross-crate validation of the synchrony effect (§3) and the γ(δ)
+//! algebra (Eq. 2): the cycle-accurate machine must reproduce the
+//! analytic model point by point.
+
+use rrb_analysis::gamma::GammaModel;
+use rrb_analysis::Histogram;
+use rrb_kernels::{rsk, rsk_nop, AccessKind};
+use rrb_sim::{CoreId, Machine, MachineConfig, Program};
+
+fn gamma_histogram_of(cfg: &MachineConfig, scua: Program) -> Histogram {
+    let mut m = Machine::new(cfg.clone()).expect("config");
+    m.load_program(CoreId::new(0), scua);
+    for i in 1..cfg.num_cores {
+        m.load_program(CoreId::new(i), rsk(AccessKind::Load, cfg, CoreId::new(i)));
+    }
+    m.run().expect("run");
+    let pmc = m.pmc().core(CoreId::new(0));
+    Histogram::from_bins(pmc.gamma_histogram.iter().map(|(&g, &n)| (g, n)))
+}
+
+#[test]
+fn machine_gamma_matches_eq2_across_k_on_toy_bus() {
+    // On the toy bus (ubd = 6, δ_rsk = 1) the dominant per-request γ for
+    // rsk-nop(load, k) must equal γ(1 + k) of Eq. 2, for every k over
+    // two periods.
+    let cfg = MachineConfig::toy(4, 2);
+    let model = GammaModel::new(cfg.ubd());
+    for k in 0..=13usize {
+        let h = gamma_histogram_of(&cfg, rsk_nop(AccessKind::Load, k, &cfg, CoreId::new(0), 300));
+        let expected = model.gamma(1 + k as u64);
+        assert_eq!(
+            h.mode(),
+            Some(expected),
+            "k = {k}: histogram {:?}",
+            h.iter().collect::<Vec<_>>()
+        );
+        assert!(h.fraction(expected) > 0.9, "k = {k}: synchrony must dominate");
+    }
+}
+
+#[test]
+fn machine_gamma_matches_eq2_on_ngmp_at_salient_points() {
+    // Spot-check the 27-cycle bus at the tooth's edges: the peak
+    // (δ ≡ 1 mod 27), the zero (δ ≡ 0), and one interior point.
+    let cfg = MachineConfig::ngmp_ref();
+    let model = GammaModel::new(27);
+    for k in [0usize, 12, 26, 27, 53] {
+        let h = gamma_histogram_of(&cfg, rsk_nop(AccessKind::Load, k, &cfg, CoreId::new(0), 200));
+        let expected = model.gamma(1 + k as u64);
+        assert_eq!(h.mode(), Some(expected), "k = {k}");
+    }
+}
+
+#[test]
+fn variant_architecture_shifts_the_tooth_by_three() {
+    // δ_rsk = 4 on var: mode γ for k nops equals γ(4 + k).
+    let cfg = MachineConfig::ngmp_var();
+    let model = GammaModel::new(27);
+    for k in [0usize, 5, 23, 24] {
+        let h = gamma_histogram_of(&cfg, rsk_nop(AccessKind::Load, k, &cfg, CoreId::new(0), 200));
+        assert_eq!(h.mode(), Some(model.gamma(4 + k as u64)), "k = {k}");
+    }
+}
+
+#[test]
+fn synchrony_mode_covers_98_percent_of_requests() {
+    // §5.2: "most of the requests, 98% of them, have the same contention
+    // delay".
+    let cfg = MachineConfig::ngmp_ref();
+    let h = gamma_histogram_of(&cfg, rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 2000));
+    let mode = h.mode().expect("requests observed");
+    assert_eq!(mode, 26);
+    assert!(
+        h.fraction(mode) >= 0.98,
+        "mode fraction {:.3} below the paper's 98%",
+        h.fraction(mode)
+    );
+}
+
+#[test]
+fn gamma_never_exceeds_eq1_bound() {
+    // Eq. 1 is an upper bound for *every* request of *any* program.
+    let cfg = MachineConfig::ngmp_ref();
+    for k in [0usize, 3, 9] {
+        let h = gamma_histogram_of(&cfg, rsk_nop(AccessKind::Load, k, &cfg, CoreId::new(0), 300));
+        assert!(h.max().expect("non-empty") <= cfg.ubd(), "k = {k}");
+    }
+    // Stores too (they reach exactly ubd, never beyond).
+    let h = gamma_histogram_of(&cfg, rsk_nop(AccessKind::Store, 0, &cfg, CoreId::new(0), 300));
+    assert_eq!(h.max().expect("non-empty"), cfg.ubd());
+}
+
+#[test]
+fn store_requests_reach_full_ubd_under_saturation() {
+    // §5.3: buffered stores inject with δ = 0 and suffer the full ubd.
+    let cfg = MachineConfig::ngmp_ref();
+    let h = gamma_histogram_of(&cfg, rsk_nop(AccessKind::Store, 0, &cfg, CoreId::new(0), 500));
+    assert_eq!(h.mode(), Some(27));
+}
+
+#[test]
+fn isolated_scua_suffers_no_contention() {
+    let cfg = MachineConfig::ngmp_ref();
+    let mut m = Machine::new(cfg.clone()).expect("config");
+    m.load_program(
+        CoreId::new(0),
+        rsk_nop(AccessKind::Load, 2, &cfg, CoreId::new(0), 200),
+    );
+    m.run().expect("run");
+    assert_eq!(m.pmc().core(CoreId::new(0)).max_gamma(), Some(0));
+}

@@ -1,0 +1,103 @@
+//! Cross-crate validation of the workload experiments behind Fig. 6(a):
+//! realistic (EEMBC-profile) workloads rarely contend, saturating rsk
+//! workloads almost always do.
+
+use rrb_analysis::Histogram;
+use rrb_kernels::{random_eembc_workload, rsk, AccessKind};
+use rrb_sim::{CoreId, Machine, MachineConfig};
+
+fn contender_histogram_eembc(seed: u64) -> Histogram {
+    let cfg = MachineConfig::ngmp_ref();
+    let w = random_eembc_workload(&cfg, seed, 150);
+    let scua = w.scua;
+    let mut m = w.into_machine(&cfg).expect("machine");
+    m.run().expect("run");
+    Histogram::from_bins(
+        m.pmc()
+            .core(scua)
+            .contender_histogram
+            .iter()
+            .map(|(&c, &n)| (u64::from(c), n)),
+    )
+}
+
+#[test]
+fn eembc_workloads_mostly_find_an_idle_bus() {
+    // Fig. 6(a), dark bars: "the EEMBC in core c0 finds the bus empty or
+    // with one contender most of the times".
+    for seed in 0..8u64 {
+        let h = contender_histogram_eembc(seed);
+        let low = h.count(0) + h.count(1);
+        assert!(
+            low as f64 / h.total() as f64 > 0.5,
+            "seed {seed}: 0-or-1 contenders fraction {:.3} too low ({:?})",
+            low as f64 / h.total() as f64,
+            h.iter().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn eembc_workloads_rarely_meet_full_contention() {
+    // The complementary claim: the all-contenders bin is rare, which is
+    // why measuring ubd with real workloads is hopeless.
+    for seed in 0..8u64 {
+        let h = contender_histogram_eembc(seed);
+        assert!(
+            h.fraction(3) < 0.2,
+            "seed {seed}: full-contention fraction {:.3} unexpectedly high",
+            h.fraction(3)
+        );
+    }
+}
+
+#[test]
+fn rsk_workload_almost_always_meets_all_contenders() {
+    // Fig. 6(a), light bars: with 4 rsk "on almost every arbitration
+    // round the number of contenders is Nc".
+    let cfg = MachineConfig::ngmp_ref();
+    let mut m = Machine::new(cfg.clone()).expect("machine");
+    m.load_program(
+        CoreId::new(0),
+        rrb_kernels::rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 1000),
+    );
+    for i in 1..4 {
+        m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));
+    }
+    m.run().expect("run");
+    let h = Histogram::from_bins(
+        m.pmc()
+            .core(CoreId::new(0))
+            .contender_histogram
+            .iter()
+            .map(|(&c, &n)| (u64::from(c), n)),
+    );
+    assert!(h.fraction(3) > 0.95, "histogram: {:?}", h.iter().collect::<Vec<_>>());
+}
+
+#[test]
+fn random_workloads_cover_distinct_kernel_mixes() {
+    let cfg = MachineConfig::ngmp_ref();
+    let mut distinct = std::collections::HashSet::new();
+    for seed in 0..8u64 {
+        let w = random_eembc_workload(&cfg, seed, 10);
+        // Fingerprint the workload by its programs' first loads.
+        let fp: Vec<usize> = w.programs().iter().map(|p| p.body().len()).collect();
+        distinct.insert(format!("{fp:?}-{seed}"));
+    }
+    assert_eq!(distinct.len(), 8);
+}
+
+#[test]
+fn eembc_scua_completes_under_contention() {
+    // Liveness: every random workload's scua finishes (no starvation
+    // under RR, which is the arbiter's fairness guarantee).
+    let cfg = MachineConfig::ngmp_ref();
+    for seed in [3u64, 5] {
+        let w = random_eembc_workload(&cfg, seed, 100);
+        let scua = w.scua;
+        let mut m = w.into_machine(&cfg).expect("machine");
+        let s = m.run().expect("run");
+        assert!(s.core(scua).completed(), "seed {seed}");
+    }
+}

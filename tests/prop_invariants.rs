@@ -1,0 +1,187 @@
+//! Property-based tests over the reproduction's core invariants.
+//!
+//! Where the integration tests check the paper's specific numbers, these
+//! check the *algebra* for arbitrary parameters: Eq. 1/Eq. 2 identities,
+//! period-detection round trips, histogram laws, and machine-level
+//! bounds on randomly generated programs.
+
+use proptest::prelude::*;
+use rrb_analysis::gamma::{ubd_from_parameters, GammaModel};
+use rrb_analysis::sawtooth::{detect_period, exact_period, ubd_candidates};
+use rrb_analysis::{EtbPadding, Histogram};
+use rrb_kernels::{rsk, RskBuilder};
+use rrb_sim::{CoreId, Instr, Machine, MachineConfig, Program};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    // ---------- Eq. 2 algebra ----------
+
+    /// γ(δ) is bounded by ubd and hits ubd only at δ = 0.
+    #[test]
+    fn gamma_bounded_by_ubd(ubd in 1u64..200, delta in 0u64..2000) {
+        let g = GammaModel::new(ubd).gamma(delta);
+        prop_assert!(g <= ubd);
+        if delta > 0 { prop_assert!(g < ubd); }
+    }
+
+    /// γ is periodic with period ubd for δ > 0.
+    #[test]
+    fn gamma_periodicity(ubd in 1u64..200, delta in 1u64..1000) {
+        let m = GammaModel::new(ubd);
+        prop_assert_eq!(m.gamma(delta), m.gamma(delta + ubd));
+    }
+
+    /// γ(δ) + (δ mod ubd) ≡ 0 (mod ubd): waiting plus offset closes the
+    /// round-robin window.
+    #[test]
+    fn gamma_plus_offset_is_window(ubd in 1u64..200, delta in 1u64..1000) {
+        let g = GammaModel::new(ubd).gamma(delta);
+        prop_assert_eq!((g + delta % ubd) % ubd, 0);
+    }
+
+    /// Eq. 1 is monotone in both parameters.
+    #[test]
+    fn ubd_monotone(nc in 1u64..16, lbus in 1u64..64) {
+        prop_assert!(ubd_from_parameters(nc + 1, lbus) >= ubd_from_parameters(nc, lbus));
+        prop_assert!(ubd_from_parameters(nc, lbus + 1) >= ubd_from_parameters(nc, lbus));
+    }
+
+    // ---------- Saw-tooth detection ----------
+
+    /// Detection round-trips synthesis: an Eq. 2 sweep with δ_nop = 1 over
+    /// ≥ 2 periods always yields exactly ubd.
+    #[test]
+    fn period_detection_round_trip(ubd in 2u64..80, delta0 in 1u64..80, extra in 0usize..40) {
+        let len = (2 * ubd) as usize + 2 + extra;
+        let series = GammaModel::new(ubd).sweep(delta0, 1, len);
+        prop_assert_eq!(exact_period(&series), Some(ubd));
+    }
+
+    /// Detection is scale-invariant (slowdown = per-request γ × requests).
+    #[test]
+    fn period_detection_scale_invariant(ubd in 2u64..60, requests in 1u64..100_000) {
+        let len = (2 * ubd + 4) as usize;
+        let series: Vec<u64> = GammaModel::new(ubd)
+            .sweep(1, 1, len)
+            .into_iter()
+            .map(|g| g * requests)
+            .collect();
+        let est = detect_period(&series, 0).expect("periodic series");
+        prop_assert_eq!(est.period, ubd);
+    }
+
+    /// The sampled-sweep candidate set always contains the true ubd.
+    #[test]
+    fn candidates_contain_truth(ubd in 4u64..60, q in 1u64..6) {
+        let len = (3 * ubd) as usize;
+        let series = GammaModel::new(ubd).sweep(1, q, len);
+        if let Some(p) = exact_period(&series) {
+            let cands = ubd_candidates(p, q);
+            prop_assert!(cands.contains(&ubd), "p={} q={} cands={:?}", p, q, cands);
+        }
+    }
+
+    // ---------- Histogram laws ----------
+
+    #[test]
+    fn histogram_total_equals_input_len(values in prop::collection::vec(0u64..50, 0..200)) {
+        let h: Histogram = values.iter().copied().collect();
+        prop_assert_eq!(h.total(), values.len() as u64);
+        if let Some(max) = values.iter().max() {
+            prop_assert_eq!(h.max(), Some(*max));
+        }
+        // Quantiles are monotone.
+        if !values.is_empty() {
+            prop_assert!(h.quantile(0.25) <= h.quantile(0.75));
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_additive(a in prop::collection::vec(0u64..20, 0..50),
+                                   b in prop::collection::vec(0u64..20, 0..50)) {
+        let ha: Histogram = a.iter().copied().collect();
+        let hb: Histogram = b.iter().copied().collect();
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.total(), ha.total() + hb.total());
+        for v in 0..20u64 {
+            prop_assert_eq!(merged.count(v), ha.count(v) + hb.count(v));
+        }
+    }
+
+    // ---------- ETB algebra ----------
+
+    #[test]
+    fn etb_padding_laws(nr in 0u64..1_000_000, ubd_m in 0u64..1_000, truth in 0u64..1_000) {
+        let p = EtbPadding::new(nr, ubd_m);
+        prop_assert_eq!(p.pad(), nr * ubd_m);
+        // Shortfall is zero iff the estimate covers the truth (or nr = 0).
+        if ubd_m >= truth || nr == 0 {
+            prop_assert_eq!(p.shortfall_against(truth), 0);
+        } else {
+            prop_assert!(p.shortfall_against(truth) > 0);
+        }
+    }
+}
+
+proptest! {
+    // Machine-level properties are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// For arbitrary small programs under saturating contenders, no
+    /// request's contention ever exceeds Eq. 1's bound.
+    #[test]
+    fn no_request_exceeds_ubd(ops in prop::collection::vec(0u8..4, 1..20), iters in 5u64..40) {
+        let cfg = MachineConfig::toy(4, 2);
+        let layout = rrb_kernels::DataLayout::for_core(&cfg, CoreId::new(0));
+        let body: Vec<Instr> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &op)| match op {
+                0 => Instr::load(layout.addr((i % 5) as u64)),
+                1 => Instr::store(layout.addr((i % 5) as u64)),
+                2 => Instr::Nop,
+                _ => Instr::Alu { latency: 2 },
+            })
+            .collect();
+        let mut m = Machine::new(cfg.clone()).expect("config");
+        m.load_program(CoreId::new(0), Program::from_body(body, iters));
+        for i in 1..4 {
+            m.load_program(
+                CoreId::new(i),
+                rsk(rrb_kernels::AccessKind::Load, &cfg, CoreId::new(i)),
+            );
+        }
+        m.run().expect("run");
+        if let Some(max) = m.pmc().core(CoreId::new(0)).max_gamma() {
+            prop_assert!(max <= cfg.ubd(), "gamma {} > ubd {}", max, cfg.ubd());
+        }
+    }
+
+    /// Execution time in isolation is deterministic and contention can
+    /// only increase it.
+    #[test]
+    fn contention_never_speeds_up_the_scua(k in 0usize..8, iters in 10u64..60) {
+        let cfg = MachineConfig::toy(4, 2);
+        let scua = RskBuilder::new(rrb_kernels::AccessKind::Load)
+            .nops(k)
+            .iterations(iters)
+            .build(&cfg, CoreId::new(0));
+
+        let mut iso = Machine::new(cfg.clone()).expect("config");
+        iso.load_program(CoreId::new(0), scua.clone());
+        let t_iso = iso.run().expect("run").core(CoreId::new(0)).execution_time().expect("done");
+
+        let mut con = Machine::new(cfg.clone()).expect("config");
+        con.load_program(CoreId::new(0), scua);
+        for i in 1..4 {
+            con.load_program(
+                CoreId::new(i),
+                rsk(rrb_kernels::AccessKind::Load, &cfg, CoreId::new(i)),
+            );
+        }
+        let t_con = con.run().expect("run").core(CoreId::new(0)).execution_time().expect("done");
+        prop_assert!(t_con >= t_iso, "contended {} < isolated {}", t_con, t_iso);
+    }
+}
