@@ -172,8 +172,6 @@ mod tests {
     #[test]
     fn display_formats() {
         assert!(period_consensus(&[est(6), est(6)]).to_string().contains("unanimous"));
-        assert!(period_consensus(&[est(6), est(6), est(5)])
-            .to_string()
-            .contains("majority"));
+        assert!(period_consensus(&[est(6), est(6), est(5)]).to_string().contains("majority"));
     }
 }

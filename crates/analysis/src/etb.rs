@@ -48,7 +48,13 @@ impl EtbPadding {
 
 impl fmt::Display for EtbPadding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pad = {} requests x {} cycles = {} cycles", self.requests, self.ubd_m, self.pad())
+        write!(
+            f,
+            "pad = {} requests x {} cycles = {} cycles",
+            self.requests,
+            self.ubd_m,
+            self.pad()
+        )
     }
 }
 

@@ -38,5 +38,8 @@ pub use consensus::{period_consensus, Consensus};
 pub use etb::EtbPadding;
 pub use gamma::{ubd_from_parameters, GammaModel};
 pub use histogram::Histogram;
-pub use sawtooth::{detect_period, first_tooth_length, peak_positions, peak_spacing, ubd_candidates, PeriodEstimate, PeriodMethod};
+pub use sawtooth::{
+    detect_period, first_tooth_length, peak_positions, peak_spacing, ubd_candidates,
+    PeriodEstimate, PeriodMethod,
+};
 pub use stats::{max_u64, mean, min_u64, percentile, variance};

@@ -72,9 +72,8 @@ pub fn tolerant_period(values: &[u64], tolerance: u64) -> Option<(u64, f64)> {
     let n = values.len();
     for p in 2..=(n / 2) {
         let pairs = n - p;
-        let matched = (0..pairs)
-            .filter(|&i| values[i].abs_diff(values[i + p]) <= tolerance)
-            .count();
+        let matched =
+            (0..pairs).filter(|&i| values[i].abs_diff(values[i + p]) <= tolerance).count();
         if matched == pairs && !is_constant(&values[..p]) {
             return Some((p as u64, 1.0));
         }
@@ -107,8 +106,7 @@ pub fn autocorrelation_period(values: &[u64]) -> Option<(u64, f64)> {
     }
     let mut best: Option<(u64, f64)> = None;
     for lag in 2..=(m / 2) {
-        let score: f64 = (0..m - lag).map(|i| centred[i] * centred[i + lag]).sum::<f64>()
-            / energy
+        let score: f64 = (0..m - lag).map(|i| centred[i] * centred[i + lag]).sum::<f64>() / energy
             * m as f64
             / (m - lag) as f64;
         match best {
@@ -138,7 +136,11 @@ pub fn detect_period(values: &[u64], tolerance: u64) -> Option<PeriodEstimate> {
     }
     if tolerance > 0 {
         if let Some((p, c)) = tolerant_period(values, tolerance) {
-            return Some(PeriodEstimate { period: p, method: PeriodMethod::Tolerant, confidence: c });
+            return Some(PeriodEstimate {
+                period: p,
+                method: PeriodMethod::Tolerant,
+                confidence: c,
+            });
         }
     }
     autocorrelation_period(values).map(|(p, c)| PeriodEstimate {
@@ -162,9 +164,7 @@ pub fn detect_period(values: &[u64], tolerance: u64) -> Option<PeriodEstimate> {
 pub fn ubd_candidates(k_period: u64, delta_nop: u64) -> Vec<u64> {
     assert!(k_period >= 2, "a saw-tooth period is at least 2");
     assert!(delta_nop >= 1, "nops cannot be free");
-    (2..=k_period * delta_nop)
-        .filter(|&c| c / gcd(delta_nop, c) == k_period)
-        .collect()
+    (2..=k_period * delta_nop).filter(|&c| c / gcd(delta_nop, c) == k_period).collect()
 }
 
 /// Positions of the series' peaks: samples within `rel_tol` (a fraction
@@ -179,12 +179,7 @@ pub fn peak_positions(series: &[u64], rel_tol: f64) -> Vec<usize> {
     assert!((0.0..=1.0).contains(&rel_tol), "rel_tol must be in [0, 1]");
     let max = series.iter().max().copied().unwrap_or(0);
     let threshold = max.saturating_sub((max as f64 * rel_tol).round() as u64);
-    series
-        .iter()
-        .enumerate()
-        .filter(|&(_, &v)| v >= threshold && v > 0)
-        .map(|(k, _)| k)
-        .collect()
+    series.iter().enumerate().filter(|&(_, &v)| v >= threshold && v > 0).map(|(k, _)| k).collect()
 }
 
 /// The spacing between consecutive peaks, if they are evenly spaced —
@@ -215,10 +210,7 @@ pub fn peak_spacing(series: &[u64], rel_tol: f64) -> Option<u64> {
 ///
 /// Panics if `threshold_frac` is outside `(0, 1)`.
 pub fn first_tooth_length(series: &[u64], threshold_frac: f64) -> Option<u64> {
-    assert!(
-        threshold_frac > 0.0 && threshold_frac < 1.0,
-        "threshold_frac must be in (0, 1)"
-    );
+    assert!(threshold_frac > 0.0 && threshold_frac < 1.0, "threshold_frac must be in (0, 1)");
     let max = series.iter().max().copied()?;
     if max == 0 {
         return None;

@@ -1,32 +1,27 @@
-//! Criterion benchmark comparing arbitration policies under saturation:
-//! the simulation cost of each arbiter on an otherwise identical machine.
+//! Benchmark comparing arbitration policies under saturation: the
+//! simulation cost of each arbiter on an otherwise identical machine
+//! (std-only harness; `harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrb_bench::bench;
 use rrb_kernels::{rsk, AccessKind};
 use rrb_sim::{ArbiterKind, CoreId, Machine, MachineConfig};
 
-fn bench_arbiters(c: &mut Criterion) {
-    let mut g = c.benchmark_group("arbiter_saturated_20k_cycles");
+fn main() {
+    println!("arbiter_saturated_20k_cycles");
     for (name, kind) in [
         ("round_robin", ArbiterKind::RoundRobin),
         ("fixed_priority", ArbiterKind::FixedPriority),
         ("fifo", ArbiterKind::Fifo),
         ("tdma", ArbiterKind::Tdma { slot_cycles: 16 }),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut cfg = MachineConfig::ngmp_ref();
-                cfg.bus.arbiter = kind;
-                let mut m = Machine::new(cfg.clone()).expect("config");
-                for i in 0..cfg.num_cores {
-                    m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));
-                }
-                m.run_for(20_000)
-            });
+        bench(&format!("arbiter/{name}"), 2, 10, || {
+            let mut cfg = MachineConfig::ngmp_ref();
+            cfg.bus.arbiter = kind;
+            let mut m = Machine::new(cfg.clone()).expect("config");
+            for i in 0..cfg.num_cores {
+                m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));
+            }
+            std::hint::black_box(m.run_for(20_000));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_arbiters);
-criterion_main!(benches);

@@ -1,34 +1,34 @@
-//! Criterion benchmark of the full methodology: what a complete blind
-//! `ubd` derivation costs, per platform size.
+//! Benchmark of the full methodology: what a complete blind `ubd`
+//! derivation costs, per platform size — serial vs campaign-parallel
+//! (std-only harness; `harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rrb::methodology::{derive_ubd, MethodologyConfig};
+use rrb::methodology::{derive_ubd, derive_ubd_repeated_jobs, MethodologyConfig};
+use rrb_bench::bench;
 use rrb_sim::MachineConfig;
 
-fn bench_derive_ubd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("derive_ubd");
-    g.sample_size(10);
+fn main() {
+    println!("derive_ubd");
     for l_bus in [2u64, 5] {
         let cfg = MachineConfig::toy(4, l_bus);
         let mut mcfg = MethodologyConfig::fast();
         mcfg.max_k = (cfg.ubd() as usize) * 3;
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("toy_lbus{l_bus}")),
-            &(cfg, mcfg),
-            |b, (cfg, mcfg)| {
-                b.iter(|| derive_ubd(cfg, mcfg).expect("derivation"));
-            },
-        );
+        bench(&format!("derive_ubd/toy_lbus{l_bus}"), 1, 10, || {
+            std::hint::black_box(derive_ubd(&cfg, &mcfg).expect("derivation"));
+        });
     }
-    g.finish();
-}
 
-fn bench_calibration(c: &mut Criterion) {
-    c.bench_function("calibrate_delta_nop", |b| {
+    let cfg = MachineConfig::toy(4, 2);
+    let mcfg = MethodologyConfig::fast();
+    let jobs = rrb_bench::default_jobs();
+    bench("derive_ubd_repeated/3x_serial", 1, 5, || {
+        std::hint::black_box(derive_ubd_repeated_jobs(&cfg, &mcfg, 3, 1).expect("runs"));
+    });
+    bench(&format!("derive_ubd_repeated/3x_jobs{jobs}"), 1, 5, || {
+        std::hint::black_box(derive_ubd_repeated_jobs(&cfg, &mcfg, 3, jobs).expect("runs"));
+    });
+
+    bench("calibrate_delta_nop", 1, 10, || {
         let cfg = MachineConfig::ngmp_ref();
-        b.iter(|| rrb::methodology::calibrate_delta_nop(&cfg, 10).expect("calibration"));
+        std::hint::black_box(rrb::methodology::calibrate_delta_nop(&cfg, 10).expect("calibration"));
     });
 }
-
-criterion_group!(benches, bench_derive_ubd, bench_calibration);
-criterion_main!(benches);

@@ -1,53 +1,41 @@
-//! Criterion benchmarks of the simulator substrate: cycles simulated per
-//! second for the workload shapes the experiments rely on.
+//! Benchmarks of the simulator substrate: cycles simulated per second
+//! for the workload shapes the experiments rely on (std-only harness;
+//! `harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rrb_bench::bench;
 use rrb_kernels::{random_eembc_workload, rsk, rsk_nop, AccessKind};
 use rrb_sim::{CoreId, Machine, MachineConfig};
 
-fn bench_saturated_rsk(c: &mut Criterion) {
-    let mut g = c.benchmark_group("saturated_rsk");
+fn main() {
+    println!("saturated_rsk");
     for cycles in [10_000u64, 50_000] {
-        g.throughput(Throughput::Elements(cycles));
-        g.bench_with_input(BenchmarkId::from_parameter(cycles), &cycles, |b, &cycles| {
-            b.iter(|| {
-                let cfg = MachineConfig::ngmp_ref();
-                let mut m = Machine::new(cfg.clone()).expect("config");
-                for i in 0..cfg.num_cores {
-                    m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));
-                }
-                m.run_for(cycles)
-            });
+        let r = bench(&format!("saturated_rsk/{cycles}_cycles"), 2, 10, || {
+            let cfg = MachineConfig::ngmp_ref();
+            let mut m = Machine::new(cfg.clone()).expect("config");
+            for i in 0..cfg.num_cores {
+                m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));
+            }
+            std::hint::black_box(m.run_for(cycles));
         });
+        let cps = cycles as f64 / r.mean_seconds();
+        println!("    -> {cps:.0} simulated cycles/s");
     }
-    g.finish();
-}
 
-fn bench_scua_measurement(c: &mut Criterion) {
     // One (isolated, contended) measurement pair — the methodology's
     // inner loop.
-    c.bench_function("measure_slowdown_k2", |b| {
-        b.iter(|| {
-            let cfg = MachineConfig::ngmp_ref();
-            let scua = rsk_nop(AccessKind::Load, 2, &cfg, CoreId::new(0), 100);
-            rrb::experiment::measure_slowdown(&cfg, scua, |core| {
-                rsk(AccessKind::Load, &cfg, core)
-            })
-            .expect("measurement")
-        });
+    bench("measure_slowdown_k2", 2, 10, || {
+        let cfg = MachineConfig::ngmp_ref();
+        let scua = rsk_nop(AccessKind::Load, 2, &cfg, CoreId::new(0), 100);
+        std::hint::black_box(
+            rrb::experiment::measure_slowdown(&cfg, scua, |core| rsk(AccessKind::Load, &cfg, core))
+                .expect("measurement"),
+        );
+    });
+
+    bench("eembc_workload_100_iters", 2, 10, || {
+        let cfg = MachineConfig::ngmp_ref();
+        let w = random_eembc_workload(&cfg, 7, 100);
+        let mut m = w.into_machine(&cfg).expect("machine");
+        std::hint::black_box(m.run().expect("run"));
     });
 }
-
-fn bench_eembc_workload(c: &mut Criterion) {
-    c.bench_function("eembc_workload_100_iters", |b| {
-        b.iter(|| {
-            let cfg = MachineConfig::ngmp_ref();
-            let w = random_eembc_workload(&cfg, 7, 100);
-            let mut m = w.into_machine(&cfg).expect("machine");
-            m.run().expect("run")
-        });
-    });
-}
-
-criterion_group!(benches, bench_saturated_rsk, bench_scua_measurement, bench_eembc_workload);
-criterion_main!(benches);

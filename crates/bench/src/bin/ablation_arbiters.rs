@@ -2,34 +2,26 @@
 //! arbiters? (It must not — the synchrony effect is round-robin
 //! specific, and the methodology's confidence checks must refuse.)
 //!
+//! A ~20-line wrapper over the `Campaign` runner: one grid dimension
+//! (the arbiter), executed as a single deduplicated parallel plan.
+//!
 //! ```sh
 //! cargo run --release -p rrb-bench --bin ablation_arbiters
 //! ```
 
-use rrb::methodology::{derive_ubd, MethodologyConfig};
+use rrb::campaign::{Campaign, CampaignGrid, GridScenario};
 use rrb_sim::{ArbiterKind, MachineConfig};
 
 fn main() {
-    let arbiters = [
-        ("round-robin", ArbiterKind::RoundRobin),
-        ("fixed-priority", ArbiterKind::FixedPriority),
-        ("fifo", ArbiterKind::Fifo),
-        ("tdma(slot=4)", ArbiterKind::Tdma { slot_cycles: 4 }),
-    ];
+    let grid = CampaignGrid::new(GridScenario::Derive, MachineConfig::toy(4, 2)).arbiters(vec![
+        ArbiterKind::RoundRobin,
+        ArbiterKind::FixedPriority,
+        ArbiterKind::Fifo,
+        ArbiterKind::Tdma { slot_cycles: 4 },
+    ]);
     println!("toy bus (Nc = 4, l_bus = 2, RR-ubd would be 6)\n");
-    println!("{:<16} outcome", "arbiter");
-    for (name, kind) in arbiters {
-        let mut cfg = MachineConfig::toy(4, 2);
-        cfg.bus.arbiter = kind;
-        let outcome = match derive_ubd(&cfg, &MethodologyConfig::fast()) {
-            Ok(d) => format!(
-                "derived ubd_m = {} (period {}, min util {:.2})",
-                d.ubd_m, d.k_period, d.min_bus_utilization
-            ),
-            Err(e) => format!("refused: {e}"),
-        };
-        println!("{name:<16} {outcome}");
-    }
+    let result = Campaign::builder().grid(&grid).jobs(rrb_bench::default_jobs()).build().run();
+    print!("{}", result.render_text());
     println!(
         "\nexpected: only round-robin yields ubd_m = 6; every other policy is refused\n\
          (no saw-tooth, failed utilisation check, or starvation) — the methodology's\n\

@@ -1,35 +1,46 @@
 //! Ablation: Eq. 1 scaling — `ubd = (Nc - 1) · l_bus` recovered blind
 //! across core counts.
 //!
+//! A thin wrapper over the `Campaign` runner: one `Derive` scenario per
+//! core count, batched into a single parallel plan.
+//!
 //! ```sh
 //! cargo run --release -p rrb-bench --bin ablation_core_count
 //! ```
 
-use rrb::methodology::{derive_ubd, MethodologyConfig};
+use rrb::campaign::Campaign;
+use rrb::methodology::{MethodologyConfig, UbdScenario};
 use rrb_kernels::AccessKind;
 use rrb_sim::MachineConfig;
 
+const L_BUS: u64 = 3;
+
 fn main() {
-    let l_bus = 3u64;
-    println!("l_bus = {l_bus}; sweeping core count\n");
-    println!("Nc  true ubd  derived ubd_m  contenders");
+    println!("l_bus = {L_BUS}; sweeping core count\n");
+    let mut builder = Campaign::builder().jobs(rrb_bench::default_jobs());
     for nc in 2..=4usize {
-        let cfg = MachineConfig::toy(nc, l_bus);
-        let expected = cfg.ubd();
+        let cfg = MachineConfig::toy(nc, L_BUS);
         let mut mcfg = MethodologyConfig::fast();
-        mcfg.max_k = (expected as usize) * 3;
+        mcfg.max_k = (cfg.ubd() as usize) * 3;
         // One load contender cannot saturate a 2-core bus; use store
         // contenders there (they inject back to back, §5.3).
-        let contenders = if nc == 2 {
+        if nc == 2 {
             mcfg.contender_access = AccessKind::Store;
-            "store rsk"
-        } else {
-            "load rsk"
-        };
-        match derive_ubd(&cfg, &mcfg) {
-            Ok(d) => println!("{nc:>2}  {expected:>8}  {:>13}  {contenders}", d.ubd_m),
-            Err(e) => println!("{nc:>2}  {expected:>8}  {:>13}  {contenders} ({e})", "refused"),
+        }
+        builder = builder.scenario(UbdScenario::new(cfg, mcfg).named(format!("Nc={nc}")));
+    }
+    let result = builder.build().run();
+    println!("Nc  true ubd  derived ubd_m  contenders");
+    for (nc, report) in (2..=4usize).zip(&result.reports) {
+        let expected = MachineConfig::toy(nc, L_BUS).ubd();
+        let contenders = if nc == 2 { "store rsk" } else { "load rsk" };
+        match report.metric_u64("ubd_m") {
+            Some(ubd_m) => println!("{nc:>2}  {expected:>8}  {ubd_m:>13}  {contenders}"),
+            None => println!(
+                "{nc:>2}  {expected:>8}  {:>13}  {contenders} ({})",
+                "refused", report.summary
+            ),
         }
     }
-    println!("\nexpected: derived ubd_m equals (Nc-1)*{l_bus} for every Nc.");
+    println!("\nexpected: derived ubd_m equals (Nc-1)*{L_BUS} for every Nc.");
 }

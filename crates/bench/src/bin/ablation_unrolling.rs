@@ -55,7 +55,5 @@ fn gamma_hist(cfg: &MachineConfig, unroll: usize, iterations: u64) -> Histogram 
         m.load_program(CoreId::new(i), rsk(AccessKind::Load, cfg, CoreId::new(i)));
     }
     m.run().expect("run");
-    Histogram::from_bins(
-        m.pmc().core(CoreId::new(0)).gamma_histogram.iter().map(|(&g, &n)| (g, n)),
-    )
+    Histogram::from_bins(m.pmc().core(CoreId::new(0)).gamma_histogram.iter().map(|(&g, &n)| (g, n)))
 }

@@ -1,0 +1,91 @@
+//! Campaign-runner throughput benchmark: serial vs parallel wall-clock
+//! on a 4-way derivation grid, written to `BENCH_campaign.json` so
+//! future PRs have a perf trajectory to beat.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin campaign_throughput
+//! ```
+//!
+//! The grid is fixed (4 `Derive` cells on the toy bus, mixed contender
+//! accesses and iteration counts), so the run count and the simulated
+//! work are stable across machines; wall-clock and speedup are of
+//! course hardware-dependent, which is why the artifact also records
+//! the host's available parallelism.
+
+use rrb::campaign::{Campaign, CampaignGrid, GridScenario};
+use rrb::json::Json;
+use rrb_kernels::AccessKind;
+use rrb_sim::MachineConfig;
+use std::time::Instant;
+
+/// The benchmark grid: 4 cells, shared isolated baselines across the
+/// contender-access dimension.
+fn grid() -> CampaignGrid {
+    CampaignGrid::new(GridScenario::Derive, MachineConfig::toy(4, 2))
+        .contender_accesses(vec![AccessKind::Load, AccessKind::Store])
+        .iterations(vec![150, 200])
+        .max_k(18)
+}
+
+fn timed_run(jobs: usize) -> (f64, rrb::campaign::CampaignResult) {
+    let campaign = Campaign::builder().grid(&grid()).jobs(jobs).build();
+    let start = Instant::now();
+    let result = campaign.run();
+    (start.elapsed().as_secs_f64(), result)
+}
+
+fn main() {
+    let parallel_jobs = rrb_bench::default_jobs().max(2);
+
+    // Warm-up (page in code and allocator state), then timed runs.
+    let _ = timed_run(1);
+    let (serial_s, serial) = timed_run(1);
+    let (parallel_s, parallel) = timed_run(parallel_jobs);
+
+    let byte_identical = serial.to_json() == parallel.to_json();
+    let total_runs = serial.stats.planned_runs;
+    let executed_runs = serial.stats.executed_runs;
+    let speedup = serial_s / parallel_s;
+    let all_derived = serial.reports.iter().all(|r| r.metric_u64("ubd_m") == Some(6));
+
+    println!(
+        "campaign throughput: {} grid cells, {total_runs} planned runs, {executed_runs} executed",
+        grid().cell_count()
+    );
+    println!(
+        "  serial   (jobs=1)              : {serial_s:.3} s ({:.1} runs/s)",
+        executed_runs as f64 / serial_s
+    );
+    println!(
+        "  parallel (jobs={parallel_jobs})              : {parallel_s:.3} s ({:.1} runs/s)",
+        executed_runs as f64 / parallel_s
+    );
+    println!("  speedup                        : {speedup:.2}x");
+    println!("  byte-identical output          : {byte_identical}");
+    println!("  all cells derived ubd_m = 6    : {all_derived}");
+
+    let artifact = Json::obj(vec![
+        ("bench", Json::str("campaign_throughput")),
+        ("grid_cells", Json::U64(grid().cell_count() as u64)),
+        ("planned_runs", Json::U64(total_runs as u64)),
+        ("executed_runs", Json::U64(executed_runs as u64)),
+        ("cache_hits", Json::U64(serial.stats.cache_hits as u64)),
+        ("serial_seconds", Json::F64(serial_s)),
+        ("parallel_seconds", Json::F64(parallel_s)),
+        ("parallel_jobs", Json::U64(parallel_jobs as u64)),
+        ("available_parallelism", Json::U64(rrb_bench::default_jobs() as u64)),
+        ("runs_per_second_serial", Json::F64(executed_runs as f64 / serial_s)),
+        ("runs_per_second_parallel", Json::F64(executed_runs as f64 / parallel_s)),
+        ("speedup", Json::F64(speedup)),
+        ("byte_identical_output", Json::Bool(byte_identical)),
+        ("all_cells_correct", Json::Bool(all_derived)),
+    ]);
+    let path = "BENCH_campaign.json";
+    match std::fs::write(path, artifact.render_pretty()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+
+    assert!(byte_identical, "parallel output must be byte-identical to serial");
+    assert!(all_derived, "every cell must recover ubd = 6");
+}

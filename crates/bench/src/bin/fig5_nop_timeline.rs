@@ -29,7 +29,10 @@ fn main() {
         println!("--- rsk-nop(load, k = {k}) : steady-state gamma = {gamma} ---");
         // A steady-state window late in the run, one RR rotation wide.
         let now = m.now();
-        println!("{}", m.trace().gantt(cfg.num_cores, now.saturating_sub(60), now.saturating_sub(10)));
+        println!(
+            "{}",
+            m.trace().gantt(cfg.num_cores, now.saturating_sub(60), now.saturating_sub(10))
+        );
     }
     println!("(compare: k = 1..5 walks gamma down from 4 to 0; k = 6 wraps back up — Fig. 5 a-d)");
 }

@@ -17,10 +17,9 @@ use rrb_kernels::{rsk, rsk_nop, AccessKind};
 use rrb_sim::{CoreId, Machine, MachineConfig};
 
 fn main() {
-    for (name, cfg, expected_mode) in [
-        ("ref", MachineConfig::ngmp_ref(), 26u64),
-        ("var", MachineConfig::ngmp_var(), 23u64),
-    ] {
+    for (name, cfg, expected_mode) in
+        [("ref", MachineConfig::ngmp_ref(), 26u64), ("var", MachineConfig::ngmp_var(), 23u64)]
+    {
         let mut m = Machine::new(cfg.clone()).expect("machine");
         m.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 3000));
         for i in 1..cfg.num_cores {
@@ -30,12 +29,16 @@ fn main() {
         let h = Histogram::from_bins(
             m.pmc().core(CoreId::new(0)).gamma_histogram.iter().map(|(&g, &n)| (g, n)),
         );
-        println!("{}", render_histogram(&format!("architecture {name} (true ubd = {}):", cfg.ubd()), &h));
-        let mode = h.mode().expect("requests observed");
         println!(
-            "  mode gamma (ubd_m a naive analysis reads) : {mode} (paper: {expected_mode})"
+            "{}",
+            render_histogram(&format!("architecture {name} (true ubd = {}):", cfg.ubd()), &h)
         );
-        println!("  fraction at mode                           : {:.3} (paper: ~0.98)", h.fraction(mode));
+        let mode = h.mode().expect("requests observed");
+        println!("  mode gamma (ubd_m a naive analysis reads) : {mode} (paper: {expected_mode})");
+        println!(
+            "  fraction at mode                           : {:.3} (paper: ~0.98)",
+            h.fraction(mode)
+        );
         println!(
             "  verdict: ubd_m {} < ubd {} -> naive estimate unsound on {name}\n",
             h.max().expect("non-empty").max(mode),

@@ -2,6 +2,9 @@
 //! `rsk-nop(load, k)` against 3 load rsk, as a function of `k`, on the
 //! reference and variant architectures.
 //!
+//! A thin wrapper over the `Campaign` runner: two `SweepScenario`s (ref
+//! and var) batched into one deduplicated parallel plan.
+//!
 //! ```sh
 //! cargo run --release -p rrb-bench --bin fig7a_load_sawtooth
 //! ```
@@ -12,36 +15,37 @@
 //! the period, unlike the naive estimate, is robust to the platform's
 //! injection time.
 
-use rrb::experiment::measure_slowdown;
+use rrb::campaign::Campaign;
 use rrb::report::render_sawtooth;
-use rrb_analysis::sawtooth::{detect_period, peak_positions, peak_spacing};
-use rrb_kernels::{rsk, rsk_nop, AccessKind};
-use rrb_sim::{CoreId, MachineConfig};
+use rrb::scenario::{MetricValue, SweepScenario};
+use rrb_analysis::sawtooth::{peak_positions, peak_spacing};
+use rrb_sim::MachineConfig;
+
+const MAX_K: usize = 80;
+const ITERATIONS: u64 = 400;
 
 fn main() {
-    let max_k = 80usize;
-    let iterations = 400u64;
+    let result = Campaign::builder()
+        .scenario(SweepScenario::new(MachineConfig::ngmp_ref(), MAX_K, ITERATIONS).named("ref"))
+        .scenario(SweepScenario::new(MachineConfig::ngmp_var(), MAX_K, ITERATIONS).named("var"))
+        .jobs(rrb_bench::default_jobs())
+        .build()
+        .run();
 
-    for (name, cfg) in [("ref", MachineConfig::ngmp_ref()), ("var", MachineConfig::ngmp_var())] {
-        let mut slowdowns = Vec::with_capacity(max_k + 1);
-        for k in 0..=max_k {
-            let scua = rsk_nop(AccessKind::Load, k, &cfg, CoreId::new(0), iterations);
-            let m = measure_slowdown(&cfg, scua, |c| rsk(AccessKind::Load, &cfg, c))
-                .expect("measurement");
-            slowdowns.push(m.det());
-        }
-        println!("architecture {name}: d_bus(load, k) for k = 0..={max_k}");
-        println!("{}", render_sawtooth(&slowdowns, 10));
-        let peaks = peak_positions(&slowdowns, 0.02);
+    for report in &result.reports {
+        let Some(MetricValue::Series(slowdowns)) = report.metric("slowdowns") else {
+            println!("architecture {}: {}", report.scenario, report.summary);
+            continue;
+        };
+        println!("architecture {}: d_bus(load, k) for k = 0..={MAX_K}", report.scenario);
+        println!("{}", render_sawtooth(slowdowns, 10));
+        let peaks = peak_positions(slowdowns, 0.02);
         println!("  peak positions (k) : {peaks:?}");
-        if let Some(spacing) = peak_spacing(&slowdowns, 0.02) {
+        if let Some(spacing) = peak_spacing(slowdowns, 0.02) {
             println!("  peak spacing       : {spacing} (Eq. 3 reading)");
         }
-        match detect_period(&slowdowns, 2) {
-            Some(est) => println!(
-                "  saw-tooth period   : {} ({} match) -> ubd = {}\n",
-                est.period, est.method, est.period
-            ),
+        match report.metric_u64("period") {
+            Some(period) => println!("  saw-tooth period   : {period} -> ubd = {period}\n"),
             None => println!("  saw-tooth period   : NOT FOUND\n"),
         }
     }

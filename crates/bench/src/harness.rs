@@ -1,0 +1,93 @@
+//! A tiny wall-clock benchmark harness (std-only).
+//!
+//! The workspace builds offline, so instead of an external framework the
+//! `benches/` targets are plain binaries (`harness = false`) driving
+//! this module: warm up, run a fixed number of timed iterations, report
+//! min/mean/max. The numbers are indicative, not statistically rigorous
+//! — the repo's perf trajectory is tracked by the `BENCH_*.json`
+//! artifacts, which record means over fixed workloads.
+
+use std::time::Instant;
+
+/// Timing results of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchResult {
+    /// Timed iterations.
+    pub iterations: u32,
+    /// Fastest iteration, in nanoseconds.
+    pub min_ns: u128,
+    /// Mean iteration, in nanoseconds.
+    pub mean_ns: u128,
+    /// Slowest iteration, in nanoseconds.
+    pub max_ns: u128,
+}
+
+impl BenchResult {
+    /// Mean time in seconds.
+    pub fn mean_seconds(&self) -> f64 {
+        self.mean_ns as f64 / 1e9
+    }
+}
+
+/// Runs `f` for `warmup + iterations` calls, timing the last
+/// `iterations`, and prints one `name: mean … (min …, max …)` line.
+pub fn bench(name: &str, warmup: u32, iterations: u32, mut f: impl FnMut()) -> BenchResult {
+    for _ in 0..warmup {
+        f();
+    }
+    let iterations = iterations.max(1);
+    let mut min_ns = u128::MAX;
+    let mut max_ns = 0u128;
+    let mut total_ns = 0u128;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_nanos();
+        min_ns = min_ns.min(ns);
+        max_ns = max_ns.max(ns);
+        total_ns += ns;
+    }
+    let result =
+        BenchResult { iterations, min_ns, mean_ns: total_ns / u128::from(iterations), max_ns };
+    println!(
+        "{name:<44} {:>12} mean  ({:>12} min, {:>12} max, {iterations} iters)",
+        format_ns(result.mean_ns),
+        format_ns(result.min_ns),
+        format_ns(result.max_ns),
+    );
+    result
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_consistent_bounds() {
+        let mut n = 0u64;
+        let r = bench("noop", 1, 5, || n = n.wrapping_add(1));
+        assert_eq!(r.iterations, 5);
+        assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
+        assert_eq!(n, 6, "warmup + timed iterations all ran");
+    }
+
+    #[test]
+    fn ns_formatting_picks_sensible_units() {
+        assert_eq!(format_ns(12), "12 ns");
+        assert_eq!(format_ns(1_500), "1.500 us");
+        assert_eq!(format_ns(2_000_000), "2.000 ms");
+        assert_eq!(format_ns(3_200_000_000), "3.200 s");
+    }
+}

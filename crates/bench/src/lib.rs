@@ -1,2 +1,14 @@
-//! Figure regenerators live in `src/bin`; criterion benches in `benches/`.
+//! Figure regenerators live in `src/bin`; std-only benchmarks in
+//! `benches/` (built with `harness = false` via [`harness`], so the
+//! workspace needs no external bench framework and builds offline).
 #![allow(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{bench, BenchResult};
+
+/// The worker-thread count the figure regenerators hand to the campaign
+/// runner: every available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -101,6 +101,37 @@ impl Parsed {
     pub fn get_switch(&self, flag: &str) -> bool {
         self.flags.get(flag).is_some_and(|v| v == "true")
     }
+
+    /// A comma-separated list flag (e.g. `--cores 2,3,4`), with a
+    /// default when absent. Empty items are ignored.
+    pub fn get_list(&self, flag: &str, default: &[&str]) -> Vec<String> {
+        match self.flags.get(flag) {
+            None => default.iter().map(|s| s.to_string()).collect(),
+            Some(v) => v.split(',').filter(|s| !s.is_empty()).map(String::from).collect(),
+        }
+    }
+
+    /// A comma-separated list of integers with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::BadValue`] when any item is non-numeric.
+    pub fn get_u64_list(&self, flag: &str, default: &[u64]) -> Result<Vec<u64>, ParseArgsError> {
+        match self.flags.get(flag) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|item| {
+                    item.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: flag.to_string(),
+                        value: item.to_string(),
+                        expected: "a comma-separated list of non-negative integers",
+                    })
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,8 +179,21 @@ mod tests {
     #[test]
     fn bad_number_rejected() {
         let p = Parsed::parse(&argv("derive --max-k many")).expect("parse");
+        assert!(matches!(p.get_u64("max-k", 0), Err(ParseArgsError::BadValue { .. })));
+    }
+
+    #[test]
+    fn list_flags_split_on_commas() {
+        let p = Parsed::parse(&argv("campaign --arbiters rr,fifo --iterations 100,200"))
+            .expect("parse");
+        assert_eq!(p.get_list("arbiters", &["rr"]), vec!["rr", "fifo"]);
+        assert_eq!(p.get_list("accesses", &["load"]), vec!["load"]);
+        assert_eq!(p.get_u64_list("iterations", &[50]).expect("nums"), vec![100, 200]);
+        assert_eq!(p.get_u64_list("cores", &[4]).expect("nums"), vec![4]);
         assert!(matches!(
-            p.get_u64("max-k", 0),
+            Parsed::parse(&argv("campaign --iterations 1,x"))
+                .expect("parse")
+                .get_u64_list("iterations", &[]),
             Err(ParseArgsError::BadValue { .. })
         ));
     }

@@ -2,14 +2,15 @@
 //! `String` so the whole surface is unit-testable without capturing
 //! stdout.
 
-use crate::args::{Parsed, ParseArgsError};
+use crate::args::{ParseArgsError, Parsed};
+use rrb::campaign::{Campaign, CampaignGrid, GridScenario};
 use rrb::methodology::{derive_ubd, derive_ubd_repeated, store_tooth_check, MethodologyConfig};
 use rrb::naive::naive_rsk_vs_rsk;
 use rrb::report;
 use rrb::{MbtaAnalysis, TaskSpec};
 use rrb_analysis::GammaModel;
 use rrb_kernels::{random_eembc_workload, AccessKind, AutobenchKernel};
-use rrb_sim::{CoreId, MachineConfig};
+use rrb_sim::{ArbiterKind, CoreId, MachineConfig};
 use std::error::Error;
 use std::fmt;
 
@@ -69,6 +70,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "gamma" => cmd_gamma(&parsed),
         "audit" => cmd_audit(&parsed),
         "simulate" => cmd_simulate(&parsed),
+        "campaign" => cmd_campaign(&parsed),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -79,10 +81,9 @@ fn machine_from(parsed: &Parsed) -> Result<MachineConfig, CliError> {
     let mut cfg = match parsed.get("arch").unwrap_or("ref") {
         "ref" => MachineConfig::ngmp_ref(),
         "var" => MachineConfig::ngmp_var(),
-        "toy" => MachineConfig::toy(
-            parsed.get_u64("cores", 4)? as usize,
-            parsed.get_u64("l-bus", 2)?,
-        ),
+        "toy" => {
+            MachineConfig::toy(parsed.get_u64("cores", 4)? as usize, parsed.get_u64("l-bus", 2)?)
+        }
         other => {
             return Err(CliError::UnknownChoice {
                 flag: "arch",
@@ -100,7 +101,9 @@ fn machine_from(parsed: &Parsed) -> Result<MachineConfig, CliError> {
 fn methodology_from(parsed: &Parsed, cfg: &MachineConfig) -> Result<MethodologyConfig, CliError> {
     let mut m = MethodologyConfig::paper();
     m.max_k = parsed.get_u64("max-k", (cfg.ubd() * 3).max(20))? as usize;
-    m.iterations = parsed.get_u64("iterations", 300)?;
+    // `--iterations` accepts a comma list for `campaign` grids; the
+    // single-run commands use the first value.
+    m.iterations = parsed.get_u64_list("iterations", &[300])?.first().copied().unwrap_or(300);
     // Short command-line sweeps include the cold-start transient in the
     // utilisation average, so the floor defaults a touch below the
     // paper preset; `--min-utilization` (percent) overrides it.
@@ -125,8 +128,8 @@ fn cmd_derive(parsed: &Parsed) -> Result<String, CliError> {
             // Stores have no periodic tooth (the buffer hides the bus
             // beyond one period), so they serve as a Fig. 7(b)-style
             // cross-check of the load-derived bound.
-            let check = store_tooth_check(&cfg, &mcfg, d.ubd_m)
-                .map_err(|e| CliError::Tool(Box::new(e)))?;
+            let check =
+                store_tooth_check(&cfg, &mcfg, d.ubd_m).map_err(|e| CliError::Tool(Box::new(e)))?;
             out.push_str(&format!(
                 "\nstore-tooth cross-check: tooth length {} vs ubd_m {} -> {}\n",
                 check.tooth_length,
@@ -139,8 +142,8 @@ fn cmd_derive(parsed: &Parsed) -> Result<String, CliError> {
             ));
         }
     } else {
-        let r = derive_ubd_repeated(&cfg, &mcfg, repeats)
-            .map_err(|e| CliError::Tool(Box::new(e)))?;
+        let r =
+            derive_ubd_repeated(&cfg, &mcfg, repeats).map_err(|e| CliError::Tool(Box::new(e)))?;
         out.push_str(&format!("consensus: {}\n", r.consensus));
         match r.ubd_m() {
             Some(u) => out.push_str(&format!("ubd_m    : {u} cycles\n")),
@@ -200,7 +203,12 @@ fn cmd_audit(parsed: &Parsed) -> Result<String, CliError> {
         MbtaAnalysis::characterise(&cfg, &mcfg).map_err(|e| CliError::Tool(Box::new(e)))?;
     let task = TaskSpec::new(
         kernel.to_string(),
-        kernel.profile().program(&cfg, CoreId::new(0), parsed.get_u64("seed", 1)?, Some(iterations)),
+        kernel.profile().program(
+            &cfg,
+            CoreId::new(0),
+            parsed.get_u64("seed", 1)?,
+            Some(iterations),
+        ),
     );
     let bound = analysis.bound_task(&task).map_err(|e| CliError::Tool(Box::new(e)))?;
     let validation = analysis
@@ -242,6 +250,120 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn parse_arbiter(token: &str) -> Result<ArbiterKind, CliError> {
+    let bad = |value: &str| CliError::UnknownChoice {
+        flag: "arbiters",
+        value: value.to_string(),
+        allowed: "rr, fp, fifo, tdma:<slot>, grr:<group>",
+    };
+    match token {
+        "rr" => Ok(ArbiterKind::RoundRobin),
+        "fp" => Ok(ArbiterKind::FixedPriority),
+        "fifo" => Ok(ArbiterKind::Fifo),
+        other => {
+            if let Some(slot) = other.strip_prefix("tdma:") {
+                let slot_cycles = slot.parse().map_err(|_| bad(other))?;
+                Ok(ArbiterKind::Tdma { slot_cycles })
+            } else if let Some(group) = other.strip_prefix("grr:") {
+                let group_size = group.parse().map_err(|_| bad(other))?;
+                Ok(ArbiterKind::GroupedRoundRobin { group_size })
+            } else {
+                Err(bad(other))
+            }
+        }
+    }
+}
+
+fn parse_access(token: &str) -> Result<AccessKind, CliError> {
+    match token {
+        "load" => Ok(AccessKind::Load),
+        "store" => Ok(AccessKind::Store),
+        other => Err(CliError::UnknownChoice {
+            flag: "accesses",
+            value: other.to_string(),
+            allowed: "load, store",
+        }),
+    }
+}
+
+/// `rrb campaign`: expand a parameter grid into scenarios, execute the
+/// deduplicated run plan across `--jobs` worker threads, and print the
+/// results as text, JSON, or CSV. Output is byte-identical for every
+/// `--jobs` value.
+fn cmd_campaign(parsed: &Parsed) -> Result<String, CliError> {
+    let base = machine_from(parsed)?;
+    let scenario = match parsed.get("scenario").unwrap_or("derive") {
+        "derive" => GridScenario::Derive,
+        "naive" => GridScenario::Naive,
+        "sweep" => GridScenario::Sweep,
+        "validate" => GridScenario::ValidateGamma,
+        other => {
+            return Err(CliError::UnknownChoice {
+                flag: "scenario",
+                value: other.to_string(),
+                allowed: "derive, naive, sweep, validate",
+            })
+        }
+    };
+
+    let arbiters = parsed
+        .get_list("arbiters", &[])
+        .iter()
+        .map(|t| parse_arbiter(t))
+        .collect::<Result<Vec<_>, _>>()?;
+    let accesses = parsed
+        .get_list("accesses", &["load"])
+        .iter()
+        .map(|t| parse_access(t))
+        .collect::<Result<Vec<_>, _>>()?;
+    let contender_accesses = parsed
+        .get_list("contenders", &["load"])
+        .iter()
+        .map(|t| parse_access(t))
+        .collect::<Result<Vec<_>, _>>()?;
+    let core_counts = parsed.get_u64_list("grid-cores", &[base.num_cores as u64])?;
+    // The same flag handling `rrb derive` uses (max-k, iterations,
+    // min-utilization, store-contenders), so the two commands share
+    // defaults; the grid dimensions then fan out per cell.
+    let methodology = methodology_from(parsed, &base)?;
+    let iterations = parsed.get_u64_list("iterations", &[methodology.iterations])?;
+    let max_k = methodology.max_k;
+
+    let mut grid = CampaignGrid::new(scenario, base)
+        .accesses(accesses)
+        .contender_accesses(contender_accesses)
+        .cores(core_counts.iter().map(|&c| c as usize).collect())
+        .iterations(iterations)
+        .max_k(max_k)
+        .methodology(methodology);
+    if !arbiters.is_empty() {
+        grid = grid.arbiters(arbiters);
+    }
+
+    let default_jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = parsed.get_u64("jobs", default_jobs as u64)?.max(1) as usize;
+    let result = Campaign::builder().grid(&grid).jobs(jobs).build().run();
+
+    let rendered = match parsed.get("format").unwrap_or("text") {
+        "text" => result.render_text(),
+        "json" => result.to_json(),
+        "csv" => result.to_csv(),
+        other => {
+            return Err(CliError::UnknownChoice {
+                flag: "format",
+                value: other.to_string(),
+                allowed: "text, json, csv",
+            })
+        }
+    };
+
+    if let Some(path) = parsed.get("out") {
+        std::fs::write(path, &rendered).map_err(|e| CliError::Tool(Box::new(e)))?;
+        return Ok(format!("wrote {} bytes to {path}\n", rendered.len()));
+    }
+    Ok(rendered)
+}
+
 fn help_text() -> String {
     String::from(
         "rrb — measurement-based contention bounds for round-robin buses\n\
@@ -259,6 +381,13 @@ fn help_text() -> String {
                      [--arch ...] [--kernel NAME] [--iterations N] [--trials N]\n\
            simulate  run a random EEMBC workload and print its PMC digest\n\
                      [--arch ...] [--seed N] [--scua-iterations N]\n\
+           campaign  run a scenario grid through the parallel batch runner\n\
+                     [--scenario derive|naive|sweep|validate] [--arch ...]\n\
+                     [--arbiters rr,fp,fifo,tdma:<slot>,grr:<group>]\n\
+                     [--grid-cores 2,3,4] [--accesses load,store]\n\
+                     [--contenders load,store] [--iterations 100,200]\n\
+                     [--max-k N] [--jobs N] [--format text|json|csv]\n\
+                     [--out FILE]\n\
            help      this text\n",
     )
 }
@@ -275,8 +404,53 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let h = run("help").expect("help");
-        for cmd in ["derive", "naive", "gamma", "audit", "simulate"] {
+        for cmd in ["derive", "naive", "gamma", "audit", "simulate", "campaign"] {
             assert!(h.contains(cmd), "help must mention {cmd}");
+        }
+    }
+
+    #[test]
+    fn campaign_text_summarises_grid_cells() {
+        let out = run("campaign --arch toy --cores 4 --l-bus 2 --scenario derive \
+             --arbiters rr,fifo --iterations 60 --max-k 14 --jobs 2")
+        .expect("campaign");
+        assert!(out.contains("derive/rr/c4/load-vs-load/i60"), "{out}");
+        assert!(out.contains("derive/fifo/c4/load-vs-load/i60"), "{out}");
+        assert!(out.contains("ubd_m = 6"), "{out}");
+        assert!(out.contains("campaign: 2 scenario(s)"), "{out}");
+    }
+
+    #[test]
+    fn campaign_json_is_identical_across_jobs() {
+        let line = "campaign --arch toy --cores 4 --l-bus 2 --scenario naive \
+                    --contenders load,store --iterations 80 --format json";
+        let serial = run(&format!("{line} --jobs 1")).expect("serial");
+        let parallel = run(&format!("{line} --jobs 8")).expect("parallel");
+        assert_eq!(serial, parallel, "campaign output must not depend on --jobs");
+        assert!(serial.contains("\"runs\""));
+        assert!(serial.contains("\"ubd_m_max_gamma\": 5"));
+    }
+
+    #[test]
+    fn campaign_csv_has_run_rows() {
+        let out = run("campaign --arch toy --cores 4 --l-bus 2 --scenario sweep \
+             --max-k 13 --iterations 60 --format csv")
+        .expect("campaign");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("scenario,label,status"));
+        assert_eq!(lines.len(), 1 + 2 * 14, "header + iso/contended pair per k");
+    }
+
+    #[test]
+    fn campaign_rejects_bad_scenario_format_and_arbiter() {
+        for (line, needle) in [
+            ("campaign --scenario warp", "derive, naive, sweep, validate"),
+            ("campaign --format yaml", "text, json, csv"),
+            ("campaign --arbiters cdma", "tdma:<slot>"),
+            ("campaign --accesses rmw", "load, store"),
+        ] {
+            let e = run(line).expect_err("must fail");
+            assert!(e.to_string().contains(needle), "{line}: {e}");
         }
     }
 
@@ -303,20 +477,18 @@ mod tests {
 
     #[test]
     fn derive_with_repeats_reports_consensus() {
-        let out = run(
-            "derive --arch toy --cores 4 --l-bus 2 --max-k 20 --iterations 60 --repeats 2",
-        )
-        .expect("derive");
+        let out =
+            run("derive --arch toy --cores 4 --l-bus 2 --max-k 20 --iterations 60 --repeats 2")
+                .expect("derive");
         assert!(out.contains("consensus: unanimous"), "{out}");
         assert!(out.contains("ubd_m    : 6"), "{out}");
     }
 
     #[test]
     fn derive_with_store_cross_check() {
-        let out = run(
-            "derive --arch toy --cores 4 --l-bus 2 --max-k 20 --iterations 80 --store-scua",
-        )
-        .expect("derive");
+        let out =
+            run("derive --arch toy --cores 4 --l-bus 2 --max-k 20 --iterations 80 --store-scua")
+                .expect("derive");
         assert!(out.contains("corroborated"), "{out}");
     }
 

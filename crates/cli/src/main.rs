@@ -7,6 +7,9 @@
 //! rrb gamma   [--ubd N] [--max-delta N]
 //! rrb audit   [--arch ref|var] [--kernel NAME] [--iterations N]
 //! rrb simulate [--arch ref|var] [--seed N] [--scua-iterations N]
+//! rrb campaign [--scenario derive|naive|sweep|validate]
+//!             [--arbiters rr,fp,...] [--grid-cores 2,3,4]
+//!             [--jobs N] [--format text|json|csv] [--out FILE]
 //! ```
 //!
 //! Run `rrb help` for details.

@@ -1,0 +1,961 @@
+//! The [`Campaign`] batch runner: grid expansion, run deduplication, and
+//! parallel execution of [`Scenario`] plans.
+//!
+//! The paper's methodology is inherently a sweep — the same
+//! scua/contender workload at many nop paddings, arbiters, core counts
+//! and access kinds — and every run owns its own
+//! [`Machine`](rrb_sim::Machine), so a measurement campaign is
+//! embarrassingly parallel. This module turns a set of scenarios into
+//! one deduplicated run plan, executes it across a scoped thread pool,
+//! and hands each scenario its outcomes *in plan order*, which makes
+//! campaign output **bit-identical between serial and parallel
+//! execution**:
+//!
+//! ```
+//! use rrb::campaign::{Campaign, CampaignGrid, GridScenario};
+//! use rrb_sim::MachineConfig;
+//!
+//! let grid = CampaignGrid::new(GridScenario::Derive, MachineConfig::toy(4, 2))
+//!     .iterations(vec![60, 80]);
+//! let serial = Campaign::builder().grid(&grid).jobs(1).build().run();
+//! let parallel = Campaign::builder().grid(&grid).jobs(4).build().run();
+//! assert_eq!(serial.to_json(), parallel.to_json());
+//! assert_eq!(serial.reports[0].metric_u64("ubd_m"), Some(6));
+//! ```
+
+use crate::json::{csv_field, Json};
+use crate::methodology::{MethodologyConfig, UbdScenario};
+use crate::naive::NaiveScenario;
+use crate::scenario::{RunOutcome, Scenario, ScenarioReport, SweepScenario};
+use crate::validation::GammaValidationScenario;
+use rrb_analysis::Histogram;
+use rrb_kernels::{rsk, rsk_nop, AccessKind};
+use rrb_sim::{ArbiterKind, CoreId, Machine, MachineConfig, Program, SimError};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------
+// Run specification and measurement
+// ---------------------------------------------------------------------
+
+/// One unit of machine work: a full workload executed on a fresh
+/// machine. The scua runs on core 0 and is observed; `contenders[i]`
+/// runs on core `i + 1`; cores beyond the contender list idle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Plan label, unique within a scenario (e.g. `"k=3/contended"`).
+    pub label: String,
+    /// Machine configuration for this run.
+    pub cfg: MachineConfig,
+    /// The observed program, on core 0.
+    pub scua: Program,
+    /// Programs for cores `1..=contenders.len()`.
+    pub contenders: Vec<Program>,
+}
+
+impl RunSpec {
+    /// A run of `scua` alone on core 0.
+    pub fn isolated(label: impl Into<String>, cfg: MachineConfig, scua: Program) -> Self {
+        RunSpec { label: label.into(), cfg, scua, contenders: Vec::new() }
+    }
+
+    /// A run of `scua` against explicit contender programs.
+    pub fn contended(
+        label: impl Into<String>,
+        cfg: MachineConfig,
+        scua: Program,
+        contenders: Vec<Program>,
+    ) -> Self {
+        RunSpec { label: label.into(), cfg, scua, contenders }
+    }
+
+    /// A run of `scua` against `Nc - 1` saturating rsk contenders of the
+    /// given access kind — the measurement setup of §3–§5.
+    pub fn contended_rsk(
+        label: impl Into<String>,
+        cfg: MachineConfig,
+        scua: Program,
+        access: AccessKind,
+    ) -> Self {
+        let contenders = (1..cfg.num_cores).map(|i| rsk(access, &cfg, CoreId::new(i))).collect();
+        RunSpec { label: label.into(), cfg, scua, contenders }
+    }
+
+    /// The deduplication key: everything that determines the (fully
+    /// deterministic) measurement — configuration and workload, but not
+    /// the label.
+    fn key(&self) -> RunKey {
+        RunKey {
+            cfg: self.cfg.clone(),
+            scua: self.scua.clone(),
+            contenders: self.contenders.clone(),
+        }
+    }
+}
+
+#[derive(PartialEq, Eq, Hash)]
+struct RunKey {
+    cfg: MachineConfig,
+    scua: Program,
+    contenders: Vec<Program>,
+}
+
+/// Everything measured about the scua in one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMeasurement {
+    /// Scua execution time in cycles.
+    pub execution_time: u64,
+    /// Scua bus requests.
+    pub bus_requests: u64,
+    /// Scua instructions retired.
+    pub instructions: u64,
+    /// Histogram of per-request contention delays (γ) of the scua.
+    pub gamma_histogram: Histogram,
+    /// Histogram of ready-time contender counts of the scua (Fig. 6(a)).
+    pub contender_histogram: Histogram,
+    /// Overall bus utilisation during the run.
+    pub bus_utilization: f64,
+}
+
+impl RunMeasurement {
+    /// Largest observed per-request contention delay.
+    pub fn max_gamma(&self) -> Option<u64> {
+        self.gamma_histogram.max()
+    }
+
+    /// Most frequent per-request contention delay.
+    pub fn mode_gamma(&self) -> Option<u64> {
+        self.gamma_histogram.mode()
+    }
+
+    /// Fraction of requests at the dominant γ (synchrony strength).
+    pub fn mode_fraction(&self) -> f64 {
+        match self.mode_gamma() {
+            Some(mode) => self.gamma_histogram.fraction(mode),
+            None => 0.0,
+        }
+    }
+}
+
+/// Why a single run failed. Runs fail *individually*: the campaign
+/// records the error and keeps executing the rest of the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The simulator rejected the configuration or run.
+    Sim(SimError),
+    /// The scua program never terminates, so it has no execution time.
+    NonTerminatingScua,
+    /// An estimator needed bus requests but the scua made none.
+    NoBusRequests,
+    /// Scenario-level analysis failed for a reason other than a run.
+    Analysis(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::NonTerminatingScua => {
+                write!(f, "scua program is endless and has no execution time")
+            }
+            RunError::NoBusRequests => write!(f, "scua made no bus requests"),
+            RunError::Analysis(msg) => write!(f, "scenario analysis failed: {msg}"),
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// Executes one spec on a fresh machine.
+///
+/// # Errors
+///
+/// Returns [`RunError`] when the configuration is invalid, the workload
+/// does not fit the machine, the cycle budget is exhausted, or the scua
+/// never terminates.
+pub fn execute_run(spec: &RunSpec) -> Result<RunMeasurement, RunError> {
+    let mut machine = Machine::new(spec.cfg.clone())?;
+    machine.try_load_program(CoreId::new(0), spec.scua.clone())?;
+    for (i, contender) in spec.contenders.iter().enumerate() {
+        machine.try_load_program(CoreId::new(i + 1), contender.clone())?;
+    }
+    let summary = machine.run()?;
+    let scua = CoreId::new(0);
+    let core = summary.core(scua);
+    let execution_time = core.execution_time().ok_or(RunError::NonTerminatingScua)?;
+    let pmc = machine.pmc().core(scua);
+    Ok(RunMeasurement {
+        execution_time,
+        bus_requests: core.bus_requests,
+        instructions: core.instructions,
+        gamma_histogram: Histogram::from_bins(pmc.gamma_histogram.iter().map(|(&g, &n)| (g, n))),
+        contender_histogram: Histogram::from_bins(
+            pmc.contender_histogram.iter().map(|(&c, &n)| (u64::from(c), n)),
+        ),
+        bus_utilization: summary.bus_utilization,
+    })
+}
+
+/// Executes a plan, spreading runs over `jobs` scoped worker threads.
+///
+/// Results come back **indexed by plan position**, so the output is
+/// independent of scheduling: `execute_plan(specs, 8)` returns exactly
+/// what `execute_plan(specs, 1)` returns. Each run owns its machine;
+/// workers pull the next index from a shared atomic counter.
+pub fn execute_plan(specs: &[RunSpec], jobs: usize) -> Vec<Result<RunMeasurement, RunError>> {
+    let jobs = jobs.max(1).min(specs.len().max(1));
+    if jobs == 1 {
+        return specs.iter().map(execute_run).collect();
+    }
+    let slots: Vec<Mutex<Option<Result<RunMeasurement, RunError>>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let result = execute_run(spec);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("every run executed"))
+        .collect()
+}
+
+/// [`execute_plan`] with identical specs deduplicated first: each
+/// distinct (configuration, workload) executes once and its result is
+/// scattered back to every plan position that asked for it. Labels are
+/// ignored for deduplication, exactly as in a [`Campaign`].
+pub fn execute_plan_deduped(
+    specs: &[RunSpec],
+    jobs: usize,
+) -> Vec<Result<RunMeasurement, RunError>> {
+    let mut unique: Vec<RunSpec> = Vec::new();
+    let mut seen: HashMap<RunKey, usize> = HashMap::new();
+    let mut indices = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let idx = match seen.entry(spec.key()) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let idx = unique.len();
+                unique.push(spec.clone());
+                e.insert(idx);
+                idx
+            }
+        };
+        indices.push(idx);
+    }
+    let results = execute_plan(&unique, jobs);
+    indices.into_iter().map(|idx| results[idx].clone()).collect()
+}
+
+// ---------------------------------------------------------------------
+// Records and results
+// ---------------------------------------------------------------------
+
+/// A flat, serialisable record of one executed (or failed) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Owning scenario name.
+    pub scenario: String,
+    /// Run label within the scenario (`"<plan>"` for plan failures).
+    pub label: String,
+    /// The error message for failed runs.
+    pub error: Option<String>,
+    /// Scua execution time in cycles.
+    pub execution_time: Option<u64>,
+    /// Scua bus requests.
+    pub bus_requests: Option<u64>,
+    /// Scua instructions retired.
+    pub instructions: Option<u64>,
+    /// Overall bus utilisation.
+    pub bus_utilization: Option<f64>,
+    /// Largest observed γ.
+    pub max_gamma: Option<u64>,
+    /// Dominant γ.
+    pub mode_gamma: Option<u64>,
+}
+
+impl RunRecord {
+    fn ok(scenario: &str, label: &str, m: &RunMeasurement) -> Self {
+        RunRecord {
+            scenario: scenario.to_string(),
+            label: label.to_string(),
+            error: None,
+            execution_time: Some(m.execution_time),
+            bus_requests: Some(m.bus_requests),
+            instructions: Some(m.instructions),
+            bus_utilization: Some(m.bus_utilization),
+            max_gamma: m.max_gamma(),
+            mode_gamma: m.mode_gamma(),
+        }
+    }
+
+    fn failed(scenario: &str, label: &str, error: impl fmt::Display) -> Self {
+        RunRecord {
+            scenario: scenario.to_string(),
+            label: label.to_string(),
+            error: Some(error.to_string()),
+            execution_time: None,
+            bus_requests: None,
+            instructions: None,
+            bus_utilization: None,
+            max_gamma: None,
+            mode_gamma: None,
+        }
+    }
+
+    /// Whether the run succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scenario", Json::str(self.scenario.clone())),
+            ("label", Json::str(self.label.clone())),
+            ("error", Json::option(self.error.clone(), Json::Str)),
+            ("execution_time", Json::option(self.execution_time, Json::U64)),
+            ("bus_requests", Json::option(self.bus_requests, Json::U64)),
+            ("instructions", Json::option(self.instructions, Json::U64)),
+            ("bus_utilization", Json::option(self.bus_utilization, Json::F64)),
+            ("max_gamma", Json::option(self.max_gamma, Json::U64)),
+            ("mode_gamma", Json::option(self.mode_gamma, Json::U64)),
+        ])
+    }
+}
+
+/// Execution statistics of a campaign. Not part of the serialised
+/// output: the JSON/CSV payloads must be identical across `jobs` and
+/// caching settings, while these numbers legitimately differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Scenarios in the campaign.
+    pub scenarios: usize,
+    /// Runs across all scenario plans, before deduplication.
+    pub planned_runs: usize,
+    /// Distinct runs actually executed.
+    pub executed_runs: usize,
+    /// Runs answered from the deduplication cache.
+    pub cache_hits: usize,
+    /// Runs that ended in an error record.
+    pub failed_runs: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+/// The collected output of a campaign: per-run records in deterministic
+/// plan order plus one analysed report per scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Per-run records, ordered by (scenario, plan position).
+    pub records: Vec<RunRecord>,
+    /// Per-scenario analysis reports, in scenario order.
+    pub reports: Vec<ScenarioReport>,
+    /// Execution statistics (excluded from serialised output).
+    pub stats: CampaignStats,
+}
+
+impl CampaignResult {
+    /// The serialisable payload as pretty-printed JSON. Byte-identical
+    /// across serial/parallel execution and cache settings.
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("runs", Json::Arr(self.records.iter().map(RunRecord::to_json).collect())),
+            ("scenarios", Json::Arr(self.reports.iter().map(ScenarioReport::to_json).collect())),
+        ])
+        .render_pretty()
+    }
+
+    /// The per-run records as CSV (RFC 4180), one row per record.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,label,status,error,execution_time,bus_requests,instructions,bus_utilization,max_gamma,mode_gamma\n",
+        );
+        for r in &self.records {
+            let opt_u64 = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_default();
+            let row = [
+                csv_field(&r.scenario),
+                csv_field(&r.label),
+                String::from(if r.is_ok() { "ok" } else { "error" }),
+                csv_field(r.error.as_deref().unwrap_or("")),
+                opt_u64(r.execution_time),
+                opt_u64(r.bus_requests),
+                opt_u64(r.instructions),
+                r.bus_utilization.map(|u| format!("{u}")).unwrap_or_default(),
+                opt_u64(r.max_gamma),
+                opt_u64(r.mode_gamma),
+            ];
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A human-readable summary: one line per scenario plus the stats.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for report in &self.reports {
+            let _ = writeln!(out, "{:<40} {}", report.scenario, report.summary);
+            for metric in &report.metrics {
+                let _ = writeln!(out, "    {:<24} {}", metric.name, metric.value);
+            }
+        }
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "campaign: {} scenario(s), {} run(s) planned, {} executed ({} cache hit(s)), {} failed, {} job(s)",
+            s.scenarios, s.planned_runs, s.executed_runs, s.cache_hits, s.failed_runs, s.jobs
+        );
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------------
+
+/// Builder for a [`Campaign`].
+pub struct CampaignBuilder {
+    scenarios: Vec<Box<dyn Scenario + Send + Sync>>,
+    jobs: usize,
+    dedup: bool,
+}
+
+impl Default for CampaignBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CampaignBuilder {
+    /// An empty builder (serial execution, deduplication on).
+    pub fn new() -> Self {
+        CampaignBuilder { scenarios: Vec::new(), jobs: 1, dedup: true }
+    }
+
+    /// Adds one scenario.
+    #[must_use]
+    pub fn scenario(mut self, scenario: impl Scenario + Send + Sync + 'static) -> Self {
+        self.scenarios.push(Box::new(scenario));
+        self
+    }
+
+    /// Adds an already boxed scenario.
+    #[must_use]
+    pub fn boxed(mut self, scenario: Box<dyn Scenario + Send + Sync>) -> Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Adds every cell of a parameter grid.
+    #[must_use]
+    pub fn grid(mut self, grid: &CampaignGrid) -> Self {
+        self.scenarios.extend(grid.scenarios());
+        self
+    }
+
+    /// Sets the worker-thread count (1 = serial; values are clamped to
+    /// the plan size at execution).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enables or disables run deduplication (the shared-baseline
+    /// cache). On by default; turning it off re-executes every planned
+    /// run and must produce identical output.
+    #[must_use]
+    pub fn dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Finalises the campaign.
+    pub fn build(self) -> Campaign {
+        Campaign { scenarios: self.scenarios, jobs: self.jobs, dedup: self.dedup }
+    }
+}
+
+/// A batch of scenarios executed as one deduplicated, parallel run plan.
+pub struct Campaign {
+    scenarios: Vec<Box<dyn Scenario + Send + Sync>>,
+    jobs: usize,
+    dedup: bool,
+}
+
+impl Campaign {
+    /// Starts a builder.
+    pub fn builder() -> CampaignBuilder {
+        CampaignBuilder::new()
+    }
+
+    /// Number of scenarios in the campaign.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the campaign has no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Plans, deduplicates, executes, and analyses every scenario.
+    ///
+    /// Failures are contained at the finest grain available: a scenario
+    /// that cannot be planned yields a single error record; a run that
+    /// fails yields an error outcome for its scenario's analysis. The
+    /// campaign itself always completes.
+    pub fn run(&self) -> CampaignResult {
+        // Phase 1: plan every scenario (pure, serial).
+        let plans: Vec<_> = self.scenarios.iter().map(|s| (s.name(), s.plan())).collect();
+
+        // Phase 2: build the deduplicated execution plan. `mapping`
+        // records, for every planned run, its index in `unique`.
+        let mut unique: Vec<RunSpec> = Vec::new();
+        let mut seen: HashMap<RunKey, usize> = HashMap::new();
+        let mut mapping: Vec<Vec<usize>> = Vec::with_capacity(plans.len());
+        let mut planned_runs = 0usize;
+        for (_, plan) in &plans {
+            let mut indices = Vec::new();
+            if let Ok(specs) = plan {
+                planned_runs += specs.len();
+                for spec in specs {
+                    let idx = if self.dedup {
+                        match seen.entry(spec.key()) {
+                            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                let idx = unique.len();
+                                unique.push(spec.clone());
+                                e.insert(idx);
+                                idx
+                            }
+                        }
+                    } else {
+                        let idx = unique.len();
+                        unique.push(spec.clone());
+                        idx
+                    };
+                    indices.push(idx);
+                }
+            }
+            mapping.push(indices);
+        }
+
+        // Phase 3: execute the unique runs (parallel, order-free).
+        let results = execute_plan(&unique, self.jobs);
+
+        // Phase 4: scatter outcomes back in plan order and analyse.
+        let mut records = Vec::with_capacity(planned_runs);
+        let mut reports = Vec::with_capacity(plans.len());
+        let mut failed_runs = 0usize;
+        for (scenario, ((name, plan), indices)) in
+            self.scenarios.iter().zip(plans.iter().zip(&mapping))
+        {
+            match plan {
+                Err(e) => {
+                    failed_runs += 1;
+                    records.push(RunRecord::failed(name, "<plan>", e));
+                    reports.push(ScenarioReport::failure(name.clone(), e));
+                }
+                Ok(specs) => {
+                    let outcomes: Vec<RunOutcome> = specs
+                        .iter()
+                        .zip(indices)
+                        .map(|(spec, &idx)| RunOutcome {
+                            label: spec.label.clone(),
+                            result: results[idx].clone(),
+                        })
+                        .collect();
+                    for outcome in &outcomes {
+                        records.push(match &outcome.result {
+                            Ok(m) => RunRecord::ok(name, &outcome.label, m),
+                            Err(e) => {
+                                failed_runs += 1;
+                                RunRecord::failed(name, &outcome.label, e)
+                            }
+                        });
+                    }
+                    reports.push(scenario.analyze(&outcomes));
+                }
+            }
+        }
+
+        CampaignResult {
+            records,
+            reports,
+            stats: CampaignStats {
+                scenarios: self.scenarios.len(),
+                planned_runs,
+                executed_runs: unique.len(),
+                cache_hits: planned_runs - unique.len(),
+                failed_runs,
+                jobs: self.jobs,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parameter grids
+// ---------------------------------------------------------------------
+
+/// Which scenario a [`CampaignGrid`] instantiates per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridScenario {
+    /// Full rsk-nop ubd derivation (§4).
+    Derive,
+    /// The naive rsk-vs-rsk estimate (§3).
+    Naive,
+    /// A raw saw-tooth slowdown sweep (Fig. 7).
+    Sweep,
+    /// White-box γ-model validation (Eq. 2 vs machine).
+    ValidateGamma,
+}
+
+impl GridScenario {
+    fn slug(self) -> &'static str {
+        match self {
+            GridScenario::Derive => "derive",
+            GridScenario::Naive => "naive",
+            GridScenario::Sweep => "sweep",
+            GridScenario::ValidateGamma => "validate",
+        }
+    }
+}
+
+/// A short, filename-safe name for an arbiter.
+pub fn arbiter_slug(kind: ArbiterKind) -> String {
+    match kind {
+        ArbiterKind::RoundRobin => String::from("rr"),
+        ArbiterKind::FixedPriority => String::from("fp"),
+        ArbiterKind::Fifo => String::from("fifo"),
+        ArbiterKind::Tdma { slot_cycles } => format!("tdma{slot_cycles}"),
+        ArbiterKind::GroupedRoundRobin { group_size } => format!("grr{group_size}"),
+    }
+}
+
+/// A short name for an access kind.
+pub fn access_slug(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Load => "load",
+        AccessKind::Store => "store",
+    }
+}
+
+/// A parameter grid over a base machine: the cartesian product of
+/// arbiter × core count × scua access × contender access × iterations,
+/// each cell instantiating one [`GridScenario`]. Shared runs between
+/// cells (isolated baselines in particular: they do not depend on the
+/// contender access) are deduplicated by the campaign runner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignGrid {
+    /// The scenario kind instantiated per cell.
+    pub scenario: GridScenario,
+    /// The base machine every cell starts from.
+    pub base: MachineConfig,
+    /// Arbitration policies to sweep.
+    pub arbiters: Vec<ArbiterKind>,
+    /// Core counts to sweep (the L2 way count is raised when needed, as
+    /// [`MachineConfig::toy`] does, so cells stay partitionable).
+    pub cores: Vec<usize>,
+    /// Scua access kinds to sweep.
+    pub accesses: Vec<AccessKind>,
+    /// Contender access kinds to sweep.
+    pub contender_accesses: Vec<AccessKind>,
+    /// Per-run iteration counts to sweep.
+    pub iteration_counts: Vec<u64>,
+    /// Largest nop padding swept inside each cell (`max_k`).
+    pub max_k: usize,
+    /// Methodology template for `Derive` cells (access kinds, iterations
+    /// and `max_k` are overridden per cell).
+    pub methodology: MethodologyConfig,
+}
+
+impl CampaignGrid {
+    /// A 1×1×…×1 grid over `base`; widen dimensions with the setters.
+    pub fn new(scenario: GridScenario, base: MachineConfig) -> Self {
+        let mut methodology = MethodologyConfig::fast();
+        methodology.max_k = ((base.ubd() as usize) * 3).max(12);
+        CampaignGrid {
+            scenario,
+            arbiters: vec![base.bus.arbiter],
+            cores: vec![base.num_cores],
+            accesses: vec![AccessKind::Load],
+            contender_accesses: vec![AccessKind::Load],
+            iteration_counts: vec![methodology.iterations],
+            max_k: methodology.max_k,
+            methodology,
+            base,
+        }
+    }
+
+    /// Sweeps the arbitration policy.
+    #[must_use]
+    pub fn arbiters(mut self, arbiters: Vec<ArbiterKind>) -> Self {
+        self.arbiters = arbiters;
+        self
+    }
+
+    /// Sweeps the core count.
+    #[must_use]
+    pub fn cores(mut self, cores: Vec<usize>) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Sweeps the scua access kind.
+    #[must_use]
+    pub fn accesses(mut self, accesses: Vec<AccessKind>) -> Self {
+        self.accesses = accesses;
+        self
+    }
+
+    /// Sweeps the contender access kind.
+    #[must_use]
+    pub fn contender_accesses(mut self, accesses: Vec<AccessKind>) -> Self {
+        self.contender_accesses = accesses;
+        self
+    }
+
+    /// Sweeps the per-run iteration count.
+    #[must_use]
+    pub fn iterations(mut self, iteration_counts: Vec<u64>) -> Self {
+        self.iteration_counts = iteration_counts;
+        self
+    }
+
+    /// Sets the in-cell nop-padding ceiling.
+    #[must_use]
+    pub fn max_k(mut self, max_k: usize) -> Self {
+        self.max_k = max_k;
+        self
+    }
+
+    /// Sets the methodology template for `Derive` cells.
+    #[must_use]
+    pub fn methodology(mut self, methodology: MethodologyConfig) -> Self {
+        self.methodology = methodology;
+        self
+    }
+
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.arbiters.len()
+            * self.cores.len()
+            * self.accesses.len()
+            * self.contender_accesses.len()
+            * self.iteration_counts.len()
+    }
+
+    /// Expands the grid into one scenario per cell, in a deterministic
+    /// (row-major) order.
+    pub fn scenarios(&self) -> Vec<Box<dyn Scenario + Send + Sync>> {
+        let mut out: Vec<Box<dyn Scenario + Send + Sync>> = Vec::with_capacity(self.cell_count());
+        for &arbiter in &self.arbiters {
+            for &cores in &self.cores {
+                for &access in &self.accesses {
+                    for &contender_access in &self.contender_accesses {
+                        for &iterations in &self.iteration_counts {
+                            let mut cfg = self.base.clone();
+                            cfg.bus.arbiter = arbiter;
+                            cfg.num_cores = cores;
+                            if (cfg.l2.ways as usize) < cores {
+                                cfg.l2.ways = cores as u32;
+                            }
+                            let name = format!(
+                                "{}/{}/c{}/{}-vs-{}/i{}",
+                                self.scenario.slug(),
+                                arbiter_slug(arbiter),
+                                cores,
+                                access_slug(access),
+                                access_slug(contender_access),
+                                iterations,
+                            );
+                            out.push(self.cell(name, cfg, access, contender_access, iterations));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn cell(
+        &self,
+        name: String,
+        cfg: MachineConfig,
+        access: AccessKind,
+        contender_access: AccessKind,
+        iterations: u64,
+    ) -> Box<dyn Scenario + Send + Sync> {
+        match self.scenario {
+            GridScenario::Derive => {
+                let mut mcfg = self.methodology.clone();
+                mcfg.access = access;
+                mcfg.contender_access = contender_access;
+                mcfg.iterations = iterations;
+                mcfg.max_k = self.max_k;
+                Box::new(UbdScenario::new(cfg, mcfg).named(name))
+            }
+            GridScenario::Naive => {
+                let scua = rsk_nop(access, 0, &cfg, CoreId::new(0), iterations);
+                Box::new(NaiveScenario::new(cfg, scua, contender_access).named(name))
+            }
+            GridScenario::Sweep => Box::new(
+                SweepScenario::new(cfg, self.max_k, iterations)
+                    .access(access)
+                    .contenders(contender_access)
+                    .named(name),
+            ),
+            GridScenario::ValidateGamma => Box::new(
+                GammaValidationScenario::new(cfg, self.max_k as u64, iterations).named(name),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrb_kernels::rsk_nop;
+
+    fn toy() -> MachineConfig {
+        MachineConfig::toy(4, 2)
+    }
+
+    #[test]
+    fn execute_run_matches_direct_machine_run() {
+        let cfg = toy();
+        let scua = rsk_nop(AccessKind::Load, 1, &cfg, CoreId::new(0), 60);
+        let spec = RunSpec::contended_rsk("r", cfg.clone(), scua.clone(), AccessKind::Load);
+        let m = execute_run(&spec).expect("run");
+        assert!(m.execution_time > 0);
+        assert!(m.bus_requests >= 300);
+        assert!(m.bus_utilization > 0.9);
+        let iso = execute_run(&RunSpec::isolated("i", cfg, scua)).expect("run");
+        assert!(iso.execution_time < m.execution_time);
+        assert_eq!(iso.max_gamma(), Some(0));
+    }
+
+    #[test]
+    fn invalid_config_is_a_run_error_not_a_panic() {
+        let mut cfg = toy();
+        cfg.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 1 };
+        let scua = rsk_nop(AccessKind::Load, 0, &toy(), CoreId::new(0), 10);
+        let spec = RunSpec::isolated("bad", cfg, scua);
+        assert!(matches!(execute_run(&spec), Err(RunError::Sim(SimError::Config(_)))));
+    }
+
+    #[test]
+    fn endless_scua_is_reported() {
+        let cfg = toy();
+        let scua = rsk(AccessKind::Load, &cfg, CoreId::new(0));
+        let spec = RunSpec::isolated("endless", cfg, scua);
+        assert!(matches!(execute_run(&spec), Err(RunError::NonTerminatingScua)));
+    }
+
+    #[test]
+    fn deduped_plan_matches_plain_execution() {
+        let cfg = toy();
+        let scua = rsk_nop(AccessKind::Load, 1, &cfg, CoreId::new(0), 40);
+        let spec = RunSpec::isolated("a", cfg.clone(), scua.clone());
+        let specs =
+            vec![spec.clone(), RunSpec::isolated("b", cfg, scua), spec.clone(), spec.clone()];
+        let deduped = execute_plan_deduped(&specs, 2);
+        let plain = execute_plan(&specs, 1);
+        assert_eq!(deduped, plain);
+        assert_eq!(deduped.len(), 4);
+    }
+
+    #[test]
+    fn parallel_plan_execution_matches_serial() {
+        let cfg = toy();
+        let specs: Vec<RunSpec> = (0..6)
+            .map(|k| {
+                RunSpec::contended_rsk(
+                    format!("k={k}"),
+                    cfg.clone(),
+                    rsk_nop(AccessKind::Load, k, &cfg, CoreId::new(0), 40),
+                    AccessKind::Load,
+                )
+            })
+            .collect();
+        let serial = execute_plan(&specs, 1);
+        let parallel = execute_plan(&specs, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn dedup_counts_shared_baselines_once() {
+        // Two naive cells differing only in contender access share their
+        // isolated baseline.
+        let grid = CampaignGrid::new(GridScenario::Naive, toy())
+            .contender_accesses(vec![AccessKind::Load, AccessKind::Store]);
+        let result = Campaign::builder().grid(&grid).build().run();
+        assert_eq!(result.stats.planned_runs, 4);
+        assert_eq!(result.stats.executed_runs, 3, "one shared isolated baseline");
+        assert_eq!(result.stats.cache_hits, 1);
+        assert_eq!(result.stats.failed_runs, 0);
+    }
+
+    #[test]
+    fn grid_expands_row_major_and_counts_cells() {
+        let grid = CampaignGrid::new(GridScenario::Derive, toy())
+            .arbiters(vec![ArbiterKind::RoundRobin, ArbiterKind::Fifo])
+            .iterations(vec![50, 60]);
+        assert_eq!(grid.cell_count(), 4);
+        let names: Vec<String> = grid.scenarios().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "derive/rr/c4/load-vs-load/i50",
+                "derive/rr/c4/load-vs-load/i60",
+                "derive/fifo/c4/load-vs-load/i50",
+                "derive/fifo/c4/load-vs-load/i60",
+            ]
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_record() {
+        let grid = CampaignGrid::new(GridScenario::Naive, toy());
+        let result = Campaign::builder().grid(&grid).build().run();
+        let csv = result.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("scenario,label,status"));
+        assert_eq!(lines.len(), 1 + result.records.len());
+        assert!(lines[1].contains(",ok,"));
+    }
+
+    #[test]
+    fn empty_campaign_is_well_formed() {
+        let result = Campaign::builder().build().run();
+        assert!(result.records.is_empty());
+        assert!(result.reports.is_empty());
+        assert!(result.to_json().contains("\"runs\": []"));
+    }
+}

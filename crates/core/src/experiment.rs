@@ -9,10 +9,16 @@
 //!
 //! whose difference `det = ExecTime_rsk − ExecTime_isol` is the total
 //! contention the bus inflicted.
+//!
+//! Since the `Scenario`/`Campaign` redesign these helpers are thin views
+//! over the batch runner: each one builds a [`RunSpec`] and executes it
+//! through [`execute_run`], the same code path the parallel
+//! [`Campaign`](crate::campaign::Campaign) uses — so a measurement taken
+//! here is bit-identical to the same run inside a campaign.
 
+use crate::campaign::{execute_run, RunError, RunMeasurement, RunSpec};
 use rrb_analysis::Histogram;
-use rrb_kernels::workload::scua_vs_contenders;
-use rrb_sim::{CoreId, Machine, MachineConfig, Program, SimError};
+use rrb_sim::{CoreId, MachineConfig, Program};
 
 /// Result of running a program alone on the machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +29,16 @@ pub struct IsolatedRun {
     pub bus_requests: u64,
     /// Instructions retired.
     pub instructions: u64,
+}
+
+impl From<RunMeasurement> for IsolatedRun {
+    fn from(m: RunMeasurement) -> Self {
+        IsolatedRun {
+            execution_time: m.execution_time,
+            bus_requests: m.bus_requests,
+            instructions: m.instructions,
+        }
+    }
 }
 
 /// Result of running a scua against contenders.
@@ -38,6 +54,18 @@ pub struct ContendedRun {
     pub contender_histogram: Histogram,
     /// Overall bus utilisation during the run.
     pub bus_utilization: f64,
+}
+
+impl From<RunMeasurement> for ContendedRun {
+    fn from(m: RunMeasurement) -> Self {
+        ContendedRun {
+            execution_time: m.execution_time,
+            bus_requests: m.bus_requests,
+            gamma_histogram: m.gamma_histogram,
+            contender_histogram: m.contender_histogram,
+            bus_utilization: m.bus_utilization,
+        }
+    }
 }
 
 /// A paired isolated/contended measurement of one scua.
@@ -56,14 +84,14 @@ impl SlowdownMeasurement {
     }
 
     /// The naive per-request bound `ubd_m = det / nr` (rounded up, the
-    /// conservative reading).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scua made no bus requests.
-    pub fn naive_ubd_m(&self) -> u64 {
-        assert!(self.isolated.bus_requests > 0, "scua made no bus requests");
-        self.det().div_ceil(self.isolated.bus_requests)
+    /// conservative reading), or `None` when the scua made no bus
+    /// requests — batch runners record that as a per-run error instead
+    /// of panicking.
+    pub fn naive_ubd_m(&self) -> Option<u64> {
+        if self.isolated.bus_requests == 0 {
+            return None;
+        }
+        Some(self.det().div_ceil(self.isolated.bus_requests))
     }
 }
 
@@ -71,19 +99,10 @@ impl SlowdownMeasurement {
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if the configuration is invalid or the cycle
-/// budget is exhausted.
-pub fn run_isolated(cfg: &MachineConfig, program: Program) -> Result<IsolatedRun, SimError> {
-    let mut machine = Machine::new(cfg.clone())?;
-    let scua = CoreId::new(0);
-    machine.load_program(scua, program);
-    let summary = machine.run()?;
-    let core = summary.core(scua);
-    Ok(IsolatedRun {
-        execution_time: core.execution_time().expect("finite program completed"),
-        bus_requests: core.bus_requests,
-        instructions: core.instructions,
-    })
+/// Returns [`RunError`] if the configuration is invalid, the cycle
+/// budget is exhausted, or the program never terminates.
+pub fn run_isolated(cfg: &MachineConfig, program: Program) -> Result<IsolatedRun, RunError> {
+    execute_run(&RunSpec::isolated("isolated", cfg.clone(), program)).map(IsolatedRun::from)
 }
 
 /// Runs `scua_program` on core 0 against `contender(core)` on every other
@@ -91,45 +110,31 @@ pub fn run_isolated(cfg: &MachineConfig, program: Program) -> Result<IsolatedRun
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if the configuration is invalid or the cycle
-/// budget is exhausted.
+/// Returns [`RunError`] if the configuration is invalid, the cycle
+/// budget is exhausted, or the scua never terminates.
 pub fn run_contended<F>(
     cfg: &MachineConfig,
     scua_program: Program,
-    contender: F,
-) -> Result<ContendedRun, SimError>
+    mut contender: F,
+) -> Result<ContendedRun, RunError>
 where
     F: FnMut(CoreId) -> Program,
 {
-    let workload = scua_vs_contenders(cfg, scua_program, contender);
-    let scua = workload.scua;
-    let mut machine = workload.into_machine(cfg)?;
-    let summary = machine.run()?;
-    let core = summary.core(scua);
-    let pmc = machine.pmc().core(scua);
-    Ok(ContendedRun {
-        execution_time: core.execution_time().expect("finite program completed"),
-        bus_requests: core.bus_requests,
-        gamma_histogram: Histogram::from_bins(
-            pmc.gamma_histogram.iter().map(|(&g, &n)| (g, n)),
-        ),
-        contender_histogram: Histogram::from_bins(
-            pmc.contender_histogram.iter().map(|(&c, &n)| (u64::from(c), n)),
-        ),
-        bus_utilization: summary.bus_utilization,
-    })
+    let contenders = (1..cfg.num_cores).map(|i| contender(CoreId::new(i))).collect();
+    execute_run(&RunSpec::contended("contended", cfg.clone(), scua_program, contenders))
+        .map(ContendedRun::from)
 }
 
 /// Runs both measurements for one scua.
 ///
 /// # Errors
 ///
-/// Propagates any [`SimError`] from either run.
+/// Propagates any [`RunError`] from either run.
 pub fn measure_slowdown<F>(
     cfg: &MachineConfig,
     scua_program: Program,
     contender: F,
-) -> Result<SlowdownMeasurement, SimError>
+) -> Result<SlowdownMeasurement, RunError>
 where
     F: FnMut(CoreId) -> Program,
 {
@@ -179,9 +184,27 @@ mod tests {
         let cfg = cfg();
         let p = rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 500);
         let m = measure_slowdown(&cfg, p, |c| rsk(AccessKind::Load, &cfg, c)).expect("run");
-        let naive = m.naive_ubd_m();
+        let naive = m.naive_ubd_m().expect("scua made bus requests");
         assert!(naive < cfg.ubd(), "naive {naive} must undercut ubd {}", cfg.ubd());
         assert!(naive >= 20, "but it is not absurdly low either");
+    }
+
+    #[test]
+    fn naive_ubd_m_is_none_without_bus_requests() {
+        // A pure-compute scua has nr = 0; the estimator must decline
+        // rather than panic (the old behaviour) so batch campaigns can
+        // record it as a per-run error.
+        let measurement = SlowdownMeasurement {
+            isolated: IsolatedRun { execution_time: 100, bus_requests: 0, instructions: 50 },
+            contended: ContendedRun {
+                execution_time: 100,
+                bus_requests: 0,
+                gamma_histogram: Histogram::new(),
+                contender_histogram: Histogram::new(),
+                bus_utilization: 0.99,
+            },
+        };
+        assert_eq!(measurement.naive_ubd_m(), None);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Minimal JSON document model and renderer.
+//!
+//! Campaign results must serialize deterministically — the parallel
+//! runner's acceptance test is *byte identity* between serial and
+//! parallel executions — and the workspace builds offline with std only,
+//! so this module provides a small, dependency-free JSON value type
+//! instead of an external serializer. Rendering is stable: object keys
+//! keep insertion order, floats use Rust's shortest round-trip
+//! formatting, and non-finite floats render as `null`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number (rendered as `null` when non-finite).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order for deterministic output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An array of unsigned integers.
+    pub fn u64_array(values: &[u64]) -> Self {
+        Json::Arr(values.iter().map(|&v| Json::U64(v)).collect())
+    }
+
+    /// `Json::Null` for `None`, the mapped value otherwise.
+    pub fn option<T>(value: Option<T>, f: impl FnOnce(T) -> Json) -> Self {
+        value.map_or(Json::Null, f)
+    }
+
+    /// Renders the value as a compact single-line document.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value pretty-printed with two-space indentation and a
+    /// trailing newline.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // Shortest round-trip formatting; force a decimal
+                    // point so the value re-parses as a float.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    if !s.contains('.') && !s.contains('e') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escapes one CSV field (RFC 4180 quoting: only when needed).
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render_compact(), "null");
+        assert_eq!(Json::Bool(true).render_compact(), "true");
+        assert_eq!(Json::U64(42).render_compact(), "42");
+        assert_eq!(Json::I64(-3).render_compact(), "-3");
+        assert_eq!(Json::F64(0.5).render_compact(), "0.5");
+        assert_eq!(Json::F64(1.0).render_compact(), "1.0");
+        assert_eq!(Json::F64(f64::NAN).render_compact(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd").render_compact(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::str("\u{1}").render_compact(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn compound_values_render_compact() {
+        let v = Json::obj(vec![
+            ("xs", Json::u64_array(&[1, 2])),
+            ("name", Json::str("rr")),
+            ("none", Json::option(None::<u64>, Json::U64)),
+        ]);
+        assert_eq!(v.render_compact(), "{\"xs\":[1,2],\"name\":\"rr\",\"none\":null}");
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented_and_stable() {
+        let v = Json::obj(vec![("a", Json::U64(1)), ("b", Json::Arr(vec![Json::Null]))]);
+        let expected = "{\n  \"a\": 1,\n  \"b\": [\n    null\n  ]\n}\n";
+        assert_eq!(v.render_pretty(), expected);
+        assert_eq!(v.render_pretty(), v.render_pretty());
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        assert_eq!(Json::Arr(vec![]).render_pretty(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).render_compact(), "{}");
+    }
+
+    #[test]
+    fn csv_fields_quote_only_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -19,10 +19,17 @@
 //!   bus accesses, and recover `ubd` as the period of the saw-tooth that
 //!   the slowdown traces out (Eq. 3) — requiring *no* knowledge of bus
 //!   timing;
-//! * the **experiment harness** ([`experiment`]) shared by both, and
-//!   plain-text reporting ([`report`]) used by the figure regenerators.
+//! * the **experiment layer**: every experiment is a [`Scenario`] (a
+//!   pure plan of machine runs plus an analysis) executed by the
+//!   [`Campaign`] batch runner ([`campaign`]), which expands parameter
+//!   grids, deduplicates shared runs, executes across a scoped thread
+//!   pool, and serialises structured records as JSON/CSV ([`json`]) —
+//!   with output bit-identical between serial and parallel execution;
+//! * the shared single-run harness ([`experiment`]) behind the
+//!   scenarios, and plain-text reporting ([`report`]) used by the figure
+//!   regenerators.
 //!
-//! ## Quick start
+//! ## Quick start: one derivation
 //!
 //! ```
 //! use rrb::methodology::{derive_ubd, MethodologyConfig};
@@ -37,17 +44,42 @@
 //! # }
 //! ```
 //!
+//! ## Quick start: a parallel campaign
+//!
+//! The methodology is inherently a sweep, so production measurement is a
+//! *campaign*: a grid of scenarios expanded into one deduplicated run
+//! plan and executed in parallel, each run on its own machine.
+//!
+//! ```
+//! use rrb::campaign::{Campaign, CampaignGrid, GridScenario};
+//! use rrb_sim::{ArbiterKind, MachineConfig};
+//!
+//! let grid = CampaignGrid::new(GridScenario::Derive, MachineConfig::toy(4, 2))
+//!     .arbiters(vec![ArbiterKind::RoundRobin, ArbiterKind::Fifo]);
+//! let result = Campaign::builder().grid(&grid).jobs(4).build().run();
+//!
+//! // Round-robin recovers the hidden ubd = 6; FIFO is refused — and the
+//! // failure is a per-scenario record, not a poisoned campaign.
+//! assert_eq!(result.reports[0].metric_u64("ubd_m"), Some(6));
+//! assert!(!result.reports[1].is_ok());
+//! let json = result.to_json(); // bit-identical for any --jobs value
+//! assert!(json.contains("\"ubd_m\": 6"));
+//! ```
+//!
 //! The companion crates are re-exported under [`sim`], [`kernels`] and
 //! [`analysis`] so downstream users need a single dependency.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiment;
+pub mod json;
 pub mod mbta;
 pub mod methodology;
 pub mod naive;
 pub mod report;
+pub mod scenario;
 pub mod validation;
 
 /// Re-export of the simulator substrate.
@@ -57,8 +89,21 @@ pub use rrb_kernels as kernels;
 /// Re-export of the analytic layer.
 pub use rrb_sim as sim;
 
+pub use campaign::{
+    execute_plan, execute_run, Campaign, CampaignBuilder, CampaignGrid, CampaignResult,
+    CampaignStats, GridScenario, RunError, RunMeasurement, RunRecord, RunSpec,
+};
 pub use experiment::{ContendedRun, IsolatedRun, SlowdownMeasurement};
 pub use mbta::{BoundValidation, MbtaAnalysis, TaskBound, TaskSpec};
-pub use methodology::{derive_ubd, derive_ubd_repeated, store_tooth_check, MethodologyConfig, MethodologyError, RepeatedDerivation, StoreToothCheck, UbdDerivation};
-pub use naive::{naive_rsk_vs_rsk, naive_scua_vs_rsk, NaiveEstimate};
-pub use validation::{validate_gamma_model, GammaComparison, ValidationReport};
+pub use methodology::{
+    derive_ubd, derive_ubd_repeated, derive_ubd_repeated_jobs, store_tooth_check,
+    MethodologyConfig, MethodologyError, RepeatedDerivation, StoreToothCheck, UbdDerivation,
+    UbdScenario,
+};
+pub use naive::{naive_rsk_vs_rsk, naive_scua_vs_rsk, NaiveEstimate, NaiveScenario};
+pub use scenario::{
+    Metric, MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport, SweepScenario,
+};
+pub use validation::{
+    validate_gamma_model, GammaComparison, GammaValidationScenario, ValidationReport,
+};

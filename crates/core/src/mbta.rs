@@ -15,11 +15,12 @@
 //! time exceeds its ETB — the regression a certification campaign would
 //! automate.
 
+use crate::campaign::RunError;
 use crate::experiment::{run_contended, run_isolated};
 use crate::methodology::{derive_ubd, MethodologyConfig, MethodologyError, UbdDerivation};
 use rrb_analysis::EtbPadding;
 use rrb_kernels::{rsk, AccessKind};
-use rrb_sim::{MachineConfig, Program, SimError};
+use rrb_sim::{MachineConfig, Program};
 use std::fmt;
 
 /// A software component submitted for analysis.
@@ -140,8 +141,8 @@ impl MbtaAnalysis {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] if the isolation run fails.
-    pub fn bound_task(&self, task: &TaskSpec) -> Result<TaskBound, SimError> {
+    /// Returns [`RunError`] if the isolation run fails.
+    pub fn bound_task(&self, task: &TaskSpec) -> Result<TaskBound, RunError> {
         let isolated = run_isolated(&self.cfg, task.program.clone())?;
         let padding = EtbPadding::new(isolated.bus_requests, self.derivation.ubd_m);
         Ok(TaskBound {
@@ -158,7 +159,7 @@ impl MbtaAnalysis {
     /// # Errors
     ///
     /// Fails on the first task whose isolation run fails.
-    pub fn bound_tasks(&self, tasks: &[TaskSpec]) -> Result<Vec<TaskBound>, SimError> {
+    pub fn bound_tasks(&self, tasks: &[TaskSpec]) -> Result<Vec<TaskBound>, RunError> {
         tasks.iter().map(|t| self.bound_task(t)).collect()
     }
 
@@ -167,21 +168,20 @@ impl MbtaAnalysis {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] if any run fails.
+    /// Returns [`RunError`] if any run fails.
     pub fn validate_bound(
         &self,
         task: &TaskSpec,
         bound: &TaskBound,
         trials: u32,
-    ) -> Result<BoundValidation, SimError> {
+    ) -> Result<BoundValidation, RunError> {
         let mut worst = 0u64;
         for trial in 0..trials {
             // Alternate contender access types across trials to explore
             // both the load and the store contention shapes.
             let access = if trial % 2 == 0 { AccessKind::Load } else { AccessKind::Store };
-            let contended = run_contended(&self.cfg, task.program.clone(), |c| {
-                rsk(access, &self.cfg, c)
-            })?;
+            let contended =
+                run_contended(&self.cfg, task.program.clone(), |c| rsk(access, &self.cfg, c))?;
             worst = worst.max(contended.execution_time);
         }
         Ok(BoundValidation {
@@ -214,10 +214,8 @@ mod tests {
     fn task_bound_structure() {
         let a = toy_analysis();
         let cfg = MachineConfig::toy(4, 2);
-        let task = TaskSpec::new(
-            "rsk-nop-3",
-            rsk_nop(AccessKind::Load, 3, &cfg, CoreId::new(0), 100),
-        );
+        let task =
+            TaskSpec::new("rsk-nop-3", rsk_nop(AccessKind::Load, 3, &cfg, CoreId::new(0), 100));
         let b = a.bound_task(&task).expect("bound");
         assert_eq!(b.pad, b.bus_requests * 6);
         assert_eq!(b.etb, b.isolation_time + b.pad);

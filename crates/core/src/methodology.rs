@@ -13,10 +13,18 @@
 //!    (verified via the utilisation counters, §4.3), and the calibrated
 //!    `δ_nop` resolves the sampling ambiguity when nops cost more than
 //!    one cycle.
+//!
+//! The whole procedure is packaged as [`UbdScenario`], a
+//! [`Scenario`](crate::scenario::Scenario): the measurement plan
+//! (calibration + one isolated/contended pair per `k`) is pure data, so
+//! a [`Campaign`](crate::campaign::Campaign) can run many derivations in
+//! parallel and deduplicate shared runs. [`derive_ubd`] is the
+//! single-scenario convenience wrapper over the same code path.
 
-use crate::experiment::measure_slowdown;
+use crate::campaign::{execute_plan, execute_plan_deduped, RunError, RunSpec};
+use crate::scenario::{MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport};
 use rrb_analysis::sawtooth::{detect_period, ubd_candidates, PeriodEstimate};
-use rrb_kernels::{estimate_delta_nop, nop_kernel, rsk, AccessKind, RskBuilder};
+use rrb_kernels::{estimate_delta_nop, nop_kernel, AccessKind, RskBuilder};
 use rrb_sim::{CoreId, MachineConfig, SimError};
 use std::error::Error;
 use std::fmt;
@@ -113,8 +121,8 @@ pub struct UbdDerivation {
 /// Why a derivation failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MethodologyError {
-    /// A simulation failed.
-    Sim(SimError),
+    /// A measurement run failed.
+    Run(RunError),
     /// The contenders never saturated the bus, so the synchrony effect
     /// cannot be relied on (§4.3).
     LowBusUtilization {
@@ -142,7 +150,7 @@ pub enum MethodologyError {
 impl fmt::Display for MethodologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MethodologyError::Sim(e) => write!(f, "simulation failed: {e}"),
+            MethodologyError::Run(e) => write!(f, "{e}"),
             MethodologyError::LowBusUtilization { observed, required } => write!(
                 f,
                 "bus utilisation {observed:.3} below the {required:.3} required for synchrony"
@@ -161,15 +169,30 @@ impl fmt::Display for MethodologyError {
 impl Error for MethodologyError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            MethodologyError::Sim(e) => Some(e),
+            MethodologyError::Run(e) => Some(e),
             _ => None,
         }
     }
 }
 
+impl From<RunError> for MethodologyError {
+    fn from(e: RunError) -> Self {
+        MethodologyError::Run(e)
+    }
+}
+
 impl From<SimError> for MethodologyError {
     fn from(e: SimError) -> Self {
-        MethodologyError::Sim(e)
+        MethodologyError::Run(RunError::Sim(e))
+    }
+}
+
+impl From<ScenarioError> for MethodologyError {
+    fn from(e: ScenarioError) -> Self {
+        match e {
+            ScenarioError::Config(e) => MethodologyError::Run(RunError::Sim(e)),
+            ScenarioError::Analysis(msg) => MethodologyError::Run(RunError::Analysis(msg)),
+        }
     }
 }
 
@@ -177,15 +200,180 @@ impl From<SimError> for MethodologyError {
 ///
 /// # Errors
 ///
-/// Returns [`MethodologyError::Sim`] if the calibration run fails.
-pub fn calibrate_delta_nop(
-    cfg: &MachineConfig,
-    iterations: u64,
-) -> Result<u64, MethodologyError> {
+/// Returns [`MethodologyError::Run`] if the calibration run fails.
+pub fn calibrate_delta_nop(cfg: &MachineConfig, iterations: u64) -> Result<u64, MethodologyError> {
     let kernel = nop_kernel(cfg, iterations);
     let nops = kernel.dynamic_instruction_count().expect("calibration kernel is finite");
     let run = crate::experiment::run_isolated(cfg, kernel)?;
     Ok(estimate_delta_nop(run.execution_time, nops))
+}
+
+/// The full rsk-nop methodology as a campaign-ready
+/// [`Scenario`](crate::scenario::Scenario).
+///
+/// The plan is: one calibration run, then an isolated/contended pair per
+/// `k ∈ 0..=max_k`. [`UbdScenario::derivation`] reduces the outcomes to a
+/// [`UbdDerivation`] — the same algebra [`derive_ubd`] has always
+/// applied, now decoupled from execution so campaigns can parallelise
+/// and deduplicate the runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UbdScenario {
+    /// Scenario name (campaign record key).
+    pub name: String,
+    /// The platform under test.
+    pub machine: MachineConfig,
+    /// Methodology tuning knobs.
+    pub methodology: MethodologyConfig,
+}
+
+impl UbdScenario {
+    /// A scenario with the default name `"derive-ubd"`.
+    pub fn new(machine: MachineConfig, methodology: MethodologyConfig) -> Self {
+        UbdScenario { name: String::from("derive-ubd"), machine, methodology }
+    }
+
+    /// Renames the scenario (builder style).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Reduces the outcomes of [`Scenario::plan`] to a derivation.
+    ///
+    /// # Errors
+    ///
+    /// See [`MethodologyError`] for the failure modes.
+    pub fn derivation(&self, outcomes: &[RunOutcome]) -> Result<UbdDerivation, MethodologyError> {
+        let mcfg = &self.methodology;
+        let expected = 1 + 2 * (mcfg.max_k + 1);
+        assert_eq!(outcomes.len(), expected, "outcome count must match the plan");
+
+        // Step 1: δ_nop calibration.
+        let calibration = outcomes[0].measurement()?;
+        let nops = nop_kernel(&self.machine, mcfg.calibration_iterations)
+            .dynamic_instruction_count()
+            .expect("calibration kernel is finite");
+        let delta_nop = estimate_delta_nop(calibration.execution_time, nops);
+
+        // Step 2: the k sweep.
+        let mut slowdowns = Vec::with_capacity(mcfg.max_k + 1);
+        let mut max_gamma = 0u64;
+        let mut min_util = 1.0f64;
+        let mut scua_requests = 0u64;
+        for pair in outcomes[1..].chunks(2) {
+            let isolated = pair[0].measurement()?;
+            let contended = pair[1].measurement()?;
+            slowdowns.push(contended.execution_time.saturating_sub(isolated.execution_time));
+            max_gamma = max_gamma.max(contended.max_gamma().unwrap_or(0));
+            min_util = min_util.min(contended.bus_utilization);
+            scua_requests = isolated.bus_requests;
+        }
+
+        // Step 4a (checked early): contenders must saturate the bus.
+        if min_util < mcfg.min_bus_utilization {
+            return Err(MethodologyError::LowBusUtilization {
+                observed: min_util,
+                required: mcfg.min_bus_utilization,
+            });
+        }
+
+        // Step 3: saw-tooth period.
+        let tolerance = if mcfg.tolerance > 0 {
+            mcfg.tolerance
+        } else {
+            // Auto-tolerance: 1 % of the series swing, at least 2 cycles,
+            // absorbing cold-start transients without hiding the tooth.
+            let max = slowdowns.iter().max().copied().unwrap_or(0);
+            let min = slowdowns.iter().min().copied().unwrap_or(0);
+            ((max - min) / 100).max(2)
+        };
+        let estimate =
+            match detect_period(&slowdowns, 0).or_else(|| detect_period(&slowdowns, tolerance)) {
+                Some(e) => e,
+                None => return Err(MethodologyError::NoPeriod { slowdowns }),
+            };
+
+        // Step 4b: resolve δ_nop sampling. A candidate must be able to
+        // explain every observed delay; γ = ubd itself is reachable (δ = 0
+        // refills and store drains), so the comparison is inclusive.
+        let candidates = ubd_candidates(estimate.period, delta_nop);
+        let ubd_m = match candidates.iter().copied().find(|&c| c >= max_gamma) {
+            Some(u) => u,
+            None => {
+                return Err(MethodologyError::NoConsistentCandidate {
+                    candidates,
+                    max_observed_gamma: max_gamma,
+                })
+            }
+        };
+
+        Ok(UbdDerivation {
+            ubd_m,
+            delta_nop,
+            k_period: estimate.period,
+            period_estimate: estimate,
+            candidates,
+            slowdowns,
+            max_observed_gamma: max_gamma,
+            min_bus_utilization: min_util,
+            scua_requests,
+        })
+    }
+}
+
+impl Scenario for UbdScenario {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn plan(&self) -> Result<Vec<RunSpec>, ScenarioError> {
+        self.machine.validate().map_err(SimError::from)?;
+        let mcfg = &self.methodology;
+        let mut specs = Vec::with_capacity(1 + 2 * (mcfg.max_k + 1));
+        specs.push(RunSpec::isolated(
+            "calibration",
+            self.machine.clone(),
+            nop_kernel(&self.machine, mcfg.calibration_iterations),
+        ));
+        for k in 0..=mcfg.max_k {
+            let scua = RskBuilder::new(mcfg.access)
+                .nops(k)
+                .iterations(mcfg.iterations)
+                .build(&self.machine, CoreId::new(0));
+            specs.push(RunSpec::isolated(
+                format!("k={k}/isolated"),
+                self.machine.clone(),
+                scua.clone(),
+            ));
+            specs.push(RunSpec::contended_rsk(
+                format!("k={k}/contended"),
+                self.machine.clone(),
+                scua,
+                mcfg.contender_access,
+            ));
+        }
+        Ok(specs)
+    }
+
+    fn analyze(&self, outcomes: &[RunOutcome]) -> ScenarioReport {
+        match self.derivation(outcomes) {
+            Ok(d) => ScenarioReport::success(
+                self.name(),
+                format!("ubd_m = {} (period {}, delta_nop {})", d.ubd_m, d.k_period, d.delta_nop),
+            )
+            .with("ubd_m", MetricValue::U64(d.ubd_m))
+            .with("delta_nop", MetricValue::U64(d.delta_nop))
+            .with("k_period", MetricValue::U64(d.k_period))
+            .with("period_method", MetricValue::Text(d.period_estimate.method.to_string()))
+            .with("candidates", MetricValue::Series(d.candidates.clone()))
+            .with("max_observed_gamma", MetricValue::U64(d.max_observed_gamma))
+            .with("min_bus_utilization", MetricValue::F64(d.min_bus_utilization))
+            .with("scua_requests", MetricValue::U64(d.scua_requests))
+            .with("slowdowns", MetricValue::Series(d.slowdowns)),
+            Err(e) => ScenarioReport::failure(self.name(), e),
+        }
+    }
 }
 
 /// Runs the complete methodology against machine `cfg` and returns the
@@ -196,6 +384,10 @@ pub fn calibrate_delta_nop(
 /// execution times and the bus-utilisation counter, exactly as a COTS
 /// user would.
 ///
+/// This is the serial convenience wrapper over [`UbdScenario`]; a
+/// [`Campaign`](crate::campaign::Campaign) runs the same plan in
+/// parallel.
+///
 /// # Errors
 ///
 /// See [`MethodologyError`] for the failure modes.
@@ -203,76 +395,15 @@ pub fn derive_ubd(
     cfg: &MachineConfig,
     mcfg: &MethodologyConfig,
 ) -> Result<UbdDerivation, MethodologyError> {
-    // Step 1: δ_nop calibration.
-    let delta_nop = calibrate_delta_nop(cfg, mcfg.calibration_iterations)?;
-
-    // Step 2: the k sweep.
-    let mut slowdowns = Vec::with_capacity(mcfg.max_k + 1);
-    let mut max_gamma = 0u64;
-    let mut min_util = 1.0f64;
-    let mut scua_requests = 0u64;
-    for k in 0..=mcfg.max_k {
-        let scua = RskBuilder::new(mcfg.access)
-            .nops(k)
-            .iterations(mcfg.iterations)
-            .build(cfg, CoreId::new(0));
-        let m = measure_slowdown(cfg, scua, |c| rsk(mcfg.contender_access, cfg, c))?;
-        slowdowns.push(m.det());
-        max_gamma = max_gamma.max(m.contended.gamma_histogram.max().unwrap_or(0));
-        min_util = min_util.min(m.contended.bus_utilization);
-        scua_requests = m.isolated.bus_requests;
-    }
-
-    // Step 4a (checked early): contenders must saturate the bus.
-    if min_util < mcfg.min_bus_utilization {
-        return Err(MethodologyError::LowBusUtilization {
-            observed: min_util,
-            required: mcfg.min_bus_utilization,
-        });
-    }
-
-    // Step 3: saw-tooth period.
-    let tolerance = if mcfg.tolerance > 0 {
-        mcfg.tolerance
-    } else {
-        // Auto-tolerance: 1 % of the series swing, at least 2 cycles,
-        // absorbing cold-start transients without hiding the tooth.
-        let max = slowdowns.iter().max().copied().unwrap_or(0);
-        let min = slowdowns.iter().min().copied().unwrap_or(0);
-        ((max - min) / 100).max(2)
-    };
-    let estimate = match detect_period(&slowdowns, 0)
-        .or_else(|| detect_period(&slowdowns, tolerance))
-    {
-        Some(e) => e,
-        None => return Err(MethodologyError::NoPeriod { slowdowns }),
-    };
-
-    // Step 4b: resolve δ_nop sampling. A candidate must be able to
-    // explain every observed delay; γ = ubd itself is reachable (δ = 0
-    // refills and store drains), so the comparison is inclusive.
-    let candidates = ubd_candidates(estimate.period, delta_nop);
-    let ubd_m = match candidates.iter().copied().find(|&c| c >= max_gamma) {
-        Some(u) => u,
-        None => {
-            return Err(MethodologyError::NoConsistentCandidate {
-                candidates,
-                max_observed_gamma: max_gamma,
-            })
-        }
-    };
-
-    Ok(UbdDerivation {
-        ubd_m,
-        delta_nop,
-        k_period: estimate.period,
-        period_estimate: estimate,
-        candidates,
-        slowdowns,
-        max_observed_gamma: max_gamma,
-        min_bus_utilization: min_util,
-        scua_requests,
-    })
+    let scenario = UbdScenario::new(cfg.clone(), mcfg.clone());
+    let specs = scenario.plan()?;
+    let results = execute_plan(&specs, 1);
+    let outcomes: Vec<RunOutcome> = specs
+        .into_iter()
+        .zip(results)
+        .map(|(spec, result)| RunOutcome { label: spec.label, result })
+        .collect();
+    scenario.derivation(&outcomes)
 }
 
 /// The store-tooth cross-check of Fig. 7(b).
@@ -300,11 +431,12 @@ impl StoreToothCheck {
 ///
 /// Store slowdowns are not periodic (beyond one tooth the store buffer
 /// hides the bus entirely), so this is a *consistency check* on a bound
-/// derived with loads, not an independent derivation.
+/// derived with loads, not an independent derivation. The sweep is a
+/// [`SweepScenario`](crate::scenario::SweepScenario) under the hood.
 ///
 /// # Errors
 ///
-/// Returns [`MethodologyError::Sim`] if a run fails, or
+/// Returns [`MethodologyError::Run`] if a run fails, or
 /// [`MethodologyError::NoPeriod`] when no collapsing tooth is visible
 /// (e.g. the platform has no store buffer to hide the latency).
 pub fn store_tooth_check(
@@ -312,15 +444,18 @@ pub fn store_tooth_check(
     mcfg: &MethodologyConfig,
     ubd_m: u64,
 ) -> Result<StoreToothCheck, MethodologyError> {
-    let mut slowdowns = Vec::with_capacity(mcfg.max_k + 1);
-    for k in 0..=mcfg.max_k {
-        let scua = RskBuilder::new(AccessKind::Store)
-            .nops(k)
-            .iterations(mcfg.iterations)
-            .build(cfg, CoreId::new(0));
-        let m = measure_slowdown(cfg, scua, |c| rsk(AccessKind::Load, cfg, c))?;
-        slowdowns.push(m.det());
-    }
+    let scenario = crate::scenario::SweepScenario::new(cfg.clone(), mcfg.max_k, mcfg.iterations)
+        .access(AccessKind::Store)
+        .contenders(AccessKind::Load)
+        .named("store-tooth");
+    let specs = scenario.plan()?;
+    let results = execute_plan(&specs, 1);
+    let outcomes: Vec<RunOutcome> = specs
+        .into_iter()
+        .zip(results)
+        .map(|(spec, result)| RunOutcome { label: spec.label, result })
+        .collect();
+    let slowdowns = scenario.slowdowns(&outcomes)?;
     match rrb_analysis::first_tooth_length(&slowdowns, 0.10) {
         Some(tooth_length) => Ok(StoreToothCheck { tooth_length, ubd_m }),
         None => Err(MethodologyError::NoPeriod { slowdowns }),
@@ -355,7 +490,9 @@ impl RepeatedDerivation {
 /// A production measurement campaign would use this instead of a single
 /// sweep: a lone estimate can be corrupted by an unlucky alignment, while
 /// agreement across perturbed runs is strong evidence the saw-tooth is
-/// real (§1's "increasing confidence").
+/// real (§1's "increasing confidence"). The repeats are independent
+/// [`UbdScenario`]s batched through one deduplicated, parallel
+/// [`Campaign`](crate::campaign::Campaign) plan.
 ///
 /// # Errors
 ///
@@ -365,12 +502,48 @@ pub fn derive_ubd_repeated(
     mcfg: &MethodologyConfig,
     repeats: u32,
 ) -> Result<RepeatedDerivation, MethodologyError> {
-    let mut runs = Vec::with_capacity(repeats as usize);
-    for r in 0..repeats.max(1) {
-        let mut varied = mcfg.clone();
-        // Vary the measurement length; the period must not care.
-        varied.iterations = mcfg.iterations + u64::from(r) * (mcfg.iterations / 4).max(1);
-        runs.push(derive_ubd(cfg, &varied)?);
+    derive_ubd_repeated_jobs(cfg, mcfg, repeats, 1)
+}
+
+/// [`derive_ubd_repeated`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// Propagates the first failing run's [`MethodologyError`].
+pub fn derive_ubd_repeated_jobs(
+    cfg: &MachineConfig,
+    mcfg: &MethodologyConfig,
+    repeats: u32,
+    jobs: usize,
+) -> Result<RepeatedDerivation, MethodologyError> {
+    let scenarios: Vec<UbdScenario> = (0..repeats.max(1))
+        .map(|r| {
+            let mut varied = mcfg.clone();
+            // Vary the measurement length; the period must not care.
+            varied.iterations = mcfg.iterations + u64::from(r) * (mcfg.iterations / 4).max(1);
+            UbdScenario::new(cfg.clone(), varied).named(format!("repeat-{r}"))
+        })
+        .collect();
+
+    // One flat plan across all repeats, deduplicated before execution
+    // (the calibration run is identical in every repeat, for instance).
+    let mut specs = Vec::new();
+    let mut spans = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        let plan = scenario.plan()?;
+        spans.push((specs.len(), plan.len()));
+        specs.extend(plan);
+    }
+    let results = execute_plan_deduped(&specs, jobs);
+
+    let mut runs = Vec::with_capacity(scenarios.len());
+    for (scenario, &(start, len)) in scenarios.iter().zip(&spans) {
+        let outcomes: Vec<RunOutcome> = specs[start..start + len]
+            .iter()
+            .zip(&results[start..start + len])
+            .map(|(spec, result)| RunOutcome { label: spec.label.clone(), result: result.clone() })
+            .collect();
+        runs.push(scenario.derivation(&outcomes)?);
     }
     let estimates: Vec<_> = runs.iter().map(|r| r.period_estimate).collect();
     let consensus = rrb_analysis::period_consensus(&estimates);
@@ -458,6 +631,35 @@ mod tests {
         assert_eq!(r.runs.len(), 3);
         assert!(matches!(r.consensus, rrb_analysis::Consensus::Unanimous { period: 6, votes: 3 }));
         assert_eq!(r.ubd_m(), Some(6));
+    }
+
+    #[test]
+    fn repeated_derivation_is_identical_across_jobs() {
+        let cfg = MachineConfig::toy(4, 2);
+        let mut m = MethodologyConfig::fast();
+        m.max_k = 14;
+        m.iterations = 60;
+        let serial = derive_ubd_repeated_jobs(&cfg, &m, 2, 1).expect("serial");
+        let parallel = derive_ubd_repeated_jobs(&cfg, &m, 2, 4).expect("parallel");
+        assert_eq!(serial.runs, parallel.runs);
+        assert_eq!(serial.consensus, parallel.consensus);
+    }
+
+    #[test]
+    fn scenario_analyze_reports_ubd_metric() {
+        let cfg = MachineConfig::toy(4, 2);
+        let scenario = UbdScenario::new(cfg, MethodologyConfig::fast()).named("toy");
+        let specs = scenario.plan().expect("plan");
+        let results = execute_plan(&specs, 2);
+        let outcomes: Vec<RunOutcome> = specs
+            .into_iter()
+            .zip(results)
+            .map(|(s, result)| RunOutcome { label: s.label, result })
+            .collect();
+        let report = scenario.analyze(&outcomes);
+        assert!(report.is_ok(), "{report:?}");
+        assert_eq!(report.metric_u64("ubd_m"), Some(6));
+        assert_eq!(report.metric_u64("k_period"), Some(6));
     }
 
     #[test]

@@ -8,9 +8,16 @@
 //! bus synchronises, every request suffers the *same* `γ(δ_rsk) < ubd`,
 //! and the estimate inherits that bias (26 instead of 27 on the reference
 //! architecture, 23 on the variant — Fig. 6(b)).
+//!
+//! [`NaiveScenario`] packages the estimator as a campaign-ready
+//! [`Scenario`](crate::scenario::Scenario) (one isolated/contended run
+//! pair); [`naive_scua_vs_rsk`] and [`naive_rsk_vs_rsk`] are the serial
+//! wrappers.
 
-use crate::experiment::{measure_slowdown, SlowdownMeasurement};
-use rrb_kernels::{rsk, rsk_nop, AccessKind};
+use crate::campaign::{execute_plan, RunError, RunSpec};
+use crate::experiment::{ContendedRun, IsolatedRun, SlowdownMeasurement};
+use crate::scenario::{MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport};
+use rrb_kernels::{rsk_nop, AccessKind};
 use rrb_sim::{CoreId, MachineConfig, Program, SimError};
 
 /// A naive `ubd_m` estimate and the measurements behind it.
@@ -32,13 +39,106 @@ impl NaiveEstimate {
         self.ubd_m_det_over_nr.max(self.ubd_m_max_gamma)
     }
 
-    fn from_measurement(measurement: SlowdownMeasurement) -> Self {
-        NaiveEstimate {
-            ubd_m_det_over_nr: measurement.naive_ubd_m(),
+    fn from_measurement(measurement: SlowdownMeasurement) -> Result<Self, RunError> {
+        Ok(NaiveEstimate {
+            ubd_m_det_over_nr: measurement.naive_ubd_m().ok_or(RunError::NoBusRequests)?,
             ubd_m_max_gamma: measurement.contended.gamma_histogram.max().unwrap_or(0),
             measurement,
+        })
+    }
+}
+
+/// The naive estimator as a campaign-ready scenario: one
+/// isolated/contended pair of the given scua against saturating rsk
+/// contenders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveScenario {
+    /// Scenario name (campaign record key).
+    pub name: String,
+    /// The platform under test.
+    pub machine: MachineConfig,
+    /// The software component under analysis.
+    pub scua: Program,
+    /// Access kind of the stressing contenders.
+    pub contender_access: AccessKind,
+}
+
+impl NaiveScenario {
+    /// A scenario with the default name `"naive"`.
+    pub fn new(machine: MachineConfig, scua: Program, contender_access: AccessKind) -> Self {
+        NaiveScenario { name: String::from("naive"), machine, scua, contender_access }
+    }
+
+    /// Renames the scenario (builder style).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Reduces the outcomes of [`Scenario::plan`] to an estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a failed run's [`RunError`], or
+    /// [`RunError::NoBusRequests`] when the scua never touched the bus.
+    pub fn estimate(&self, outcomes: &[RunOutcome]) -> Result<NaiveEstimate, RunError> {
+        assert_eq!(outcomes.len(), 2, "outcome count must match the plan");
+        let isolated = IsolatedRun::from(outcomes[0].measurement()?.clone());
+        let contended = ContendedRun::from(outcomes[1].measurement()?.clone());
+        NaiveEstimate::from_measurement(SlowdownMeasurement { isolated, contended })
+    }
+}
+
+impl Scenario for NaiveScenario {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn plan(&self) -> Result<Vec<RunSpec>, ScenarioError> {
+        self.machine.validate().map_err(SimError::from)?;
+        Ok(vec![
+            RunSpec::isolated("isolated", self.machine.clone(), self.scua.clone()),
+            RunSpec::contended_rsk(
+                "contended",
+                self.machine.clone(),
+                self.scua.clone(),
+                self.contender_access,
+            ),
+        ])
+    }
+
+    fn analyze(&self, outcomes: &[RunOutcome]) -> ScenarioReport {
+        match self.estimate(outcomes) {
+            Ok(e) => ScenarioReport::success(
+                self.name(),
+                format!(
+                    "naive ubd_m = {} (det/nr {}, max gamma {})",
+                    e.ubd_m(),
+                    e.ubd_m_det_over_nr,
+                    e.ubd_m_max_gamma
+                ),
+            )
+            .with("ubd_m", MetricValue::U64(e.ubd_m()))
+            .with("ubd_m_det_over_nr", MetricValue::U64(e.ubd_m_det_over_nr))
+            .with("ubd_m_max_gamma", MetricValue::U64(e.ubd_m_max_gamma)),
+            Err(e) => ScenarioReport::failure(self.name(), e),
         }
     }
+}
+
+fn run_scenario(scenario: &NaiveScenario) -> Result<NaiveEstimate, RunError> {
+    let specs = scenario.plan().map_err(|e| match e {
+        ScenarioError::Config(e) => RunError::Sim(e),
+        ScenarioError::Analysis(msg) => RunError::Analysis(msg),
+    })?;
+    let results = execute_plan(&specs, 1);
+    let outcomes: Vec<RunOutcome> = specs
+        .into_iter()
+        .zip(results)
+        .map(|(spec, result)| RunOutcome { label: spec.label, result })
+        .collect();
+    scenario.estimate(&outcomes)
 }
 
 /// The "scua against rsk" estimator (§3.1): run an arbitrary software
@@ -46,14 +146,14 @@ impl NaiveEstimate {
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if either run fails.
+/// Returns [`RunError`] if either run fails or the scua made no bus
+/// requests.
 pub fn naive_scua_vs_rsk(
     cfg: &MachineConfig,
     scua_program: Program,
     contender_access: AccessKind,
-) -> Result<NaiveEstimate, SimError> {
-    let m = measure_slowdown(cfg, scua_program, |c| rsk(contender_access, cfg, c))?;
-    Ok(NaiveEstimate::from_measurement(m))
+) -> Result<NaiveEstimate, RunError> {
+    run_scenario(&NaiveScenario::new(cfg.clone(), scua_program, contender_access))
 }
 
 /// The "rsk against rsk" estimator (§3.2): the scua is itself a stressing
@@ -62,12 +162,12 @@ pub fn naive_scua_vs_rsk(
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if either run fails.
+/// Returns [`RunError`] if either run fails.
 pub fn naive_rsk_vs_rsk(
     cfg: &MachineConfig,
     access: AccessKind,
     iterations: u64,
-) -> Result<NaiveEstimate, SimError> {
+) -> Result<NaiveEstimate, RunError> {
     let scua = rsk_nop(access, 0, cfg, CoreId::new(0), iterations);
     naive_scua_vs_rsk(cfg, scua, access)
 }
@@ -107,12 +207,38 @@ mod tests {
         // requests rarely meet the worst alignment.
         use rrb_kernels::AutobenchKernel;
         let cfg = MachineConfig::ngmp_ref();
-        let scua = AutobenchKernel::Canrdr
-            .profile()
-            .program(&cfg, CoreId::new(0), 3, Some(100));
+        let scua = AutobenchKernel::Canrdr.profile().program(&cfg, CoreId::new(0), 3, Some(100));
         let e = naive_scua_vs_rsk(&cfg, scua, AccessKind::Load).expect("run");
         assert!(e.ubd_m() <= cfg.ubd());
         // det/nr averages over well-aligned requests: clearly below ubd.
         assert!(e.ubd_m_det_over_nr < cfg.ubd());
+    }
+
+    #[test]
+    fn busless_scua_is_a_no_bus_requests_error() {
+        // An empty scua performs no bus requests: nr = 0 must surface as
+        // a typed error, not a panic.
+        let cfg = MachineConfig::toy(4, 2);
+        match naive_scua_vs_rsk(&cfg, Program::empty(), AccessKind::Load) {
+            Err(RunError::NoBusRequests) => {}
+            other => panic!("expected NoBusRequests, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn naive_scenario_reports_metrics() {
+        let cfg = MachineConfig::toy(4, 2);
+        let scua = rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 120);
+        let scenario = NaiveScenario::new(cfg, scua, AccessKind::Load).named("toy-naive");
+        let specs = scenario.plan().expect("plan");
+        let results = execute_plan(&specs, 1);
+        let outcomes: Vec<RunOutcome> = specs
+            .into_iter()
+            .zip(results)
+            .map(|(s, result)| RunOutcome { label: s.label, result })
+            .collect();
+        let report = scenario.analyze(&outcomes);
+        assert!(report.is_ok());
+        assert_eq!(report.metric_u64("ubd_m_max_gamma"), Some(5));
     }
 }

@@ -53,7 +53,8 @@ pub fn render_sawtooth(slowdowns: &[u64], height: usize) -> String {
     }
     let mut out = String::new();
     for (r, row) in rows.iter().enumerate() {
-        let _ = writeln!(out, "{:>10} |{row}", if r == 0 { format!("{max}") } else { String::new() });
+        let _ =
+            writeln!(out, "{:>10} |{row}", if r == 0 { format!("{max}") } else { String::new() });
     }
     let _ = writeln!(out, "{:>10} +{}", "k ->", "-".repeat(slowdowns.len()));
     out
@@ -61,7 +62,11 @@ pub fn render_sawtooth(slowdowns: &[u64], height: usize) -> String {
 
 /// Renders a comparison of the naive estimate against the methodology's
 /// derivation and the configuration truth.
-pub fn render_comparison(naive: &NaiveEstimate, derivation: &UbdDerivation, true_ubd: u64) -> String {
+pub fn render_comparison(
+    naive: &NaiveEstimate,
+    derivation: &UbdDerivation,
+    true_ubd: u64,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "true ubd (Eq. 1, hidden from the analyses) : {true_ubd}");
     let _ = writeln!(

@@ -3,10 +3,18 @@
 //! simulator-vs-board validation campaign (§5.1 reports < 3 % deviation
 //! against the N2X board; here the reference is the closed-form model,
 //! and the agreement is exact by construction of the timing semantics).
+//!
+//! The sweep is packaged as [`GammaValidationScenario`], a
+//! [`Scenario`](crate::scenario::Scenario) of one contended run per `k`,
+//! so a [`Campaign`](crate::campaign::Campaign) can validate many
+//! configurations in parallel; [`validate_gamma_model`] is the serial
+//! wrapper.
 
+use crate::campaign::{execute_plan, RunError, RunSpec};
+use crate::scenario::{MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport};
 use rrb_analysis::GammaModel;
-use rrb_kernels::{rsk, rsk_nop, AccessKind};
-use rrb_sim::{CoreId, Machine, MachineConfig, SimError};
+use rrb_kernels::{AccessKind, RskBuilder};
+use rrb_sim::{CoreId, MachineConfig, SimError};
 use std::fmt;
 
 /// One δ point of a validation sweep.
@@ -74,45 +82,136 @@ impl fmt::Display for ValidationReport {
     }
 }
 
+/// The Eq. 2 white-box validation as a campaign-ready scenario: one
+/// contended `rsk-nop(load, k)` run per `k`, each compared against the
+/// model built from the configuration's ground-truth `ubd`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GammaValidationScenario {
+    /// Scenario name (campaign record key).
+    pub name: String,
+    /// The platform under test.
+    pub machine: MachineConfig,
+    /// Largest nop count swept.
+    pub max_k: u64,
+    /// Iterations of the scua body per run.
+    pub iterations: u64,
+}
+
+impl GammaValidationScenario {
+    /// A scenario with the default name `"validate-gamma"`.
+    pub fn new(machine: MachineConfig, max_k: u64, iterations: u64) -> Self {
+        GammaValidationScenario { name: String::from("validate-gamma"), machine, max_k, iterations }
+    }
+
+    /// Renames the scenario (builder style).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Reduces the outcomes of [`Scenario::plan`] to a validation report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed run's [`RunError`], or
+    /// [`RunError::NoBusRequests`] if a scua made no requests.
+    pub fn report(&self, outcomes: &[RunOutcome]) -> Result<ValidationReport, RunError> {
+        let model = GammaModel::new(self.machine.ubd());
+        let mut points = Vec::with_capacity(outcomes.len());
+        for (k, outcome) in outcomes.iter().enumerate() {
+            let k = k as u64;
+            let m = outcome.measurement()?;
+            let measured = m.mode_gamma().ok_or(RunError::NoBusRequests)?;
+            let delta = self.machine.dl1.latency + k * self.machine.nop_latency;
+            points.push(GammaComparison {
+                k,
+                delta,
+                predicted: model.gamma(delta),
+                measured,
+                mode_fraction: m.mode_fraction(),
+            });
+        }
+        Ok(ValidationReport { points })
+    }
+}
+
+impl Scenario for GammaValidationScenario {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn plan(&self) -> Result<Vec<RunSpec>, ScenarioError> {
+        self.machine.validate().map_err(SimError::from)?;
+        let mut specs = Vec::with_capacity(self.max_k as usize + 1);
+        for k in 0..=self.max_k {
+            let scua = RskBuilder::new(AccessKind::Load)
+                .nops(k as usize)
+                .iterations(self.iterations)
+                .build(&self.machine, CoreId::new(0));
+            specs.push(RunSpec::contended_rsk(
+                format!("k={k}/contended"),
+                self.machine.clone(),
+                scua,
+                AccessKind::Load,
+            ));
+        }
+        Ok(specs)
+    }
+
+    fn analyze(&self, outcomes: &[RunOutcome]) -> ScenarioReport {
+        match self.report(outcomes) {
+            Ok(r) => {
+                let disagreements = r.disagreements().len() as u64;
+                ScenarioReport::success(
+                    self.name(),
+                    if r.all_agree() {
+                        format!("machine matches Eq. 2 at all {} points", r.points.len())
+                    } else {
+                        format!("{disagreements} of {} points disagree with Eq. 2", r.points.len())
+                    },
+                )
+                .with("points", MetricValue::U64(r.points.len() as u64))
+                .with("disagreements", MetricValue::U64(disagreements))
+                .with("min_mode_fraction", MetricValue::F64(r.min_mode_fraction()))
+                .with(
+                    "measured",
+                    MetricValue::Series(r.points.iter().map(|p| p.measured).collect()),
+                )
+            }
+            Err(e) => ScenarioReport::failure(self.name(), e),
+        }
+    }
+}
+
 /// Sweeps `k = 0..=max_k` with `rsk-nop(load, k)` against saturating load
 /// rsk on a machine built from `cfg`, comparing the machine's dominant γ
 /// against Eq. 2 at every point.
 ///
 /// Uses the configuration's ground-truth `ubd` for the model — this is a
-/// *white-box* validation of the simulator, not a blind derivation.
+/// *white-box* validation of the simulator, not a blind derivation. The
+/// serial wrapper over [`GammaValidationScenario`].
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if any run fails.
+/// Returns [`RunError`] if any run fails.
 pub fn validate_gamma_model(
     cfg: &MachineConfig,
     max_k: u64,
     iterations: u64,
-) -> Result<ValidationReport, SimError> {
-    let model = GammaModel::new(cfg.ubd());
-    let mut points = Vec::with_capacity(max_k as usize + 1);
-    for k in 0..=max_k {
-        let mut machine = Machine::new(cfg.clone())?;
-        machine.load_program(
-            CoreId::new(0),
-            rsk_nop(AccessKind::Load, k as usize, cfg, CoreId::new(0), iterations),
-        );
-        for i in 1..cfg.num_cores {
-            machine.load_program(CoreId::new(i), rsk(AccessKind::Load, cfg, CoreId::new(i)));
-        }
-        machine.run()?;
-        let pmc = machine.pmc().core(CoreId::new(0));
-        let (measured, count) = pmc.mode_gamma().expect("scua made requests");
-        let delta = cfg.dl1.latency + k * cfg.nop_latency;
-        points.push(GammaComparison {
-            k,
-            delta,
-            predicted: model.gamma(delta),
-            measured,
-            mode_fraction: count as f64 / pmc.bus_requests() as f64,
-        });
-    }
-    Ok(ValidationReport { points })
+) -> Result<ValidationReport, RunError> {
+    let scenario = GammaValidationScenario::new(cfg.clone(), max_k, iterations);
+    let specs = scenario.plan().map_err(|e| match e {
+        ScenarioError::Config(e) => RunError::Sim(e),
+        ScenarioError::Analysis(msg) => RunError::Analysis(msg),
+    })?;
+    let results = execute_plan(&specs, 1);
+    let outcomes: Vec<RunOutcome> = specs
+        .into_iter()
+        .zip(results)
+        .map(|(spec, result)| RunOutcome { label: spec.label, result })
+        .collect();
+    scenario.report(&outcomes)
 }
 
 #[cfg(test)]
@@ -153,5 +252,22 @@ mod tests {
         assert_eq!(r.points[0].delta, 4);
         assert_eq!(r.points[1].delta, 5);
         assert!(r.all_agree());
+    }
+
+    #[test]
+    fn scenario_analyze_reports_agreement() {
+        let cfg = MachineConfig::toy(4, 2);
+        let scenario = GammaValidationScenario::new(cfg, 6, 120).named("toy-validate");
+        let specs = scenario.plan().expect("plan");
+        let results = execute_plan(&specs, 2);
+        let outcomes: Vec<RunOutcome> = specs
+            .into_iter()
+            .zip(results)
+            .map(|(s, result)| RunOutcome { label: s.label, result })
+            .collect();
+        let report = scenario.analyze(&outcomes);
+        assert!(report.is_ok());
+        assert_eq!(report.metric_u64("disagreements"), Some(0));
+        assert_eq!(report.metric_u64("points"), Some(7));
     }
 }

@@ -10,8 +10,7 @@
 //! workloads is realistic, bursty, *non-saturating* bus demand, which the
 //! profiles preserve; see DESIGN.md for the substitution argument.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::KernelRng;
 use rrb_sim::{Addr, CoreId, Instr, MachineConfig, Program};
 use std::fmt;
 
@@ -54,8 +53,8 @@ impl AutobenchKernel {
     pub fn all() -> [AutobenchKernel; 16] {
         use AutobenchKernel::*;
         [
-            A2time, Aifftr, Aifirf, Aiifft, Basefp, Bitmnp, Cacheb, Canrdr, Idctrn, Iirflt,
-            Matrix, Pntrch, Puwmod, Rspeed, Tblook, Ttsprk,
+            A2time, Aifftr, Aifirf, Aiifft, Basefp, Bitmnp, Cacheb, Canrdr, Idctrn, Iirflt, Matrix,
+            Pntrch, Puwmod, Rspeed, Tblook, Ttsprk,
         ]
     }
 
@@ -169,14 +168,14 @@ impl AutobenchProfile {
         seed: u64,
         iterations: Option<u64>,
     ) -> Program {
-        let mut rng = StdRng::seed_from_u64(seed ^ (core.index() as u64) << 32);
+        let mut rng = KernelRng::seed_from_u64(seed ^ (core.index() as u64) << 32);
         let line = cfg.dl1.line_bytes;
         let partition = cfg.l2.partition(cfg.num_cores).size_bytes;
         // Per-core disjoint data regions, clear of the instruction sets.
         let base: Addr = partition / 2 + partition * 8 * core.index() as Addr;
         let lines_in_ws = (self.working_set / line).max(1);
         let mut cursor: u64 = 0;
-        let mut next_addr = |rng: &mut StdRng, pattern: StridePattern| -> Addr {
+        let mut next_addr = |rng: &mut KernelRng, pattern: StridePattern| -> Addr {
             let line_idx = match pattern {
                 StridePattern::Sequential => {
                     cursor = (cursor + 1) % lines_in_ws;
@@ -186,20 +185,20 @@ impl AutobenchProfile {
                     cursor = (cursor + s / line) % lines_in_ws;
                     cursor
                 }
-                StridePattern::Random => rng.gen_range(0..lines_in_ws),
+                StridePattern::Random => rng.gen_below(lines_in_ws),
             };
             base + line_idx * line
         };
 
         let mut body = Vec::with_capacity(BODY_INSTRS);
         while body.len() < BODY_INSTRS {
-            if self.branch_every > 0 && body.len() % self.branch_every as usize
-                == self.branch_every as usize - 1
+            if self.branch_every > 0
+                && body.len() % self.branch_every as usize == self.branch_every as usize - 1
             {
                 body.push(Instr::Branch);
                 continue;
             }
-            let roll = rng.gen_range(0..100u32);
+            let roll = rng.gen_below(100) as u32;
             if roll < self.load_pct {
                 body.push(Instr::Load(next_addr(&mut rng, self.pattern)));
                 for _ in 0..self.alu_per_mem.min(3) {
@@ -210,7 +209,7 @@ impl AutobenchProfile {
             } else if roll < self.load_pct + self.store_pct {
                 body.push(Instr::Store(next_addr(&mut rng, self.pattern)));
             } else {
-                body.push(Instr::Alu { latency: rng.gen_range(1..=2) });
+                body.push(Instr::Alu { latency: rng.gen_range(1, 3) });
             }
         }
         match iterations {

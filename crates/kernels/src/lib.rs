@@ -49,6 +49,7 @@
 pub mod eembc;
 pub mod layout;
 pub mod nop_kernel;
+pub mod rng;
 pub mod rsk;
 pub mod rsk_variants;
 pub mod workload;
@@ -56,6 +57,7 @@ pub mod workload;
 pub use eembc::{AutobenchKernel, AutobenchProfile, StridePattern};
 pub use layout::DataLayout;
 pub use nop_kernel::{estimate_delta_nop, nop_kernel};
+pub use rng::KernelRng;
 pub use rsk::{rsk, rsk_nop, AccessKind, RskBuilder};
 pub use rsk_variants::{rsk_capacity, rsk_l2_miss, rsk_mixed, rsk_pointer_chase};
 pub use workload::{random_eembc_workload, scua_vs_contenders, WorkloadSpec};

@@ -1,0 +1,134 @@
+//! A tiny, deterministic pseudo-random number generator.
+//!
+//! The workload generators need reproducible randomness (the paper's
+//! Fig. 6(a) draws "randomly generated 4-task workloads" from fixed
+//! seeds), but the workspace builds offline with the std library only, so
+//! this module supplies a splitmix64-seeded xoshiro256** generator
+//! instead of an external crate. Streams are stable across platforms and
+//! releases: campaign results keyed by seed stay comparable over time.
+
+/// A seedable, deterministic PRNG (xoshiro256** seeded via splitmix64).
+#[derive(Debug, Clone)]
+pub struct KernelRng {
+    s: [u64; 4],
+}
+
+impl KernelRng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 expansion of the seed into the xoshiro state, as
+        // recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        KernelRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw from `[0, bound)` (debiased by rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below bound must be positive");
+        // Rejection sampling over the largest multiple of `bound`.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// A uniform draw from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range requires lo < hi");
+        lo + self.gen_below(hi - lo)
+    }
+
+    /// An in-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = KernelRng::seed_from_u64(42);
+        let mut b = KernelRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = KernelRng::seed_from_u64(1);
+        let mut b = KernelRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_below_respects_bound() {
+        let mut rng = KernelRng::seed_from_u64(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.gen_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_interval() {
+        let mut rng = KernelRng::seed_from_u64(9);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let v = rng.gen_range(3, 7);
+            assert!((3..7).contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 4, "all four values must appear");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = KernelRng::seed_from_u64(11);
+        let mut v: Vec<u64> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 20-element shuffle staying sorted is astronomically unlikely");
+    }
+}

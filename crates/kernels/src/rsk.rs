@@ -243,11 +243,7 @@ mod tests {
         let dl1 = m.dl1_stats(CoreId::new(0));
         assert_eq!(dl1.hits, 0, "rsk loads must never hit DL1");
         let pmc = m.pmc().core(CoreId::new(0));
-        assert!(
-            pmc.l2_misses <= 8,
-            "only cold misses may go to memory, got {}",
-            pmc.l2_misses
-        );
+        assert!(pmc.l2_misses <= 8, "only cold misses may go to memory, got {}", pmc.l2_misses);
     }
 
     #[test]

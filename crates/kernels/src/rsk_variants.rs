@@ -63,12 +63,7 @@ pub fn rsk_capacity(
 /// pseudo-random permutation step over the working set, so consecutive
 /// requests cannot be overlapped even on a machine with more memory-level
 /// parallelism than ours. Deterministic for a given `seed`.
-pub fn rsk_pointer_chase(
-    cfg: &MachineConfig,
-    core: CoreId,
-    lines: u64,
-    seed: u64,
-) -> Program {
+pub fn rsk_pointer_chase(cfg: &MachineConfig, core: CoreId, lines: u64, seed: u64) -> Program {
     let layout = DataLayout::for_core(cfg, core);
     let n = lines.max(2).min(layout.max_lines);
     // A simple LCG-walk permutation over the n conflict lines, seeded
@@ -160,12 +155,7 @@ mod tests {
         let m = run_alone(&cfg, p, 300_000);
         let pmc = m.pmc().core(CoreId::new(0));
         // One compulsory L2 miss per line; thereafter all hits.
-        assert!(
-            pmc.l2_hits > pmc.l2_misses * 2,
-            "hits {} misses {}",
-            pmc.l2_hits,
-            pmc.l2_misses
-        );
+        assert!(pmc.l2_hits > pmc.l2_misses * 2, "hits {} misses {}", pmc.l2_hits, pmc.l2_misses);
     }
 
     #[test]

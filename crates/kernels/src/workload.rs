@@ -9,9 +9,7 @@
 //!   Fig. 6(a).
 
 use crate::eembc::AutobenchKernel;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use crate::rng::KernelRng;
 use rrb_sim::{CoreId, Machine, MachineConfig, Program, SimError};
 
 /// A complete per-core program assignment.
@@ -74,19 +72,20 @@ where
 /// Draws a random `Nc`-task EEMBC workload (Fig. 6(a)'s "8 randomly
 /// generated 4-task workloads"): distinct kernels, the scua on core 0
 /// finite with `scua_iterations`, contenders endless.
-pub fn random_eembc_workload(
-    cfg: &MachineConfig,
-    seed: u64,
-    scua_iterations: u64,
-) -> WorkloadSpec {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn random_eembc_workload(cfg: &MachineConfig, seed: u64, scua_iterations: u64) -> WorkloadSpec {
+    let mut rng = KernelRng::seed_from_u64(seed);
     let mut kernels = AutobenchKernel::all().to_vec();
-    kernels.shuffle(&mut rng);
+    rng.shuffle(&mut kernels);
     let programs = (0..cfg.num_cores)
         .map(|i| {
             let core = CoreId::new(i);
             let iters = if i == 0 { Some(scua_iterations) } else { None };
-            kernels[i % kernels.len()].profile().program(cfg, core, seed.wrapping_add(i as u64), iters)
+            kernels[i % kernels.len()].profile().program(
+                cfg,
+                core,
+                seed.wrapping_add(i as u64),
+                iters,
+            )
         })
         .collect();
     WorkloadSpec::new(programs, CoreId::new(0))
@@ -100,11 +99,10 @@ mod tests {
     #[test]
     fn scua_vs_contenders_fills_every_core() {
         let cfg = MachineConfig::ngmp_ref();
-        let w = scua_vs_contenders(
-            &cfg,
-            rsk_nop(AccessKind::Load, 2, &cfg, CoreId::new(0), 10),
-            |c| rsk(AccessKind::Load, &cfg, c),
-        );
+        let w =
+            scua_vs_contenders(&cfg, rsk_nop(AccessKind::Load, 2, &cfg, CoreId::new(0), 10), |c| {
+                rsk(AccessKind::Load, &cfg, c)
+            });
         assert_eq!(w.programs().len(), 4);
         assert_eq!(w.scua, CoreId::new(0));
         assert!(w.programs()[0].iterations().finite().is_some());
@@ -114,11 +112,10 @@ mod tests {
     #[test]
     fn workload_runs_on_machine() {
         let cfg = MachineConfig::ngmp_ref();
-        let w = scua_vs_contenders(
-            &cfg,
-            rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 50),
-            |c| rsk(AccessKind::Load, &cfg, c),
-        );
+        let w =
+            scua_vs_contenders(&cfg, rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 50), |c| {
+                rsk(AccessKind::Load, &cfg, c)
+            });
         let mut m = w.into_machine(&cfg).expect("machine");
         let s = m.run().expect("run");
         assert!(s.core(CoreId::new(0)).completed());

@@ -431,8 +431,7 @@ impl Bus {
 
     /// Whether `core` already has a transaction posted (pending or active).
     pub fn has_outstanding(&self, core: CoreId) -> bool {
-        self.pending[core.index()].is_some()
-            || self.active.is_some_and(|a| a.core == core)
+        self.pending[core.index()].is_some() || self.active.is_some_and(|a| a.core == core)
     }
 
     /// Number of cores *other than* `core` with an outstanding transaction
@@ -461,10 +460,7 @@ impl Bus {
     /// completion before posting again.
     pub fn post(&mut self, core: CoreId, kind: BusOpKind, addr: Addr, ready: Cycle) {
         let slot = &mut self.pending[core.index()];
-        assert!(
-            slot.is_none(),
-            "core {core} posted a second transaction while one is pending"
-        );
+        assert!(slot.is_none(), "core {core} posted a second transaction while one is pending");
         *slot = Some(Pending { kind, addr, ready });
     }
 
@@ -547,9 +543,7 @@ mod tests {
     #[test]
     fn rr_rotates_priority_after_each_grant() {
         let mut a = RoundRobinArbiter::new(4);
-        let all = |t: Cycle| {
-            vec![Some(RequestView { ready: t, occupancy: 2 }); 4]
-        };
+        let all = |t: Cycle| vec![Some(RequestView { ready: t, occupancy: 2 }); 4];
         assert_eq!(a.select(&all(0), 0), Some(0));
         assert_eq!(a.select(&all(0), 0), Some(1));
         assert_eq!(a.select(&all(0), 0), Some(2));
@@ -636,7 +630,12 @@ mod tests {
 
     #[test]
     fn bus_tracks_occupancy_and_stats() {
-        let cfg = BusConfig { l2_hit_occupancy: 9, transfer_occupancy: 3, store_occupancy: 3, arbiter: ArbiterKind::RoundRobin };
+        let cfg = BusConfig {
+            l2_hit_occupancy: 9,
+            transfer_occupancy: 3,
+            store_occupancy: 3,
+            arbiter: ArbiterKind::RoundRobin,
+        };
         let mut bus = Bus::new(cfg, 2);
         bus.post(CoreId::new(1), BusOpKind::Load, 0x40, 0);
         let txn = bus.try_grant(0, hit(9)).expect("grant");
@@ -656,7 +655,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "second transaction")]
     fn double_post_panics() {
-        let cfg = BusConfig { l2_hit_occupancy: 2, transfer_occupancy: 1, store_occupancy: 2, arbiter: ArbiterKind::RoundRobin };
+        let cfg = BusConfig {
+            l2_hit_occupancy: 2,
+            transfer_occupancy: 1,
+            store_occupancy: 2,
+            arbiter: ArbiterKind::RoundRobin,
+        };
         let mut bus = Bus::new(cfg, 1);
         bus.post(CoreId::new(0), BusOpKind::Load, 0, 0);
         bus.post(CoreId::new(0), BusOpKind::Load, 0, 0);
@@ -664,7 +668,12 @@ mod tests {
 
     #[test]
     fn contender_count_includes_active_and_pending() {
-        let cfg = BusConfig { l2_hit_occupancy: 4, transfer_occupancy: 1, store_occupancy: 4, arbiter: ArbiterKind::RoundRobin };
+        let cfg = BusConfig {
+            l2_hit_occupancy: 4,
+            transfer_occupancy: 1,
+            store_occupancy: 4,
+            arbiter: ArbiterKind::RoundRobin,
+        };
         let mut bus = Bus::new(cfg, 4);
         bus.post(CoreId::new(1), BusOpKind::Load, 0, 0);
         bus.post(CoreId::new(2), BusOpKind::Load, 0, 0);
@@ -770,7 +779,12 @@ mod tests {
 
     #[test]
     fn bus_utilization_is_full_under_saturation() {
-        let cfg = BusConfig { l2_hit_occupancy: 3, transfer_occupancy: 1, store_occupancy: 3, arbiter: ArbiterKind::RoundRobin };
+        let cfg = BusConfig {
+            l2_hit_occupancy: 3,
+            transfer_occupancy: 1,
+            store_occupancy: 3,
+            arbiter: ArbiterKind::RoundRobin,
+        };
         let mut bus = Bus::new(cfg, 2);
         for i in 0..2 {
             bus.post(CoreId::new(i), BusOpKind::Load, 0, 0);

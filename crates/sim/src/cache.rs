@@ -4,8 +4,8 @@
 //! replacement. Used for the private IL1/DL1 caches and for each core's
 //! L2 partition.
 
-pub use crate::config::Replacement;
 use crate::config::CacheConfig;
+pub use crate::config::Replacement;
 use crate::types::Addr;
 
 /// Outcome of a cache access.
@@ -83,11 +83,7 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate("cache").expect("invalid cache geometry");
         let sets = (0..cfg.sets())
-            .map(|_| {
-                (0..cfg.ways)
-                    .map(|_| Line { tag: 0, valid: false, stamp: 0 })
-                    .collect()
-            })
+            .map(|_| (0..cfg.ways).map(|_| Line { tag: 0, valid: false, stamp: 0 }).collect())
             .collect();
         Cache { cfg, sets, stats: CacheStats::default(), clock: 0 }
     }

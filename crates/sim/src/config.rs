@@ -45,7 +45,7 @@ impl std::fmt::Display for Replacement {
 }
 
 /// Geometry and latency of one cache (IL1, DL1, or one L2 partition).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes. Must be a power of two.
     pub size_bytes: u64,
@@ -116,7 +116,7 @@ impl CacheConfig {
 }
 
 /// Shared-bus timing and arbitration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BusConfig {
     /// Bus occupancy of an L2 *hit*, in cycles. On the NGMP configuration
     /// this is 9: a 6-cycle L2 hit plus 3 cycles of transfer and
@@ -178,7 +178,7 @@ impl BusConfig {
 /// Each core receives `ways_per_core` ways of the shared cache, so cores
 /// never conflict in the L2 and contention arises only on the bus and the
 /// memory controller, as in the paper (§5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct L2Config {
     /// Total capacity in bytes across all partitions.
     pub size_bytes: u64,
@@ -193,12 +193,7 @@ pub struct L2Config {
 impl L2Config {
     /// The paper's 256 KB 4-way L2 with 32-byte lines.
     pub fn ngmp() -> Self {
-        L2Config {
-            size_bytes: 256 * 1024,
-            ways: 4,
-            line_bytes: 32,
-            replacement: Replacement::Lru,
-        }
+        L2Config { size_bytes: 256 * 1024, ways: 4, line_bytes: 32, replacement: Replacement::Lru }
     }
 
     /// The per-core partition as a standalone cache geometry.
@@ -229,7 +224,10 @@ impl L2Config {
             return Err(ConfigError::ZeroParameter { name: "l2.ways" });
         }
         if num_cores > self.ways as usize {
-            return Err(ConfigError::TooManyCores { requested: num_cores, max: self.ways as usize });
+            return Err(ConfigError::TooManyCores {
+                requested: num_cores,
+                max: self.ways as usize,
+            });
         }
         self.partition(num_cores).validate("l2.partition")
     }
@@ -240,7 +238,7 @@ impl L2Config {
 /// This stands in for the paper's DRAMsim2 + DDR2-667 configuration; see
 /// DESIGN.md for the substitution argument. Defaults approximate a
 /// one-rank, 4-bank DDR2-667 part driven by a 200 MHz core clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramConfig {
     /// Number of banks.
     pub banks: u32,
@@ -286,7 +284,10 @@ impl DramConfig {
             return Err(ConfigError::ZeroParameter { name: "dram.row_bytes" });
         }
         if !self.row_bytes.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo { name: "dram.row_bytes", value: self.row_bytes });
+            return Err(ConfigError::NotPowerOfTwo {
+                name: "dram.row_bytes",
+                value: self.row_bytes,
+            });
         }
         if self.burst == 0 {
             return Err(ConfigError::ZeroParameter { name: "dram.burst" });
@@ -301,7 +302,7 @@ impl DramConfig {
 /// buffer; the buffer drains to the bus in FIFO order. Once full, the
 /// pipeline stalls and, crucially for the paper's store experiment, the
 /// buffered requests reach the bus with zero injection time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StoreBufferConfig {
     /// Number of entries.
     pub entries: usize,
@@ -327,7 +328,7 @@ impl StoreBufferConfig {
 }
 
 /// Complete machine configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Number of cores (bus requesters).
     pub num_cores: usize,

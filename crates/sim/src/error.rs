@@ -94,10 +94,9 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Config(e) => write!(f, "invalid configuration: {e}"),
-            SimError::CycleBudgetExhausted { budget, incomplete } => write!(
-                f,
-                "cycle budget of {budget} exhausted with cores {incomplete:?} incomplete"
-            ),
+            SimError::CycleBudgetExhausted { budget, incomplete } => {
+                write!(f, "cycle budget of {budget} exhausted with cores {incomplete:?} incomplete")
+            }
             SimError::NoSuchCore { core, num_cores } => {
                 write!(f, "core index {core} out of range for machine with {num_cores} cores")
             }

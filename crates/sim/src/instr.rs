@@ -91,7 +91,7 @@ impl Iterations {
 /// assert_eq!(p.body().len(), 2);
 /// assert_eq!(p.dynamic_instruction_count(), Some(20));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Program {
     body: Vec<Instr>,
     iterations: Iterations,
@@ -226,10 +226,7 @@ impl ProgramBuilder {
 
     /// Finalizes the program.
     pub fn build(self) -> Program {
-        Program {
-            body: self.body,
-            iterations: self.iterations.unwrap_or(Iterations::Finite(1)),
-        }
+        Program { body: self.body, iterations: self.iterations.unwrap_or(Iterations::Finite(1)) }
     }
 }
 
@@ -240,10 +237,7 @@ mod tests {
     #[test]
     fn builder_round_trip() {
         let p = ProgramBuilder::new().load(0x10).nops(2).store(0x20).iterations(5).build();
-        assert_eq!(
-            p.body(),
-            &[Instr::Load(0x10), Instr::Nop, Instr::Nop, Instr::Store(0x20)]
-        );
+        assert_eq!(p.body(), &[Instr::Load(0x10), Instr::Nop, Instr::Nop, Instr::Store(0x20)]);
         assert_eq!(p.iterations(), Iterations::Finite(5));
         assert_eq!(p.dynamic_instruction_count(), Some(20));
         assert_eq!(p.dynamic_memory_ops(), Some(10));

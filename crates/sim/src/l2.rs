@@ -27,10 +27,7 @@ impl L2 {
     pub fn new(cfg: L2Config, num_cores: usize) -> Self {
         cfg.validate(num_cores).expect("invalid L2 geometry");
         let part = cfg.partition(num_cores);
-        L2 {
-            partitions: (0..num_cores).map(|_| Cache::new(part)).collect(),
-            cfg,
-        }
+        L2 { partitions: (0..num_cores).map(|_| Cache::new(part)).collect(), cfg }
     }
 
     /// The configuration this L2 was built with.

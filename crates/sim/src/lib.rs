@@ -43,10 +43,21 @@
 //! # }
 //! ```
 //!
+//! A `Machine` is single-threaded and fully deterministic: the same
+//! configuration and programs always produce the same cycle-by-cycle
+//! behaviour. Batch experiments exploit both properties — the `rrb`
+//! crate's `Scenario`/`Campaign` layer describes each measurement as a
+//! `RunSpec` (one machine, one workload), executes many machines
+//! concurrently on a scoped thread pool, and still emits bit-identical
+//! results regardless of the thread count. When driving the simulator
+//! directly, prefer the same shape: build one `Machine` per run rather
+//! than resetting and reusing one across measurements.
+//!
 //! The companion crates build on this substrate: [`rrb-kernels`] generates
 //! resource-stressing kernels, [`rrb-analysis`] provides the γ(δ) model and
 //! saw-tooth period detection, and [`rrb`] implements the paper's
-//! measurement-based methodology end to end.
+//! measurement-based methodology end to end — see `rrb`'s crate docs for
+//! the campaign quick start.
 //!
 //! [`rrb-kernels`]: https://example.invalid/rrb
 //! [`rrb-analysis`]: https://example.invalid/rrb
@@ -69,7 +80,10 @@ pub mod store_buffer;
 pub mod trace;
 mod types;
 
-pub use bus::{Arbiter, ArbiterKind, Bus, BusOpKind, FifoArbiter, FixedPriorityArbiter, GroupedRoundRobinArbiter, RoundRobinArbiter, TdmaArbiter};
+pub use bus::{
+    Arbiter, ArbiterKind, Bus, BusOpKind, FifoArbiter, FixedPriorityArbiter,
+    GroupedRoundRobinArbiter, RoundRobinArbiter, TdmaArbiter,
+};
 pub use cache::{Cache, CacheStats, Replacement};
 pub use config::{BusConfig, CacheConfig, DramConfig, L2Config, MachineConfig, StoreBufferConfig};
 pub use error::{ConfigError, SimError};

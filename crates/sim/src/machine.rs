@@ -200,9 +200,7 @@ impl Machine {
     }
 
     fn unfinished(&self) -> Vec<usize> {
-        (0..self.cfg.num_cores)
-            .filter(|&i| self.finite[i] && !self.cores[i].is_done())
-            .collect()
+        (0..self.cfg.num_cores).filter(|&i| self.finite[i] && !self.cores[i].is_done()).collect()
     }
 
     /// Steps until every finite program completes.
@@ -304,10 +302,11 @@ impl Machine {
                     Some((p.kind, p.addr))
                 }
                 Some(_) => None, // not ready yet
-                None => match (self.cores[i].store_buffer.head(), self.cores[i].store_buffer.head_ready()) {
-                    (Some(addr), Some(ready)) if ready <= now => {
-                        Some((BusOpKind::Store, addr))
-                    }
+                None => match (
+                    self.cores[i].store_buffer.head(),
+                    self.cores[i].store_buffer.head_ready(),
+                ) {
+                    (Some(addr), Some(ready)) if ready <= now => Some((BusOpKind::Store, addr)),
                     _ => None,
                 },
             };
@@ -580,11 +579,7 @@ mod tests {
         let mut m = Machine::new(cfg).expect("config");
         m.load_program(CoreId::new(0), Program::from_body(rsk_load_body(0), 5));
         m.run().expect("run");
-        assert!(m
-            .trace()
-            .events()
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Grant { .. })));
+        assert!(m.trace().events().iter().any(|e| matches!(e, TraceEvent::Grant { .. })));
     }
 
     #[test]
@@ -648,8 +643,11 @@ mod tests {
         let occupied = g.chars().filter(|&c| c == '#').count();
         // Four rows over an 80-cycle window on a saturated bus: the
         // union of rows covers nearly every cycle.
-        assert!(occupied >= 70, "gantt too sparse:
-{g}");
+        assert!(
+            occupied >= 70,
+            "gantt too sparse:
+{g}"
+        );
     }
 
     #[test]

@@ -87,10 +87,7 @@ impl CorePmc {
     /// were observed. Under the synchrony effect this mode covers almost
     /// all requests (98 % in the paper's Fig. 6(b)).
     pub fn mode_gamma(&self) -> Option<(u64, u64)> {
-        self.gamma_histogram
-            .iter()
-            .max_by_key(|&(g, n)| (*n, *g))
-            .map(|(&g, &n)| (g, n))
+        self.gamma_histogram.iter().max_by_key(|&(g, n)| (*n, *g)).map(|(&g, &n)| (g, n))
     }
 }
 
@@ -105,10 +102,7 @@ impl Pmc {
     /// A monitoring unit for `num_cores` cores; `record_requests` controls
     /// whether full per-request records are kept.
     pub fn new(num_cores: usize, record_requests: bool) -> Self {
-        Pmc {
-            cores: (0..num_cores).map(|_| CorePmc::default()).collect(),
-            record_requests,
-        }
+        Pmc { cores: (0..num_cores).map(|_| CorePmc::default()).collect(), record_requests }
     }
 
     /// The counters of one core.

@@ -62,10 +62,7 @@ fn fifo_replacement_rsk_still_thrashes() {
     let mut cfg = MachineConfig::ngmp_ref();
     cfg.dl1.replacement = Replacement::Fifo;
     let mut m = Machine::new(cfg.clone()).expect("config");
-    m.load_program(
-        CoreId::new(0),
-        rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 200),
-    );
+    m.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 200));
     m.run().expect("run");
     assert_eq!(m.dl1_stats(CoreId::new(0)).hits, 0);
 }
@@ -103,10 +100,7 @@ fn fixed_priority_starves_low_priority_contender_math() {
     let mut cfg = MachineConfig::toy(4, 2);
     cfg.bus.arbiter = ArbiterKind::FixedPriority;
     let mut m = Machine::new(cfg.clone()).expect("config");
-    m.load_program(
-        CoreId::new(0),
-        rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 300),
-    );
+    m.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 300));
     for i in 1..4 {
         m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));
     }
@@ -127,10 +121,7 @@ fn fifo_arbiter_breaks_the_synchrony_tooth() {
     // series is flat (every request waits the full queue).
     let gamma_at = |k: usize| {
         let mut m = Machine::new(cfg.clone()).expect("config");
-        m.load_program(
-            CoreId::new(0),
-            rsk_nop(AccessKind::Load, k, &cfg, CoreId::new(0), 300),
-        );
+        m.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, k, &cfg, CoreId::new(0), 300));
         for i in 1..4 {
             m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));
         }
@@ -149,10 +140,7 @@ fn deeper_store_buffer_still_reaches_ubd() {
         let mut cfg = MachineConfig::ngmp_ref();
         cfg.store_buffer.entries = entries;
         let mut m = Machine::new(cfg.clone()).expect("config");
-        m.load_program(
-            CoreId::new(0),
-            rsk_nop(AccessKind::Store, 0, &cfg, CoreId::new(0), 300),
-        );
+        m.load_program(CoreId::new(0), rsk_nop(AccessKind::Store, 0, &cfg, CoreId::new(0), 300));
         for i in 1..4 {
             m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));
         }

@@ -1,0 +1,155 @@
+//! End-to-end validation of the `Scenario`/`Campaign` execution API:
+//! parallel determinism, the shared-baseline cache, and per-run error
+//! containment — the contracts every batch consumer (CLI, bench bins,
+//! future scenarios) relies on.
+
+use rrb::campaign::{Campaign, CampaignGrid, GridScenario};
+use rrb::methodology::{derive_ubd, MethodologyConfig, UbdScenario};
+use rrb::scenario::{RunOutcome, Scenario};
+use rrb_kernels::AccessKind;
+use rrb_sim::{ArbiterKind, MachineConfig};
+
+fn toy() -> MachineConfig {
+    MachineConfig::toy(4, 2)
+}
+
+/// A small but non-trivial grid: 4 cells, mixed contender accesses, so
+/// the plan contains both shared and distinct runs.
+fn four_way_grid() -> CampaignGrid {
+    CampaignGrid::new(GridScenario::Derive, toy())
+        .contender_accesses(vec![AccessKind::Load, AccessKind::Store])
+        .iterations(vec![60, 80])
+        .max_k(14)
+}
+
+#[test]
+fn parallel_campaign_output_is_byte_identical_to_serial() {
+    let grid = four_way_grid();
+    let serial = Campaign::builder().grid(&grid).jobs(1).build().run();
+    let parallel = Campaign::builder().grid(&grid).jobs(8).build().run();
+
+    // The strongest form of the determinism contract: the serialised
+    // payloads match byte for byte, for both formats.
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.records, parallel.records);
+    assert_eq!(serial.reports, parallel.reports);
+
+    // And the campaign actually derived the hidden ubd = 6 in each cell.
+    assert_eq!(serial.reports.len(), 4);
+    for report in &serial.reports {
+        assert_eq!(report.metric_u64("ubd_m"), Some(6), "{report:?}");
+    }
+}
+
+#[test]
+fn baseline_cache_returns_the_same_numbers_as_uncached_runs() {
+    let grid = four_way_grid();
+    let cached = Campaign::builder().grid(&grid).dedup(true).build().run();
+    let uncached = Campaign::builder().grid(&grid).dedup(false).build().run();
+
+    // The cache must be invisible in the results...
+    assert_eq!(cached.to_json(), uncached.to_json());
+    assert_eq!(cached.to_csv(), uncached.to_csv());
+
+    // ...and it must actually be working: the two contender accesses
+    // share every isolated baseline and the calibration run.
+    assert_eq!(uncached.stats.cache_hits, 0);
+    assert_eq!(uncached.stats.executed_runs, uncached.stats.planned_runs);
+    assert!(
+        cached.stats.cache_hits > 0,
+        "grid with shared baselines must hit the cache: {:?}",
+        cached.stats
+    );
+    assert_eq!(cached.stats.planned_runs, cached.stats.executed_runs + cached.stats.cache_hits);
+}
+
+#[test]
+fn invalid_grid_entry_surfaces_as_error_records_not_a_poisoned_campaign() {
+    // A TDMA slot of 4 cycles cannot fit the 9-cycle NGMP transaction:
+    // that cell's plan is rejected at validation. The round-robin cell
+    // must be entirely unaffected.
+    let grid = CampaignGrid::new(GridScenario::Derive, MachineConfig::ngmp_ref())
+        .arbiters(vec![ArbiterKind::RoundRobin, ArbiterKind::Tdma { slot_cycles: 4 }])
+        .iterations(vec![200])
+        .max_k(70);
+    let result = Campaign::builder().grid(&grid).jobs(4).build().run();
+
+    assert_eq!(result.reports.len(), 2);
+    let rr = &result.reports[0];
+    let tdma = &result.reports[1];
+    assert!(rr.is_ok(), "round-robin cell must succeed: {rr:?}");
+    assert_eq!(rr.metric_u64("ubd_m"), Some(27), "the paper's headline number");
+    assert!(!tdma.is_ok(), "TDMA cell must fail");
+    assert!(tdma.error.as_deref().unwrap_or("").contains("TDMA slot"));
+
+    // The failure is recorded, flagged, and contained.
+    let error_records: Vec<_> = result.records.iter().filter(|r| !r.is_ok()).collect();
+    assert_eq!(error_records.len(), 1);
+    assert_eq!(error_records[0].scenario, tdma.scenario);
+    assert!(result.stats.failed_runs > 0);
+}
+
+#[test]
+fn runtime_run_failures_are_recorded_per_run() {
+    // A valid configuration whose cycle budget is far too small: every
+    // run of the scenario fails *at execution time*, and each failure
+    // becomes its own error record instead of aborting the campaign.
+    let mut starved = toy();
+    starved.max_cycles = 50;
+    let grid = CampaignGrid::new(GridScenario::Naive, toy());
+    let campaign = Campaign::builder()
+        .scenario(
+            rrb::naive::NaiveScenario::new(
+                starved,
+                rrb_kernels::rsk_nop(AccessKind::Load, 0, &toy(), rrb_sim::CoreId::new(0), 1000),
+                AccessKind::Load,
+            )
+            .named("starved"),
+        )
+        .grid(&grid)
+        .build();
+    let result = campaign.run();
+
+    assert_eq!(result.reports.len(), 2);
+    assert!(!result.reports[0].is_ok(), "starved scenario must fail");
+    assert!(result.reports[1].is_ok(), "healthy scenario must be unaffected");
+    let starved_records: Vec<_> =
+        result.records.iter().filter(|r| r.scenario == "starved").collect();
+    assert_eq!(starved_records.len(), 2, "one record per planned run");
+    for record in starved_records {
+        assert!(!record.is_ok());
+        assert!(record.error.as_deref().unwrap_or("").contains("cycle budget"));
+    }
+}
+
+#[test]
+fn campaign_derivation_matches_direct_derive_ubd() {
+    // The Scenario path and the classic free-function path must agree
+    // exactly: same plan, same runs, same algebra.
+    let cfg = toy();
+    let mcfg = MethodologyConfig::fast();
+    let direct = derive_ubd(&cfg, &mcfg).expect("direct derivation");
+
+    let scenario = UbdScenario::new(cfg, mcfg).named("via-campaign");
+    let specs = scenario.plan().expect("plan");
+    let outcomes: Vec<RunOutcome> = specs
+        .iter()
+        .zip(rrb::campaign::execute_plan(&specs, 8))
+        .map(|(spec, result)| RunOutcome { label: spec.label.clone(), result })
+        .collect();
+    let via_campaign = scenario.derivation(&outcomes).expect("campaign derivation");
+
+    assert_eq!(direct, via_campaign);
+}
+
+#[test]
+fn campaign_json_is_stable_across_repeated_runs() {
+    // Same campaign, run twice: the simulator is deterministic, so the
+    // payload must not drift (no timestamps, no iteration-order leaks).
+    let grid = CampaignGrid::new(GridScenario::Sweep, toy()).max_k(13).iterations(vec![60]);
+    let a = Campaign::builder().grid(&grid).jobs(2).build().run();
+    let b = Campaign::builder().grid(&grid).jobs(3).build().run();
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.reports[0].metric_u64("period"), Some(6));
+}

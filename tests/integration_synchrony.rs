@@ -102,10 +102,7 @@ fn store_requests_reach_full_ubd_under_saturation() {
 fn isolated_scua_suffers_no_contention() {
     let cfg = MachineConfig::ngmp_ref();
     let mut m = Machine::new(cfg.clone()).expect("config");
-    m.load_program(
-        CoreId::new(0),
-        rsk_nop(AccessKind::Load, 2, &cfg, CoreId::new(0), 200),
-    );
+    m.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, 2, &cfg, CoreId::new(0), 200));
     m.run().expect("run");
     assert_eq!(m.pmc().core(CoreId::new(0)).max_gamma(), Some(0));
 }

@@ -27,9 +27,7 @@ fn gamma_hist(cfg: &MachineConfig, unroll: usize, iterations: u64) -> Histogram 
         m.load_program(CoreId::new(i), rsk(AccessKind::Load, cfg, CoreId::new(i)));
     }
     m.run().expect("run");
-    Histogram::from_bins(
-        m.pmc().core(CoreId::new(0)).gamma_histogram.iter().map(|(&g, &n)| (g, n)),
-    )
+    Histogram::from_bins(m.pmc().core(CoreId::new(0)).gamma_histogram.iter().map(|(&g, &n)| (g, n)))
 }
 
 #[test]
@@ -42,10 +40,7 @@ fn boundary_load_suffers_different_gamma() {
     assert!(h.count(25) > 0, "boundary loads at 25: {h}");
     // Exactly 1 in 5 loads is a boundary load.
     let boundary_fraction = h.count(25) as f64 / h.total() as f64;
-    assert!(
-        (0.15..0.25).contains(&boundary_fraction),
-        "boundary fraction {boundary_fraction}"
-    );
+    assert!((0.15..0.25).contains(&boundary_fraction), "boundary fraction {boundary_fraction}");
 }
 
 #[test]
@@ -105,16 +100,10 @@ fn ifetch_misses_appear_when_the_body_overflows_il1() {
     m.load_program(CoreId::new(0), big);
     m.run().expect("run");
     let pmc = m.pmc().core(CoreId::new(0));
-    let ifetches = pmc
-        .records
-        .iter()
-        .filter(|r| matches!(r.kind, rrb_sim::BusOpKind::Ifetch))
-        .count();
+    let ifetches =
+        pmc.records.iter().filter(|r| matches!(r.kind, rrb_sim::BusOpKind::Ifetch)).count();
     // Each of the 5 iterations re-misses the whole body footprint.
-    assert!(
-        ifetches > 500,
-        "an IL1-overflowing body must fetch continuously, got {ifetches}"
-    );
+    assert!(ifetches > 500, "an IL1-overflowing body must fetch continuously, got {ifetches}");
 
     let small = RskBuilder::new(AccessKind::Load)
         .unroll(1)

@@ -13,11 +13,7 @@ fn contender_histogram_eembc(seed: u64) -> Histogram {
     let mut m = w.into_machine(&cfg).expect("machine");
     m.run().expect("run");
     Histogram::from_bins(
-        m.pmc()
-            .core(scua)
-            .contender_histogram
-            .iter()
-            .map(|(&c, &n)| (u64::from(c), n)),
+        m.pmc().core(scua).contender_histogram.iter().map(|(&c, &n)| (u64::from(c), n)),
     )
 }
 
@@ -66,11 +62,7 @@ fn rsk_workload_almost_always_meets_all_contenders() {
     }
     m.run().expect("run");
     let h = Histogram::from_bins(
-        m.pmc()
-            .core(CoreId::new(0))
-            .contender_histogram
-            .iter()
-            .map(|(&c, &n)| (u64::from(c), n)),
+        m.pmc().core(CoreId::new(0)).contender_histogram.iter().map(|(&c, &n)| (u64::from(c), n)),
     );
     assert!(h.fraction(3) > 0.95, "histogram: {:?}", h.iter().collect::<Vec<_>>());
 }

@@ -4,141 +4,188 @@
 //! check the *algebra* for arbitrary parameters: Eq. 1/Eq. 2 identities,
 //! period-detection round trips, histogram laws, and machine-level
 //! bounds on randomly generated programs.
+//!
+//! The case generator is the workspace's own deterministic
+//! [`KernelRng`] (std-only, fixed seeds), so failures reproduce exactly.
 
-use proptest::prelude::*;
 use rrb_analysis::gamma::{ubd_from_parameters, GammaModel};
 use rrb_analysis::sawtooth::{detect_period, exact_period, ubd_candidates};
 use rrb_analysis::{EtbPadding, Histogram};
-use rrb_kernels::{rsk, RskBuilder};
+use rrb_kernels::{rsk, KernelRng, RskBuilder};
 use rrb_sim::{CoreId, Instr, Machine, MachineConfig, Program};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    // ---------- Eq. 2 algebra ----------
-
-    /// γ(δ) is bounded by ubd and hits ubd only at δ = 0.
-    #[test]
-    fn gamma_bounded_by_ubd(ubd in 1u64..200, delta in 0u64..2000) {
-        let g = GammaModel::new(ubd).gamma(delta);
-        prop_assert!(g <= ubd);
-        if delta > 0 { prop_assert!(g < ubd); }
+/// Runs `body` for `cases` pseudo-random cases drawn from a fixed seed.
+fn for_cases(seed: u64, cases: usize, mut body: impl FnMut(&mut KernelRng)) {
+    let mut rng = KernelRng::seed_from_u64(seed);
+    for _ in 0..cases {
+        body(&mut rng);
     }
+}
 
-    /// γ is periodic with period ubd for δ > 0.
-    #[test]
-    fn gamma_periodicity(ubd in 1u64..200, delta in 1u64..1000) {
+// ---------- Eq. 2 algebra ----------
+
+/// γ(δ) is bounded by ubd and hits ubd only at δ = 0.
+#[test]
+fn gamma_bounded_by_ubd() {
+    for_cases(0x01, 64, |rng| {
+        let ubd = rng.gen_range(1, 200);
+        let delta = rng.gen_below(2000);
+        let g = GammaModel::new(ubd).gamma(delta);
+        assert!(g <= ubd);
+        if delta > 0 {
+            assert!(g < ubd, "ubd={ubd} delta={delta}");
+        }
+    });
+}
+
+/// γ is periodic with period ubd for δ > 0.
+#[test]
+fn gamma_periodicity() {
+    for_cases(0x02, 64, |rng| {
+        let ubd = rng.gen_range(1, 200);
+        let delta = rng.gen_range(1, 1000);
         let m = GammaModel::new(ubd);
-        prop_assert_eq!(m.gamma(delta), m.gamma(delta + ubd));
-    }
+        assert_eq!(m.gamma(delta), m.gamma(delta + ubd), "ubd={ubd} delta={delta}");
+    });
+}
 
-    /// γ(δ) + (δ mod ubd) ≡ 0 (mod ubd): waiting plus offset closes the
-    /// round-robin window.
-    #[test]
-    fn gamma_plus_offset_is_window(ubd in 1u64..200, delta in 1u64..1000) {
+/// γ(δ) + (δ mod ubd) ≡ 0 (mod ubd): waiting plus offset closes the
+/// round-robin window.
+#[test]
+fn gamma_plus_offset_is_window() {
+    for_cases(0x03, 64, |rng| {
+        let ubd = rng.gen_range(1, 200);
+        let delta = rng.gen_range(1, 1000);
         let g = GammaModel::new(ubd).gamma(delta);
-        prop_assert_eq!((g + delta % ubd) % ubd, 0);
-    }
+        assert_eq!((g + delta % ubd) % ubd, 0, "ubd={ubd} delta={delta}");
+    });
+}
 
-    /// Eq. 1 is monotone in both parameters.
-    #[test]
-    fn ubd_monotone(nc in 1u64..16, lbus in 1u64..64) {
-        prop_assert!(ubd_from_parameters(nc + 1, lbus) >= ubd_from_parameters(nc, lbus));
-        prop_assert!(ubd_from_parameters(nc, lbus + 1) >= ubd_from_parameters(nc, lbus));
-    }
+/// Eq. 1 is monotone in both parameters.
+#[test]
+fn ubd_monotone() {
+    for_cases(0x04, 64, |rng| {
+        let nc = rng.gen_range(1, 16);
+        let lbus = rng.gen_range(1, 64);
+        assert!(ubd_from_parameters(nc + 1, lbus) >= ubd_from_parameters(nc, lbus));
+        assert!(ubd_from_parameters(nc, lbus + 1) >= ubd_from_parameters(nc, lbus));
+    });
+}
 
-    // ---------- Saw-tooth detection ----------
+// ---------- Saw-tooth detection ----------
 
-    /// Detection round-trips synthesis: an Eq. 2 sweep with δ_nop = 1 over
-    /// ≥ 2 periods always yields exactly ubd.
-    #[test]
-    fn period_detection_round_trip(ubd in 2u64..80, delta0 in 1u64..80, extra in 0usize..40) {
+/// Detection round-trips synthesis: an Eq. 2 sweep with δ_nop = 1 over
+/// ≥ 2 periods always yields exactly ubd.
+#[test]
+fn period_detection_round_trip() {
+    for_cases(0x05, 64, |rng| {
+        let ubd = rng.gen_range(2, 80);
+        let delta0 = rng.gen_range(1, 80);
+        let extra = rng.gen_below(40) as usize;
         let len = (2 * ubd) as usize + 2 + extra;
         let series = GammaModel::new(ubd).sweep(delta0, 1, len);
-        prop_assert_eq!(exact_period(&series), Some(ubd));
-    }
+        assert_eq!(exact_period(&series), Some(ubd), "ubd={ubd} delta0={delta0} len={len}");
+    });
+}
 
-    /// Detection is scale-invariant (slowdown = per-request γ × requests).
-    #[test]
-    fn period_detection_scale_invariant(ubd in 2u64..60, requests in 1u64..100_000) {
+/// Detection is scale-invariant (slowdown = per-request γ × requests).
+#[test]
+fn period_detection_scale_invariant() {
+    for_cases(0x06, 64, |rng| {
+        let ubd = rng.gen_range(2, 60);
+        let requests = rng.gen_range(1, 100_000);
         let len = (2 * ubd + 4) as usize;
-        let series: Vec<u64> = GammaModel::new(ubd)
-            .sweep(1, 1, len)
-            .into_iter()
-            .map(|g| g * requests)
-            .collect();
+        let series: Vec<u64> =
+            GammaModel::new(ubd).sweep(1, 1, len).into_iter().map(|g| g * requests).collect();
         let est = detect_period(&series, 0).expect("periodic series");
-        prop_assert_eq!(est.period, ubd);
-    }
+        assert_eq!(est.period, ubd, "ubd={ubd} requests={requests}");
+    });
+}
 
-    /// The sampled-sweep candidate set always contains the true ubd.
-    #[test]
-    fn candidates_contain_truth(ubd in 4u64..60, q in 1u64..6) {
+/// The sampled-sweep candidate set always contains the true ubd.
+#[test]
+fn candidates_contain_truth() {
+    for_cases(0x07, 64, |rng| {
+        let ubd = rng.gen_range(4, 60);
+        let q = rng.gen_range(1, 6);
         let len = (3 * ubd) as usize;
         let series = GammaModel::new(ubd).sweep(1, q, len);
         if let Some(p) = exact_period(&series) {
             let cands = ubd_candidates(p, q);
-            prop_assert!(cands.contains(&ubd), "p={} q={} cands={:?}", p, q, cands);
+            assert!(cands.contains(&ubd), "p={p} q={q} cands={cands:?}");
         }
-    }
+    });
+}
 
-    // ---------- Histogram laws ----------
+// ---------- Histogram laws ----------
 
-    #[test]
-    fn histogram_total_equals_input_len(values in prop::collection::vec(0u64..50, 0..200)) {
+#[test]
+fn histogram_total_equals_input_len() {
+    for_cases(0x08, 64, |rng| {
+        let len = rng.gen_below(200) as usize;
+        let values: Vec<u64> = (0..len).map(|_| rng.gen_below(50)).collect();
         let h: Histogram = values.iter().copied().collect();
-        prop_assert_eq!(h.total(), values.len() as u64);
+        assert_eq!(h.total(), values.len() as u64);
         if let Some(max) = values.iter().max() {
-            prop_assert_eq!(h.max(), Some(*max));
+            assert_eq!(h.max(), Some(*max));
         }
         // Quantiles are monotone.
         if !values.is_empty() {
-            prop_assert!(h.quantile(0.25) <= h.quantile(0.75));
+            assert!(h.quantile(0.25) <= h.quantile(0.75));
         }
-    }
+    });
+}
 
-    #[test]
-    fn histogram_merge_is_additive(a in prop::collection::vec(0u64..20, 0..50),
-                                   b in prop::collection::vec(0u64..20, 0..50)) {
+#[test]
+fn histogram_merge_is_additive() {
+    for_cases(0x09, 64, |rng| {
+        let la = rng.gen_below(50) as usize;
+        let lb = rng.gen_below(50) as usize;
+        let a: Vec<u64> = (0..la).map(|_| rng.gen_below(20)).collect();
+        let b: Vec<u64> = (0..lb).map(|_| rng.gen_below(20)).collect();
         let ha: Histogram = a.iter().copied().collect();
         let hb: Histogram = b.iter().copied().collect();
         let mut merged = ha.clone();
         merged.merge(&hb);
-        prop_assert_eq!(merged.total(), ha.total() + hb.total());
+        assert_eq!(merged.total(), ha.total() + hb.total());
         for v in 0..20u64 {
-            prop_assert_eq!(merged.count(v), ha.count(v) + hb.count(v));
+            assert_eq!(merged.count(v), ha.count(v) + hb.count(v));
         }
-    }
-
-    // ---------- ETB algebra ----------
-
-    #[test]
-    fn etb_padding_laws(nr in 0u64..1_000_000, ubd_m in 0u64..1_000, truth in 0u64..1_000) {
-        let p = EtbPadding::new(nr, ubd_m);
-        prop_assert_eq!(p.pad(), nr * ubd_m);
-        // Shortfall is zero iff the estimate covers the truth (or nr = 0).
-        if ubd_m >= truth || nr == 0 {
-            prop_assert_eq!(p.shortfall_against(truth), 0);
-        } else {
-            prop_assert!(p.shortfall_against(truth) > 0);
-        }
-    }
+    });
 }
 
-proptest! {
-    // Machine-level properties are expensive; keep the case count low.
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+// ---------- ETB algebra ----------
 
-    /// For arbitrary small programs under saturating contenders, no
-    /// request's contention ever exceeds Eq. 1's bound.
-    #[test]
-    fn no_request_exceeds_ubd(ops in prop::collection::vec(0u8..4, 1..20), iters in 5u64..40) {
+#[test]
+fn etb_padding_laws() {
+    for_cases(0x0a, 64, |rng| {
+        let nr = rng.gen_below(1_000_000);
+        let ubd_m = rng.gen_below(1_000);
+        let truth = rng.gen_below(1_000);
+        let p = EtbPadding::new(nr, ubd_m);
+        assert_eq!(p.pad(), nr * ubd_m);
+        // Shortfall is zero iff the estimate covers the truth (or nr = 0).
+        if ubd_m >= truth || nr == 0 {
+            assert_eq!(p.shortfall_against(truth), 0);
+        } else {
+            assert!(p.shortfall_against(truth) > 0, "nr={nr} ubd_m={ubd_m} truth={truth}");
+        }
+    });
+}
+
+// ---------- Machine-level properties (expensive; few cases) ----------
+
+/// For arbitrary small programs under saturating contenders, no
+/// request's contention ever exceeds Eq. 1's bound.
+#[test]
+fn no_request_exceeds_ubd() {
+    for_cases(0x0b, 12, |rng| {
         let cfg = MachineConfig::toy(4, 2);
         let layout = rrb_kernels::DataLayout::for_core(&cfg, CoreId::new(0));
-        let body: Vec<Instr> = ops
-            .iter()
-            .enumerate()
-            .map(|(i, &op)| match op {
+        let len = rng.gen_range(1, 20) as usize;
+        let iters = rng.gen_range(5, 40);
+        let body: Vec<Instr> = (0..len)
+            .map(|i| match rng.gen_below(4) {
                 0 => Instr::load(layout.addr((i % 5) as u64)),
                 1 => Instr::store(layout.addr((i % 5) as u64)),
                 2 => Instr::Nop,
@@ -155,15 +202,19 @@ proptest! {
         }
         m.run().expect("run");
         if let Some(max) = m.pmc().core(CoreId::new(0)).max_gamma() {
-            prop_assert!(max <= cfg.ubd(), "gamma {} > ubd {}", max, cfg.ubd());
+            assert!(max <= cfg.ubd(), "gamma {} > ubd {}", max, cfg.ubd());
         }
-    }
+    });
+}
 
-    /// Execution time in isolation is deterministic and contention can
-    /// only increase it.
-    #[test]
-    fn contention_never_speeds_up_the_scua(k in 0usize..8, iters in 10u64..60) {
+/// Execution time in isolation is deterministic and contention can
+/// only increase it.
+#[test]
+fn contention_never_speeds_up_the_scua() {
+    for_cases(0x0c, 12, |rng| {
         let cfg = MachineConfig::toy(4, 2);
+        let k = rng.gen_below(8) as usize;
+        let iters = rng.gen_range(10, 60);
         let scua = RskBuilder::new(rrb_kernels::AccessKind::Load)
             .nops(k)
             .iterations(iters)
@@ -182,6 +233,41 @@ proptest! {
             );
         }
         let t_con = con.run().expect("run").core(CoreId::new(0)).execution_time().expect("done");
-        prop_assert!(t_con >= t_iso, "contended {} < isolated {}", t_con, t_iso);
+        assert!(t_con >= t_iso, "contended {t_con} < isolated {t_iso} (k={k} iters={iters})");
+    });
+}
+
+// ---------- Campaign invariants ----------
+
+/// Parallel plan execution is pointwise equal to serial for arbitrary
+/// mixed plans — the determinism contract behind `--jobs`.
+#[test]
+fn campaign_execution_is_schedule_invariant() {
+    use rrb::campaign::{execute_plan, RunSpec};
+    let cfg = MachineConfig::toy(4, 2);
+    let mut rng = KernelRng::seed_from_u64(0x0d);
+    let specs: Vec<RunSpec> = (0..10)
+        .map(|i| {
+            let k = rng.gen_below(6) as usize;
+            let iters = rng.gen_range(10, 50);
+            let scua = RskBuilder::new(rrb_kernels::AccessKind::Load)
+                .nops(k)
+                .iterations(iters)
+                .build(&cfg, CoreId::new(0));
+            if rng.gen_below(2) == 0 {
+                RunSpec::isolated(format!("i{i}"), cfg.clone(), scua)
+            } else {
+                RunSpec::contended_rsk(
+                    format!("c{i}"),
+                    cfg.clone(),
+                    scua,
+                    rrb_kernels::AccessKind::Load,
+                )
+            }
+        })
+        .collect();
+    let serial = execute_plan(&specs, 1);
+    for jobs in [2usize, 3, 8] {
+        assert_eq!(execute_plan(&specs, jobs), serial, "jobs={jobs}");
     }
 }
