@@ -16,7 +16,7 @@ fn main() {
     ] {
         bench(&format!("arbiter/{name}"), 2, 10, || {
             let mut cfg = MachineConfig::ngmp_ref();
-            cfg.bus.arbiter = kind;
+            cfg.topology.bus.arbiter = kind;
             let mut m = Machine::new(cfg.clone()).expect("config");
             for i in 0..cfg.num_cores {
                 m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));

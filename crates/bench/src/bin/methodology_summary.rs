@@ -33,6 +33,6 @@ fn main() {
     println!();
     for (name, cfg, naive, derived) in rows {
         println!("=== {name} ===");
-        println!("{}", report::render_comparison(&naive, &derived, cfg.ubd()));
+        println!("{}", report::render_comparison(&naive, &derived, cfg.bus_ubd()));
     }
 }

@@ -10,7 +10,7 @@ use rrb::report;
 use rrb::{MbtaAnalysis, TaskSpec};
 use rrb_analysis::GammaModel;
 use rrb_kernels::{random_eembc_workload, AccessKind, AutobenchKernel};
-use rrb_sim::{ArbiterKind, CoreId, MachineConfig};
+use rrb_sim::{ArbiterKind, CoreId, MachineConfig, McQueueConfig};
 use std::error::Error;
 use std::fmt;
 
@@ -76,7 +76,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     }
 }
 
-/// Resolves the `--arch` / `--cores` / `--l-bus` flags into a machine.
+/// Resolves the `--arch` / `--cores` / `--l-bus` / `--topology` flags
+/// into a machine.
 fn machine_from(parsed: &Parsed) -> Result<MachineConfig, CliError> {
     let mut cfg = match parsed.get("arch").unwrap_or("ref") {
         "ref" => MachineConfig::ngmp_ref(),
@@ -92,6 +93,40 @@ fn machine_from(parsed: &Parsed) -> Result<MachineConfig, CliError> {
             })
         }
     };
+    let has_mc_flags = parsed.get("mc-arbiter").is_some() || parsed.get("mc-occupancy").is_some();
+    // The mc flags only make sense on the two-level topology, so giving
+    // one implies it; an explicit --topology single-bus alongside them
+    // is a contradiction, not something to ignore silently.
+    let topology = match parsed.get("topology") {
+        None if has_mc_flags => "bus+mc",
+        None => "single-bus",
+        Some(t) => t,
+    };
+    match topology {
+        "single-bus" if has_mc_flags => {
+            return Err(CliError::UnknownChoice {
+                flag: "topology",
+                value: String::from("single-bus (with --mc-arbiter/--mc-occupancy)"),
+                allowed: "bus+mc when the mc flags are given",
+            })
+        }
+        "single-bus" => {}
+        "bus+mc" => {
+            let mut mc = McQueueConfig::ngmp();
+            if let Some(token) = parsed.get("mc-arbiter") {
+                mc.arbiter = parse_arbiter_for(token, "mc-arbiter")?;
+            }
+            mc.service_occupancy = parsed.get_u64("mc-occupancy", mc.service_occupancy)?;
+            cfg.topology.mc = Some(mc);
+        }
+        other => {
+            return Err(CliError::UnknownChoice {
+                flag: "topology",
+                value: other.to_string(),
+                allowed: "single-bus, bus+mc",
+            })
+        }
+    }
     if let Ok(n) = parsed.get_u64("nop-latency", cfg.nop_latency) {
         cfg.nop_latency = n.max(1);
     }
@@ -100,7 +135,9 @@ fn machine_from(parsed: &Parsed) -> Result<MachineConfig, CliError> {
 
 fn methodology_from(parsed: &Parsed, cfg: &MachineConfig) -> Result<MethodologyConfig, CliError> {
     let mut m = MethodologyConfig::paper();
-    m.max_k = parsed.get_u64("max-k", (cfg.ubd() * 3).max(20))? as usize;
+    // The saw-tooth is bus-only, so the default sweep length scales
+    // with the bus share of the bound (the mc term adds no period).
+    m.max_k = parsed.get_u64("max-k", (cfg.bus_ubd() * 3).max(20))? as usize;
     // `--iterations` accepts a comma list for `campaign` grids; the
     // single-run commands use the first value.
     m.iterations = parsed.get_u64_list("iterations", &[300])?.first().copied().unwrap_or(300);
@@ -134,7 +171,7 @@ fn cmd_derive(parsed: &Parsed) -> Result<String, CliError> {
                 "\nstore-tooth cross-check: tooth length {} vs ubd_m {} -> {}\n",
                 check.tooth_length,
                 check.ubd_m,
-                if check.corroborates(cfg.bus.store_occupancy + 2) {
+                if check.corroborates(cfg.bus().store_occupancy + 2) {
                     "corroborated"
                 } else {
                     "NOT corroborated"
@@ -250,28 +287,20 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses an arbiter token through `rrb-sim`'s canonical
+/// `ArbiterKind::from_str` (the single source of truth for the
+/// `rr/fp/fifo/tdma:<slot>/grr:<group>` grammar), naming `flag` in the
+/// error.
+fn parse_arbiter_for(token: &str, flag: &'static str) -> Result<ArbiterKind, CliError> {
+    token.parse().map_err(|_| CliError::UnknownChoice {
+        flag,
+        value: token.to_string(),
+        allowed: rrb_sim::ParseArbiterError::ALLOWED,
+    })
+}
+
 fn parse_arbiter(token: &str) -> Result<ArbiterKind, CliError> {
-    let bad = |value: &str| CliError::UnknownChoice {
-        flag: "arbiters",
-        value: value.to_string(),
-        allowed: "rr, fp, fifo, tdma:<slot>, grr:<group>",
-    };
-    match token {
-        "rr" => Ok(ArbiterKind::RoundRobin),
-        "fp" => Ok(ArbiterKind::FixedPriority),
-        "fifo" => Ok(ArbiterKind::Fifo),
-        other => {
-            if let Some(slot) = other.strip_prefix("tdma:") {
-                let slot_cycles = slot.parse().map_err(|_| bad(other))?;
-                Ok(ArbiterKind::Tdma { slot_cycles })
-            } else if let Some(group) = other.strip_prefix("grr:") {
-                let group_size = group.parse().map_err(|_| bad(other))?;
-                Ok(ArbiterKind::GroupedRoundRobin { group_size })
-            } else {
-                Err(bad(other))
-            }
-        }
-    }
+    parse_arbiter_for(token, "arbiters")
 }
 
 fn parse_access(token: &str) -> Result<AccessKind, CliError> {
@@ -368,10 +397,15 @@ fn help_text() -> String {
     String::from(
         "rrb — measurement-based contention bounds for round-robin buses\n\
          (reproduction of Fernandez et al., DAC 2015)\n\n\
+         common machine flags (derive, naive, audit, simulate, campaign):\n\
+           --arch ref|var|toy  [--cores N --l-bus N]  [--nop-latency N]\n\
+           --topology single-bus|bus+mc   chain the memory-controller queue\n\
+           --mc-arbiter TOKEN --mc-occupancy N   configure the mc queue\n\
+           (arbiter TOKENs everywhere: rr, fp, fifo, tdma:<slot>, grr:<group>)\n\n\
          commands:\n\
-           derive    run the rsk-nop methodology and derive ubd_m\n\
-                     [--arch ref|var|toy] [--cores N --l-bus N] [--max-k N]\n\
-                     [--iterations N] [--nop-latency N] [--store-scua]\n\
+           derive    run the rsk-nop methodology and derive ubd_m, with a\n\
+                     per-resource breakdown on multi-resource topologies\n\
+                     [--max-k N] [--iterations N] [--store-scua]\n\
                      [--store-contenders] [--repeats N]\n\
            naive     the prior-practice estimate (rsk vs rsk, det/nr)\n\
                      [--arch ...] [--iterations N]\n\
@@ -383,7 +417,7 @@ fn help_text() -> String {
                      [--arch ...] [--seed N] [--scua-iterations N]\n\
            campaign  run a scenario grid through the parallel batch runner\n\
                      [--scenario derive|naive|sweep|validate] [--arch ...]\n\
-                     [--arbiters rr,fp,fifo,tdma:<slot>,grr:<group>]\n\
+                     [--arbiters rr,fifo,...] [--topology bus+mc]\n\
                      [--grid-cores 2,3,4] [--accesses load,store]\n\
                      [--contenders load,store] [--iterations 100,200]\n\
                      [--max-k N] [--jobs N] [--format text|json|csv]\n\
@@ -473,6 +507,59 @@ mod tests {
         let out = run("derive --arch toy --cores 4 --l-bus 2 --max-k 20 --iterations 100")
             .expect("derive");
         assert!(out.contains("ubd_m               : 6"), "{out}");
+    }
+
+    #[test]
+    fn derive_on_two_level_topology_reports_breakdown_that_sums() {
+        let out = run("derive --arch toy --cores 4 --l-bus 2 --topology bus+mc \
+             --mc-occupancy 2 --max-k 20 --iterations 100")
+        .expect("derive");
+        assert!(out.contains("ubd_m               : 6"), "{out}");
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("per-resource ubd_m"))
+            .unwrap_or_else(|| panic!("breakdown line missing:\n{out}"));
+        // "per-resource ubd_m  : bus 6 + mc N = M cycles" — the shares
+        // must sum to the reported total.
+        let nums: Vec<u64> =
+            line.split(|c: char| !c.is_ascii_digit()).filter_map(|t| t.parse().ok()).collect();
+        assert_eq!(nums.len(), 3, "{line}");
+        assert_eq!(nums[0] + nums[1], nums[2], "{line}");
+        assert_eq!(nums[0], 6, "the bus share is the saw-tooth bound: {line}");
+    }
+
+    #[test]
+    fn mc_flags_imply_two_level_topology() {
+        // --mc-occupancy without --topology must not be silently ignored:
+        // it implies bus+mc, so the breakdown line appears.
+        let out = run("derive --arch toy --cores 4 --l-bus 2 --mc-occupancy 2 \
+             --max-k 20 --iterations 100")
+        .expect("derive");
+        assert!(out.contains("per-resource ubd_m"), "{out}");
+        // ...and contradicting them with an explicit single-bus errors.
+        let e =
+            run("derive --arch toy --topology single-bus --mc-occupancy 2").expect_err("must fail");
+        assert!(e.to_string().contains("bus+mc when the mc flags are given"), "{e}");
+    }
+
+    #[test]
+    fn derive_rejects_bad_topology_and_mc_arbiter() {
+        let e = run("derive --arch toy --topology mesh").expect_err("must fail");
+        assert!(e.to_string().contains("single-bus, bus+mc"), "{e}");
+        let e =
+            run("derive --arch toy --topology bus+mc --mc-arbiter cdma").expect_err("must fail");
+        assert!(e.to_string().contains("tdma:<slot>"), "{e}");
+    }
+
+    #[test]
+    fn campaign_on_two_level_topology_emits_per_resource_metrics() {
+        let out = run("campaign --arch toy --cores 4 --l-bus 2 --topology bus+mc \
+             --mc-occupancy 2 --scenario derive --iterations 60 --max-k 14 --jobs 2")
+        .expect("campaign");
+        assert!(out.contains("/bus+mc"), "scenario names carry the topology: {out}");
+        assert!(out.contains("ubd_bus"), "{out}");
+        assert!(out.contains("ubd_mc"), "{out}");
+        assert!(out.contains("ubd_total"), "{out}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! The paper's methodology is inherently a sweep — the same
 //! scua/contender workload at many nop paddings, arbiters, core counts
 //! and access kinds — and every run owns its own
-//! [`Machine`](rrb_sim::Machine), so a measurement campaign is
+//! [`Machine`], so a measurement campaign is
 //! embarrassingly parallel. This module turns a set of scenarios into
 //! one deduplicated run plan, executes it across a scoped thread pool,
 //! and hands each scenario its outcomes *in plan order*, which makes
@@ -112,18 +112,28 @@ pub struct RunMeasurement {
     pub bus_requests: u64,
     /// Scua instructions retired.
     pub instructions: u64,
-    /// Histogram of per-request contention delays (γ) of the scua.
+    /// Histogram of per-request **bus** contention delays (γ) of the scua.
     pub gamma_histogram: Histogram,
+    /// Histogram of per-request contention delays of the scua at the
+    /// memory-controller queue (empty on single-bus topologies).
+    pub mc_gamma_histogram: Histogram,
     /// Histogram of ready-time contender counts of the scua (Fig. 6(a)).
     pub contender_histogram: Histogram,
     /// Overall bus utilisation during the run.
     pub bus_utilization: f64,
+    /// Memory-controller-queue utilisation, when the topology chains one.
+    pub mc_utilization: Option<f64>,
 }
 
 impl RunMeasurement {
-    /// Largest observed per-request contention delay.
+    /// Largest observed per-request bus contention delay.
     pub fn max_gamma(&self) -> Option<u64> {
         self.gamma_histogram.max()
+    }
+
+    /// Largest observed contention delay at the memory-controller queue.
+    pub fn max_gamma_mc(&self) -> Option<u64> {
+        self.mc_gamma_histogram.max()
     }
 
     /// Most frequent per-request contention delay.
@@ -205,10 +215,14 @@ pub fn execute_run(spec: &RunSpec) -> Result<RunMeasurement, RunError> {
         bus_requests: core.bus_requests,
         instructions: core.instructions,
         gamma_histogram: Histogram::from_bins(pmc.gamma_histogram.iter().map(|(&g, &n)| (g, n))),
+        mc_gamma_histogram: Histogram::from_bins(
+            pmc.mc_gamma_histogram.iter().map(|(&g, &n)| (g, n)),
+        ),
         contender_histogram: Histogram::from_bins(
             pmc.contender_histogram.iter().map(|(&c, &n)| (u64::from(c), n)),
         ),
         bus_utilization: summary.bus_utilization,
+        mc_utilization: summary.mc_utilization,
     })
 }
 
@@ -290,10 +304,13 @@ pub struct RunRecord {
     pub instructions: Option<u64>,
     /// Overall bus utilisation.
     pub bus_utilization: Option<f64>,
-    /// Largest observed γ.
+    /// Largest observed bus γ.
     pub max_gamma: Option<u64>,
-    /// Dominant γ.
+    /// Dominant bus γ.
     pub mode_gamma: Option<u64>,
+    /// Largest observed γ at the memory-controller queue (None when the
+    /// topology has no queue or the scua never missed L2).
+    pub max_gamma_mc: Option<u64>,
 }
 
 impl RunRecord {
@@ -308,6 +325,7 @@ impl RunRecord {
             bus_utilization: Some(m.bus_utilization),
             max_gamma: m.max_gamma(),
             mode_gamma: m.mode_gamma(),
+            max_gamma_mc: m.max_gamma_mc(),
         }
     }
 
@@ -322,6 +340,7 @@ impl RunRecord {
             bus_utilization: None,
             max_gamma: None,
             mode_gamma: None,
+            max_gamma_mc: None,
         }
     }
 
@@ -342,6 +361,7 @@ impl RunRecord {
             ("bus_utilization", Json::option(self.bus_utilization, Json::F64)),
             ("max_gamma", Json::option(self.max_gamma, Json::U64)),
             ("mode_gamma", Json::option(self.mode_gamma, Json::U64)),
+            ("max_gamma_mc", Json::option(self.max_gamma_mc, Json::U64)),
         ])
     }
 }
@@ -391,7 +411,7 @@ impl CampaignResult {
     /// The per-run records as CSV (RFC 4180), one row per record.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "scenario,label,status,error,execution_time,bus_requests,instructions,bus_utilization,max_gamma,mode_gamma\n",
+            "scenario,label,status,error,execution_time,bus_requests,instructions,bus_utilization,max_gamma,mode_gamma,max_gamma_mc\n",
         );
         for r in &self.records {
             let opt_u64 = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_default();
@@ -406,6 +426,7 @@ impl CampaignResult {
                 r.bus_utilization.map(|u| format!("{u}")).unwrap_or_default(),
                 opt_u64(r.max_gamma),
                 opt_u64(r.mode_gamma),
+                opt_u64(r.max_gamma_mc),
             ];
             out.push_str(&row.join(","));
             out.push('\n');
@@ -647,15 +668,12 @@ impl GridScenario {
     }
 }
 
-/// A short, filename-safe name for an arbiter.
+/// The canonical arbiter token used in scenario names and records —
+/// `ArbiterKind`'s `Display` form (`rr`, `fp`, `fifo`, `tdma:<slot>`,
+/// `grr:<group>`), which `ArbiterKind::from_str` round-trips, so a name
+/// fragment can be parsed straight back into a policy.
 pub fn arbiter_slug(kind: ArbiterKind) -> String {
-    match kind {
-        ArbiterKind::RoundRobin => String::from("rr"),
-        ArbiterKind::FixedPriority => String::from("fp"),
-        ArbiterKind::Fifo => String::from("fifo"),
-        ArbiterKind::Tdma { slot_cycles } => format!("tdma{slot_cycles}"),
-        ArbiterKind::GroupedRoundRobin { group_size } => format!("grr{group_size}"),
-    }
+    kind.to_string()
 }
 
 /// A short name for an access kind.
@@ -699,10 +717,12 @@ impl CampaignGrid {
     /// A 1×1×…×1 grid over `base`; widen dimensions with the setters.
     pub fn new(scenario: GridScenario, base: MachineConfig) -> Self {
         let mut methodology = MethodologyConfig::fast();
-        methodology.max_k = ((base.ubd() as usize) * 3).max(12);
+        // The saw-tooth period is bus-only, so the sweep length scales
+        // with the bus's share of the bound, not the topology total.
+        methodology.max_k = ((base.bus_ubd() as usize) * 3).max(12);
         CampaignGrid {
             scenario,
-            arbiters: vec![base.bus.arbiter],
+            arbiters: vec![base.bus().arbiter],
             cores: vec![base.num_cores],
             accesses: vec![AccessKind::Load],
             contender_accesses: vec![AccessKind::Load],
@@ -781,19 +801,24 @@ impl CampaignGrid {
                     for &contender_access in &self.contender_accesses {
                         for &iterations in &self.iteration_counts {
                             let mut cfg = self.base.clone();
-                            cfg.bus.arbiter = arbiter;
+                            cfg.topology.bus.arbiter = arbiter;
                             cfg.num_cores = cores;
                             if (cfg.l2.ways as usize) < cores {
                                 cfg.l2.ways = cores as u32;
                             }
                             let name = format!(
-                                "{}/{}/c{}/{}-vs-{}/i{}",
+                                "{}/{}/c{}/{}-vs-{}/i{}{}",
                                 self.scenario.slug(),
                                 arbiter_slug(arbiter),
                                 cores,
                                 access_slug(access),
                                 access_slug(contender_access),
                                 iterations,
+                                match cfg.topology.mc {
+                                    Some(mc) =>
+                                        format!("/bus+mc:{}:{}", mc.arbiter, mc.service_occupancy),
+                                    None => String::new(),
+                                },
                             );
                             out.push(self.cell(name, cfg, access, contender_access, iterations));
                         }
@@ -864,7 +889,7 @@ mod tests {
     #[test]
     fn invalid_config_is_a_run_error_not_a_panic() {
         let mut cfg = toy();
-        cfg.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 1 };
+        cfg.topology.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 1 };
         let scua = rsk_nop(AccessKind::Load, 0, &toy(), CoreId::new(0), 10);
         let spec = RunSpec::isolated("bad", cfg, scua);
         assert!(matches!(execute_run(&spec), Err(RunError::Sim(SimError::Config(_)))));

@@ -97,8 +97,8 @@ pub use experiment::{ContendedRun, IsolatedRun, SlowdownMeasurement};
 pub use mbta::{BoundValidation, MbtaAnalysis, TaskBound, TaskSpec};
 pub use methodology::{
     derive_ubd, derive_ubd_repeated, derive_ubd_repeated_jobs, store_tooth_check,
-    MethodologyConfig, MethodologyError, RepeatedDerivation, StoreToothCheck, UbdDerivation,
-    UbdScenario,
+    MethodologyConfig, MethodologyError, RepeatedDerivation, ResourceContribution, StoreToothCheck,
+    UbdDerivation, UbdScenario,
 };
 pub use naive::{naive_rsk_vs_rsk, naive_scua_vs_rsk, NaiveEstimate, NaiveScenario};
 pub use scenario::{

@@ -127,9 +127,22 @@ impl MbtaAnalysis {
         MbtaAnalysis { cfg, derivation }
     }
 
-    /// The platform bound in use.
+    /// The platform bound in use — the bus share of the derivation.
     pub fn ubd_m(&self) -> u64 {
         self.derivation.ubd_m
+    }
+
+    /// The per-request pad applied to ETBs. On single-bus topologies
+    /// this equals [`MbtaAnalysis::ubd_m`]. On two-level topologies the
+    /// rsk-nop sweep cannot provoke controller-queue contention (its
+    /// steady-state traffic hits in L2), so the *measured* mc share is
+    /// not a bound; the pad instead adds each non-bus resource's Eq. 1
+    /// term `(Nc − 1)·l_r` from the platform configuration, keeping the
+    /// ETB an upper bound even for tasks whose co-runners queue at the
+    /// controller.
+    pub fn pad_per_request(&self) -> u64 {
+        let beyond_bus: u64 = self.cfg.ubd_breakdown().iter().skip(1).map(|t| t.ubd).sum();
+        self.derivation.ubd_m + beyond_bus
     }
 
     /// The underlying derivation (audit trail).
@@ -137,14 +150,17 @@ impl MbtaAnalysis {
         &self.derivation
     }
 
-    /// Bounds one task: measure in isolation, pad with `nr × ubd_m`.
+    /// Bounds one task: measure in isolation, pad with
+    /// `nr × pad_per_request` (the bus-derived bound plus the Eq. 1 term
+    /// of every further resource on the path, so two-level topologies
+    /// pad for controller-queue contention too).
     ///
     /// # Errors
     ///
     /// Returns [`RunError`] if the isolation run fails.
     pub fn bound_task(&self, task: &TaskSpec) -> Result<TaskBound, RunError> {
         let isolated = run_isolated(&self.cfg, task.program.clone())?;
-        let padding = EtbPadding::new(isolated.bus_requests, self.derivation.ubd_m);
+        let padding = EtbPadding::new(isolated.bus_requests, self.pad_per_request());
         Ok(TaskBound {
             name: task.name.clone(),
             isolation_time: isolated.execution_time,

@@ -15,7 +15,7 @@
 //!    one cycle.
 //!
 //! The whole procedure is packaged as [`UbdScenario`], a
-//! [`Scenario`](crate::scenario::Scenario): the measurement plan
+//! [`Scenario`]: the measurement plan
 //! (calibration + one isolated/contended pair per `k`) is pure data, so
 //! a [`Campaign`](crate::campaign::Campaign) can run many derivations in
 //! parallel and deduplicate shared runs. [`derive_ubd`] is the
@@ -25,7 +25,7 @@ use crate::campaign::{execute_plan, execute_plan_deduped, RunError, RunSpec};
 use crate::scenario::{MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport};
 use rrb_analysis::sawtooth::{detect_period, ubd_candidates, PeriodEstimate};
 use rrb_kernels::{estimate_delta_nop, nop_kernel, AccessKind, RskBuilder};
-use rrb_sim::{CoreId, MachineConfig, SimError};
+use rrb_sim::{CoreId, MachineConfig, ResourceKind, SimError};
 use std::error::Error;
 use std::fmt;
 
@@ -93,11 +93,31 @@ impl Default for MethodologyConfig {
     }
 }
 
+/// One resource's share of a derived bound.
+///
+/// The bus share is the saw-tooth-derived `ubd_m` (rsk kernels hit in L2
+/// at steady state, so the periodic slowdown measures the bus alone);
+/// the memory-controller share is read off that resource's own γ
+/// counters (the largest admission delay observed across the contended
+/// runs). The shares sum to [`UbdDerivation::total_ubd_m`] by
+/// construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceContribution {
+    /// Stable resource name (`"bus"`, `"mc"`).
+    pub resource: String,
+    /// The resource's share of the derived bound, in cycles.
+    pub ubd_m: u64,
+}
+
 /// A successful `ubd` derivation, with everything needed to audit it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UbdDerivation {
-    /// The derived upper-bound delay (in cycles).
+    /// The derived upper-bound delay of the **bus** (in cycles) — the
+    /// saw-tooth period of the rsk-nop sweep.
     pub ubd_m: u64,
+    /// Per-resource shares of the derived bound, in request-path order;
+    /// a single entry on single-bus topologies.
+    pub resource_contributions: Vec<ResourceContribution>,
     /// The calibrated nop latency.
     pub delta_nop: u64,
     /// The detected period of the slowdown series, in k steps.
@@ -116,6 +136,15 @@ pub struct UbdDerivation {
     pub min_bus_utilization: f64,
     /// Bus requests per run (`nr`), for ETB padding.
     pub scua_requests: u64,
+}
+
+impl UbdDerivation {
+    /// The derived bound summed over every resource on the request path.
+    /// Equal to [`UbdDerivation::ubd_m`] on single-bus topologies; on
+    /// two-level topologies it adds the measured memory-controller share.
+    pub fn total_ubd_m(&self) -> u64 {
+        self.resource_contributions.iter().map(|c| c.ubd_m).sum()
+    }
 }
 
 /// Why a derivation failed.
@@ -209,7 +238,7 @@ pub fn calibrate_delta_nop(cfg: &MachineConfig, iterations: u64) -> Result<u64, 
 }
 
 /// The full rsk-nop methodology as a campaign-ready
-/// [`Scenario`](crate::scenario::Scenario).
+/// [`Scenario`].
 ///
 /// The plan is: one calibration run, then an isolated/contended pair per
 /// `k ∈ 0..=max_k`. [`UbdScenario::derivation`] reduces the outcomes to a
@@ -259,6 +288,7 @@ impl UbdScenario {
         // Step 2: the k sweep.
         let mut slowdowns = Vec::with_capacity(mcfg.max_k + 1);
         let mut max_gamma = 0u64;
+        let mut max_mc_gamma = 0u64;
         let mut min_util = 1.0f64;
         let mut scua_requests = 0u64;
         for pair in outcomes[1..].chunks(2) {
@@ -266,6 +296,7 @@ impl UbdScenario {
             let contended = pair[1].measurement()?;
             slowdowns.push(contended.execution_time.saturating_sub(isolated.execution_time));
             max_gamma = max_gamma.max(contended.max_gamma().unwrap_or(0));
+            max_mc_gamma = max_mc_gamma.max(contended.max_gamma_mc().unwrap_or(0));
             min_util = min_util.min(contended.bus_utilization);
             scua_requests = isolated.bus_requests;
         }
@@ -308,8 +339,21 @@ impl UbdScenario {
             }
         };
 
+        // The per-resource split of the bound: the saw-tooth measures the
+        // bus; any further resource on the topology contributes the worst
+        // admission delay its own γ counters recorded.
+        let mut resource_contributions =
+            vec![ResourceContribution { resource: ResourceKind::Bus.to_string(), ubd_m }];
+        if self.machine.topology.mc.is_some() {
+            resource_contributions.push(ResourceContribution {
+                resource: ResourceKind::MemoryController.to_string(),
+                ubd_m: max_mc_gamma,
+            });
+        }
+
         Ok(UbdDerivation {
             ubd_m,
+            resource_contributions,
             delta_nop,
             k_period: estimate.period,
             period_estimate: estimate,
@@ -358,19 +402,29 @@ impl Scenario for UbdScenario {
 
     fn analyze(&self, outcomes: &[RunOutcome]) -> ScenarioReport {
         match self.derivation(outcomes) {
-            Ok(d) => ScenarioReport::success(
-                self.name(),
-                format!("ubd_m = {} (period {}, delta_nop {})", d.ubd_m, d.k_period, d.delta_nop),
-            )
-            .with("ubd_m", MetricValue::U64(d.ubd_m))
-            .with("delta_nop", MetricValue::U64(d.delta_nop))
-            .with("k_period", MetricValue::U64(d.k_period))
-            .with("period_method", MetricValue::Text(d.period_estimate.method.to_string()))
-            .with("candidates", MetricValue::Series(d.candidates.clone()))
-            .with("max_observed_gamma", MetricValue::U64(d.max_observed_gamma))
-            .with("min_bus_utilization", MetricValue::F64(d.min_bus_utilization))
-            .with("scua_requests", MetricValue::U64(d.scua_requests))
-            .with("slowdowns", MetricValue::Series(d.slowdowns)),
+            Ok(d) => {
+                let mut report = ScenarioReport::success(
+                    self.name(),
+                    format!(
+                        "ubd_m = {} (period {}, delta_nop {})",
+                        d.ubd_m, d.k_period, d.delta_nop
+                    ),
+                );
+                for c in &d.resource_contributions {
+                    report = report.with(format!("ubd_{}", c.resource), MetricValue::U64(c.ubd_m));
+                }
+                report
+                    .with("ubd_total", MetricValue::U64(d.total_ubd_m()))
+                    .with("ubd_m", MetricValue::U64(d.ubd_m))
+                    .with("delta_nop", MetricValue::U64(d.delta_nop))
+                    .with("k_period", MetricValue::U64(d.k_period))
+                    .with("period_method", MetricValue::Text(d.period_estimate.method.to_string()))
+                    .with("candidates", MetricValue::Series(d.candidates.clone()))
+                    .with("max_observed_gamma", MetricValue::U64(d.max_observed_gamma))
+                    .with("min_bus_utilization", MetricValue::F64(d.min_bus_utilization))
+                    .with("scua_requests", MetricValue::U64(d.scua_requests))
+                    .with("slowdowns", MetricValue::Series(d.slowdowns))
+            }
             Err(e) => ScenarioReport::failure(self.name(), e),
         }
     }
@@ -617,7 +671,7 @@ mod tests {
         let d = derive_ubd(&cfg, &m).expect("load derivation");
         let check = store_tooth_check(&cfg, &m, d.ubd_m).expect("store sweep");
         assert!(
-            check.corroborates(cfg.bus.store_occupancy + 2),
+            check.corroborates(cfg.bus().store_occupancy + 2),
             "tooth {} vs ubd_m {}",
             check.tooth_length,
             check.ubd_m

@@ -10,7 +10,7 @@
 //! architecture, 23 on the variant — Fig. 6(b)).
 //!
 //! [`NaiveScenario`] packages the estimator as a campaign-ready
-//! [`Scenario`](crate::scenario::Scenario) (one isolated/contended run
+//! [`Scenario`] (one isolated/contended run
 //! pair); [`naive_scua_vs_rsk`] and [`naive_rsk_vs_rsk`] are the serial
 //! wrappers.
 

@@ -9,10 +9,21 @@ use crate::naive::NaiveEstimate;
 use rrb_analysis::Histogram;
 use std::fmt::Write as _;
 
-/// Renders a derivation as a human-readable audit report.
+/// Renders a derivation as a human-readable audit report, including the
+/// per-resource breakdown of the bound (which sums to the reported
+/// total by construction).
 pub fn render_derivation(d: &UbdDerivation) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "ubd_m               : {} cycles", d.ubd_m);
+    if d.resource_contributions.len() > 1 {
+        let split = d
+            .resource_contributions
+            .iter()
+            .map(|c| format!("{} {}", c.resource, c.ubd_m))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let _ = writeln!(out, "per-resource ubd_m  : {split} = {} cycles", d.total_ubd_m());
+    }
     let _ = writeln!(out, "delta_nop           : {} cycle(s)", d.delta_nop);
     let _ = writeln!(
         out,
@@ -61,7 +72,10 @@ pub fn render_sawtooth(slowdowns: &[u64], height: usize) -> String {
 }
 
 /// Renders a comparison of the naive estimate against the methodology's
-/// derivation and the configuration truth.
+/// derivation and the configuration truth. `true_ubd` must be the
+/// *bus* term of the bound (`MachineConfig::bus_ubd`): both estimators
+/// measure bus contention, so comparing against a two-level topology
+/// total would report a spurious mismatch.
 pub fn render_comparison(
     naive: &NaiveEstimate,
     derivation: &UbdDerivation,
@@ -98,9 +112,15 @@ mod tests {
     use super::*;
     use rrb_analysis::sawtooth::{PeriodEstimate, PeriodMethod};
 
+    use crate::methodology::ResourceContribution;
+
     fn derivation() -> UbdDerivation {
         UbdDerivation {
             ubd_m: 27,
+            resource_contributions: vec![
+                ResourceContribution { resource: "bus".into(), ubd_m: 27 },
+                ResourceContribution { resource: "mc".into(), ubd_m: 4 },
+            ],
             delta_nop: 1,
             k_period: 27,
             period_estimate: PeriodEstimate {
@@ -120,8 +140,17 @@ mod tests {
     fn derivation_report_mentions_key_numbers() {
         let r = render_derivation(&derivation());
         assert!(r.contains("ubd_m               : 27"));
+        assert!(r.contains("per-resource ubd_m  : bus 27 + mc 4 = 31 cycles"));
         assert!(r.contains("exact match"));
         assert!(r.contains("0.990"));
+    }
+
+    #[test]
+    fn single_resource_derivation_omits_breakdown_line() {
+        let mut d = derivation();
+        d.resource_contributions.truncate(1);
+        let r = render_derivation(&d);
+        assert!(!r.contains("per-resource"));
     }
 
     #[test]

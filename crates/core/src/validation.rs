@@ -5,7 +5,7 @@
 //! and the agreement is exact by construction of the timing semantics).
 //!
 //! The sweep is packaged as [`GammaValidationScenario`], a
-//! [`Scenario`](crate::scenario::Scenario) of one contended run per `k`,
+//! [`Scenario`] of one contended run per `k`,
 //! so a [`Campaign`](crate::campaign::Campaign) can validate many
 //! configurations in parallel; [`validate_gamma_model`] is the serial
 //! wrapper.
@@ -117,7 +117,10 @@ impl GammaValidationScenario {
     /// Returns the first failed run's [`RunError`], or
     /// [`RunError::NoBusRequests`] if a scua made no requests.
     pub fn report(&self, outcomes: &[RunOutcome]) -> Result<ValidationReport, RunError> {
-        let model = GammaModel::new(self.machine.ubd());
+        // Eq. 2 models the *bus*: on two-level topologies the controller
+        // queue has its own term, so the model is built from the bus's
+        // share of the bound, not the topology total.
+        let model = GammaModel::new(self.machine.bus_ubd());
         let mut points = Vec::with_capacity(outcomes.len());
         for (k, outcome) in outcomes.iter().enumerate() {
             let k = k as u64;

@@ -1,24 +1,31 @@
-//! The shared bus and its arbitration policies.
+//! Arbitration policies and the transaction vocabulary of the shared
+//! resources.
 //!
 //! The bus connects each core (and its store buffer) to the partitioned L2
 //! and, for L2 misses, to the memory controller. Each core presents at most
 //! one transaction at a time (it is a single AHB-like master). Arbitration
-//! happens whenever the bus is free, among the transactions whose
+//! happens whenever a resource is free, among the transactions whose
 //! `ready` cycle has been reached, in the order dictated by the configured
 //! [`Arbiter`].
 //!
 //! Round-robin is the policy under study: after core *i* is granted, the
 //! highest priority for the next round becomes *i+1 mod Nc* (§2). The
-//! per-request contention delay `γ = grant_cycle - ready_cycle` that this
-//! module records is precisely the quantity of the paper's Eq. 2.
+//! per-request contention delay `γ = grant_cycle - ready_cycle` recorded
+//! per resource is precisely the quantity of the paper's Eq. 2.
 //!
 //! TDMA, fixed-priority, and FIFO arbiters are provided for the ablation
 //! experiments (the saw-tooth methodology is RR-specific, and the ablation
-//! benches demonstrate it degrades or disappears under other policies).
+//! benches demonstrate it degrades or disappears under other policies) and
+//! for the memory-controller queue of two-level topologies, whose
+//! hardware policy is FIFO.
+//!
+//! The resource protocol itself (post / grant / occupy / complete) lives
+//! in [`crate::resource::SharedResource`]; this module owns the policies
+//! and the transaction types they arbitrate over.
 
-use crate::config::BusConfig;
 use crate::types::{Addr, CoreId, Cycle};
 use std::fmt;
+use std::str::FromStr;
 
 /// Which arbitration policy a bus uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,14 +53,62 @@ pub enum ArbiterKind {
 }
 
 impl fmt::Display for ArbiterKind {
+    /// The canonical token form, round-tripped by [`ArbiterKind::from_str`]
+    /// and shared by the CLI, campaign records, and scenario names:
+    /// `rr`, `fp`, `fifo`, `tdma:<slot>`, `grr:<group>`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ArbiterKind::RoundRobin => write!(f, "round-robin"),
-            ArbiterKind::FixedPriority => write!(f, "fixed-priority"),
+            ArbiterKind::RoundRobin => write!(f, "rr"),
+            ArbiterKind::FixedPriority => write!(f, "fp"),
             ArbiterKind::Fifo => write!(f, "fifo"),
-            ArbiterKind::Tdma { slot_cycles } => write!(f, "tdma(slot={slot_cycles})"),
-            ArbiterKind::GroupedRoundRobin { group_size } => {
-                write!(f, "grouped-rr(group={group_size})")
+            ArbiterKind::Tdma { slot_cycles } => write!(f, "tdma:{slot_cycles}"),
+            ArbiterKind::GroupedRoundRobin { group_size } => write!(f, "grr:{group_size}"),
+        }
+    }
+}
+
+/// An arbiter token that [`ArbiterKind::from_str`] could not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArbiterError {
+    /// The offending token.
+    pub token: String,
+}
+
+impl ParseArbiterError {
+    /// The canonical tokens, for error messages and CLI help.
+    pub const ALLOWED: &'static str = "rr, fp, fifo, tdma:<slot>, grr:<group>";
+}
+
+impl fmt::Display for ParseArbiterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown arbiter `{}` (expected one of: {})", self.token, Self::ALLOWED)
+    }
+}
+
+impl std::error::Error for ParseArbiterError {}
+
+impl FromStr for ArbiterKind {
+    type Err = ParseArbiterError;
+
+    /// Parses the canonical token form emitted by [`ArbiterKind`]'s
+    /// `Display` (`rr`, `fp`, `fifo`, `tdma:<slot>`, `grr:<group>`), plus
+    /// the long aliases `round-robin`, `fixed-priority`.
+    fn from_str(token: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseArbiterError { token: token.to_string() };
+        match token {
+            "rr" | "round-robin" => Ok(ArbiterKind::RoundRobin),
+            "fp" | "fixed-priority" => Ok(ArbiterKind::FixedPriority),
+            "fifo" => Ok(ArbiterKind::Fifo),
+            other => {
+                if let Some(slot) = other.strip_prefix("tdma:") {
+                    let slot_cycles = slot.parse().map_err(|_| bad())?;
+                    Ok(ArbiterKind::Tdma { slot_cycles })
+                } else if let Some(group) = other.strip_prefix("grr:") {
+                    let group_size = group.parse().map_err(|_| bad())?;
+                    Ok(ArbiterKind::GroupedRoundRobin { group_size })
+                } else {
+                    Err(bad())
+                }
             }
         }
     }
@@ -318,7 +373,7 @@ impl Arbiter for GroupedRoundRobinArbiter {
     }
 }
 
-/// Builds the arbiter requested by a [`BusConfig`].
+/// Builds an arbiter of the requested policy over `num_cores` requesters.
 pub fn build_arbiter(kind: ArbiterKind, num_cores: usize) -> Box<dyn Arbiter> {
     match kind {
         ArbiterKind::RoundRobin => Box::new(RoundRobinArbiter::new(num_cores)),
@@ -357,184 +412,11 @@ impl ActiveTxn {
     }
 }
 
-/// Aggregate bus statistics — the analogue of the NGMP's PMC counters
-/// 0x17/0x18 (per-core and overall bus utilisation, §4.3).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct BusStats {
-    /// Cycles the bus spent occupied.
-    pub busy_cycles: u64,
-    /// Number of transactions granted.
-    pub grants: u64,
-    /// Occupied cycles attributed to each core.
-    pub per_core_busy: Vec<u64>,
-    /// Grants attributed to each core.
-    pub per_core_grants: Vec<u64>,
-}
-
-impl BusStats {
-    fn new(num_cores: usize) -> Self {
-        BusStats {
-            busy_cycles: 0,
-            grants: 0,
-            per_core_busy: vec![0; num_cores],
-            per_core_grants: vec![0; num_cores],
-        }
-    }
-
-    /// Overall utilisation over `elapsed` cycles, in `[0, 1]`.
-    pub fn utilization(&self, elapsed: Cycle) -> f64 {
-        if elapsed == 0 {
-            0.0
-        } else {
-            self.busy_cycles as f64 / elapsed as f64
-        }
-    }
-}
-
-/// The shared bus: one pending slot per core, one active transaction.
-#[derive(Debug)]
-pub struct Bus {
-    cfg: BusConfig,
-    arbiter: Box<dyn Arbiter>,
-    pending: Vec<Option<Pending>>,
-    active: Option<ActiveTxn>,
-    stats: BusStats,
-}
-
-impl Bus {
-    /// Builds a bus for `num_cores` requesters.
-    pub fn new(cfg: BusConfig, num_cores: usize) -> Self {
-        let arbiter = build_arbiter(cfg.arbiter, num_cores);
-        Bus {
-            cfg,
-            arbiter,
-            pending: vec![None; num_cores],
-            active: None,
-            stats: BusStats::new(num_cores),
-        }
-    }
-
-    /// The bus configuration.
-    pub fn config(&self) -> &BusConfig {
-        &self.cfg
-    }
-
-    /// Aggregate statistics so far.
-    pub fn stats(&self) -> &BusStats {
-        &self.stats
-    }
-
-    /// The transaction currently on the bus, if any.
-    pub fn active(&self) -> Option<&ActiveTxn> {
-        self.active.as_ref()
-    }
-
-    /// Whether `core` already has a transaction posted (pending or active).
-    pub fn has_outstanding(&self, core: CoreId) -> bool {
-        self.pending[core.index()].is_some() || self.active.is_some_and(|a| a.core == core)
-    }
-
-    /// Number of cores *other than* `core` with an outstanding transaction
-    /// (pending or on the bus). This is the paper's Fig. 6(a) quantity:
-    /// how many contenders are competing when a request becomes ready.
-    pub fn contenders_of(&self, core: CoreId) -> u32 {
-        let mut n = 0;
-        for i in 0..self.pending.len() {
-            if i == core.index() {
-                continue;
-            }
-            let id = CoreId::new(i);
-            if self.pending[i].is_some() || self.active.is_some_and(|a| a.core == id) {
-                n += 1;
-            }
-        }
-        n
-    }
-
-    /// Posts a transaction for `core`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the core already has a pending transaction: cores are
-    /// single-outstanding masters and the core model must wait for
-    /// completion before posting again.
-    pub fn post(&mut self, core: CoreId, kind: BusOpKind, addr: Addr, ready: Cycle) {
-        let slot = &mut self.pending[core.index()];
-        assert!(slot.is_none(), "core {core} posted a second transaction while one is pending");
-        *slot = Some(Pending { kind, addr, ready });
-    }
-
-    /// Whether the bus is free at cycle `now`.
-    pub fn is_free(&self, now: Cycle) -> bool {
-        match self.active {
-            None => true,
-            Some(a) => a.until <= now,
-        }
-    }
-
-    /// If the active transaction finishes exactly at `now`, removes and
-    /// returns it. The machine delivers its effects (data return, refill,
-    /// store-buffer pop) in response.
-    pub fn take_completed(&mut self, now: Cycle) -> Option<ActiveTxn> {
-        if self.active.is_some_and(|a| a.until == now) {
-            self.active.take()
-        } else {
-            None
-        }
-    }
-
-    /// Runs arbitration at cycle `now` if the bus is free.
-    ///
-    /// `occupancy_of` maps a granted transaction to its bus occupancy and
-    /// grant-time L2 outcome; the machine passes a closure that performs
-    /// the L2 partition lookup. Returns the granted transaction, which the
-    /// bus has also retained as active.
-    pub fn try_grant<F>(&mut self, now: Cycle, mut occupancy_of: F) -> Option<ActiveTxn>
-    where
-        F: FnMut(CoreId, &Pending) -> (u64, Option<bool>),
-    {
-        if !self.is_free(now) {
-            return None;
-        }
-        let worst = self.cfg.l2_hit_occupancy;
-        let view: Vec<Option<RequestView>> = self
-            .pending
-            .iter()
-            .map(|p| p.map(|p| RequestView { ready: p.ready, occupancy: worst }))
-            .collect();
-        let chosen = self.arbiter.select(&view, now)?;
-        let pending = self.pending[chosen].take().expect("arbiter chose an empty slot");
-        debug_assert!(pending.ready <= now, "arbiter granted a not-yet-ready request");
-        let core = CoreId::new(chosen);
-        let (occupancy, l2_hit) = occupancy_of(core, &pending);
-        debug_assert!(occupancy > 0);
-        let txn = ActiveTxn {
-            core,
-            kind: pending.kind,
-            addr: pending.addr,
-            ready: pending.ready,
-            granted: now,
-            until: now + occupancy,
-            l2_hit,
-        };
-        self.active = Some(txn);
-        self.stats.busy_cycles += occupancy;
-        self.stats.grants += 1;
-        self.stats.per_core_busy[chosen] += occupancy;
-        self.stats.per_core_grants[chosen] += 1;
-        Some(txn)
-    }
-
-    /// Resets arbitration state and statistics (not pending requests).
-    pub fn reset_stats(&mut self) {
-        let n = self.pending.len();
-        self.stats = BusStats::new(n);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::BusConfig;
+    use crate::resource::SharedResource;
 
     fn hit(occ: u64) -> impl FnMut(CoreId, &Pending) -> (u64, Option<bool>) {
         move |_, _| (occ, Some(true))
@@ -636,7 +518,7 @@ mod tests {
             store_occupancy: 3,
             arbiter: ArbiterKind::RoundRobin,
         };
-        let mut bus = Bus::new(cfg, 2);
+        let mut bus = SharedResource::bus(cfg, 2);
         bus.post(CoreId::new(1), BusOpKind::Load, 0x40, 0);
         let txn = bus.try_grant(0, hit(9)).expect("grant");
         assert_eq!(txn.core, CoreId::new(1));
@@ -661,7 +543,7 @@ mod tests {
             store_occupancy: 2,
             arbiter: ArbiterKind::RoundRobin,
         };
-        let mut bus = Bus::new(cfg, 1);
+        let mut bus = SharedResource::bus(cfg, 1);
         bus.post(CoreId::new(0), BusOpKind::Load, 0, 0);
         bus.post(CoreId::new(0), BusOpKind::Load, 0, 0);
     }
@@ -674,7 +556,7 @@ mod tests {
             store_occupancy: 4,
             arbiter: ArbiterKind::RoundRobin,
         };
-        let mut bus = Bus::new(cfg, 4);
+        let mut bus = SharedResource::bus(cfg, 4);
         bus.post(CoreId::new(1), BusOpKind::Load, 0, 0);
         bus.post(CoreId::new(2), BusOpKind::Load, 0, 0);
         assert_eq!(bus.contenders_of(CoreId::new(0)), 2);
@@ -710,7 +592,7 @@ mod tests {
             store_occupancy: l_bus,
             arbiter: ArbiterKind::RoundRobin,
         };
-        let mut bus = Bus::new(cfg, 4);
+        let mut bus = SharedResource::bus(cfg, 4);
         let observed = CoreId::new(3);
         // Everyone ready at cycle 0.
         for i in 0..4 {
@@ -753,7 +635,7 @@ mod tests {
             store_occupancy: l_bus,
             arbiter: ArbiterKind::RoundRobin,
         };
-        let mut bus = Bus::new(cfg, 4);
+        let mut bus = SharedResource::bus(cfg, 4);
         for i in 0..4 {
             bus.post(CoreId::new(i), BusOpKind::Load, 0, 0);
         }
@@ -785,7 +667,7 @@ mod tests {
             store_occupancy: 3,
             arbiter: ArbiterKind::RoundRobin,
         };
-        let mut bus = Bus::new(cfg, 2);
+        let mut bus = SharedResource::bus(cfg, 2);
         for i in 0..2 {
             bus.post(CoreId::new(i), BusOpKind::Load, 0, 0);
         }
@@ -846,7 +728,7 @@ mod tests {
             store_occupancy: l_bus,
             arbiter: ArbiterKind::GroupedRoundRobin { group_size: 2 },
         };
-        let mut bus = Bus::new(cfg, 4);
+        let mut bus = SharedResource::bus(cfg, 4);
         for i in 0..4 {
             bus.post(CoreId::new(i), BusOpKind::Load, 0, 0);
         }
@@ -868,8 +750,28 @@ mod tests {
     }
 
     #[test]
-    fn arbiter_kind_display() {
-        assert_eq!(ArbiterKind::RoundRobin.to_string(), "round-robin");
-        assert_eq!(ArbiterKind::Tdma { slot_cycles: 9 }.to_string(), "tdma(slot=9)");
+    fn arbiter_kind_display_is_canonical() {
+        assert_eq!(ArbiterKind::RoundRobin.to_string(), "rr");
+        assert_eq!(ArbiterKind::Tdma { slot_cycles: 9 }.to_string(), "tdma:9");
+        assert_eq!(ArbiterKind::GroupedRoundRobin { group_size: 2 }.to_string(), "grr:2");
+    }
+
+    #[test]
+    fn arbiter_kind_round_trips_through_display() {
+        for kind in [
+            ArbiterKind::RoundRobin,
+            ArbiterKind::FixedPriority,
+            ArbiterKind::Fifo,
+            ArbiterKind::Tdma { slot_cycles: 12 },
+            ArbiterKind::GroupedRoundRobin { group_size: 3 },
+        ] {
+            assert_eq!(kind.to_string().parse::<ArbiterKind>(), Ok(kind));
+        }
+        assert_eq!("round-robin".parse::<ArbiterKind>(), Ok(ArbiterKind::RoundRobin));
+        assert_eq!("fixed-priority".parse::<ArbiterKind>(), Ok(ArbiterKind::FixedPriority));
+        for bad in ["cdma", "tdma:", "tdma:x", "grr:", "rrx", ""] {
+            let err = bad.parse::<ArbiterKind>().expect_err("must fail");
+            assert!(err.to_string().contains("tdma:<slot>"), "{bad}: {err}");
+        }
     }
 }

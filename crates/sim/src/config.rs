@@ -14,9 +14,17 @@
 //!
 //! [`MachineConfig::toy`] builds the small bus of the paper's Figures 2–3
 //! (`l_bus = 2`, `ubd = 6`) for didactic experiments and exact unit tests.
+//!
+//! Contention points are described by a [`Topology`]: the shared bus
+//! (always resource 0), optionally chained into a memory-controller
+//! queue ([`McQueueConfig`], resource 1) in front of DRAM —
+//! [`MachineConfig::ngmp_two_level`] is the two-resource preset. The
+//! theoretical bound decomposes per resource
+//! (`ubd = Σ_r (Nc − 1) · l_r`, [`MachineConfig::ubd_breakdown`]).
 
 use crate::bus::ArbiterKind;
 use crate::error::ConfigError;
+use crate::resource::ResourceKind;
 
 /// Cache replacement policy.
 ///
@@ -115,6 +123,22 @@ impl CacheConfig {
     }
 }
 
+/// Rejects arbiter parameters that the arbiter constructors would
+/// panic on, so a bad `tdma:<slot>`/`grr:<group>` token surfaces as a
+/// [`ConfigError`] (and a per-run error record in campaigns) instead of
+/// a process abort.
+fn validate_arbiter(kind: ArbiterKind) -> Result<(), ConfigError> {
+    match kind {
+        ArbiterKind::Tdma { slot_cycles: 0 } => {
+            Err(ConfigError::ZeroParameter { name: "arbiter.slot_cycles" })
+        }
+        ArbiterKind::GroupedRoundRobin { group_size: 0 } => {
+            Err(ConfigError::ZeroParameter { name: "arbiter.group_size" })
+        }
+        _ => Ok(()),
+    }
+}
+
 /// Shared-bus timing and arbitration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BusConfig {
@@ -152,6 +176,7 @@ impl BusConfig {
     /// Returns [`ConfigError::ZeroParameter`] if either occupancy is zero,
     /// or [`ConfigError::TdmaSlotTooShort`] for an unusable TDMA schedule.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        validate_arbiter(self.arbiter)?;
         if self.l2_hit_occupancy == 0 {
             return Err(ConfigError::ZeroParameter { name: "l2_hit_occupancy" });
         }
@@ -168,6 +193,138 @@ impl BusConfig {
                     occupancy: self.l2_hit_occupancy,
                 });
             }
+        }
+        Ok(())
+    }
+}
+
+/// The admission queue at the on-chip memory controller — the second
+/// arbitrated contention point of the reference NGMP (§5.1: "contention
+/// only happens on the bus and the memory controller").
+///
+/// When present in a [`Topology`], every L2 miss must win this queue
+/// (FIFO on the real hardware; other policies are available for
+/// ablation) before its line fetch enters DRAM. The queue's service
+/// occupancy is the `l_mc` of the per-resource Eq. 1 term
+/// `ubd_mc = (Nc − 1) · l_mc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct McQueueConfig {
+    /// Cycles the controller's admission stage is held per request.
+    pub service_occupancy: u64,
+    /// Arbitration policy among the per-core miss streams.
+    pub arbiter: ArbiterKind,
+}
+
+impl McQueueConfig {
+    /// The NGMP-like controller front end: FIFO admission, 6-cycle
+    /// service slot (command decode + bank scheduling).
+    pub fn ngmp() -> Self {
+        McQueueConfig { service_occupancy: 6, arbiter: ArbiterKind::Fifo }
+    }
+
+    /// Validates the queue parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroParameter`] for a zero service
+    /// occupancy, or [`ConfigError::TdmaSlotTooShort`] for an unusable
+    /// TDMA schedule.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        validate_arbiter(self.arbiter)?;
+        if self.service_occupancy == 0 {
+            return Err(ConfigError::ZeroParameter { name: "mc.service_occupancy" });
+        }
+        if let ArbiterKind::Tdma { slot_cycles } = self.arbiter {
+            if slot_cycles < self.service_occupancy {
+                return Err(ConfigError::TdmaSlotTooShort {
+                    slot: slot_cycles,
+                    occupancy: self.service_occupancy,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One resource's term of the decomposed Eq. 1 bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceUbd {
+    /// Which contention point the term belongs to.
+    pub resource: ResourceKind,
+    /// Its worst-case per-request contribution `(Nc − 1) · l_r`.
+    pub ubd: u64,
+}
+
+/// The chain of shared resources on the request path.
+///
+/// Resource 0 is always the bus; a memory-controller queue can be
+/// chained behind it, in which case every L2 miss arbitrates twice: once
+/// for the bus (request phase), once for controller admission. The
+/// topology is the composable part of a [`MachineConfig`] — presets are
+/// one-resource ([`MachineConfig::ngmp_ref`]) or two-resource
+/// ([`MachineConfig::ngmp_two_level`]) instances of the same machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// The shared bus (resource 0, always present).
+    pub bus: BusConfig,
+    /// The memory-controller queue (resource 1), if modelled.
+    pub mc: Option<McQueueConfig>,
+}
+
+impl Topology {
+    /// The classic single-resource topology: just the bus.
+    pub fn single_bus(bus: BusConfig) -> Self {
+        Topology { bus, mc: None }
+    }
+
+    /// Bus chained into a memory-controller queue.
+    pub fn bus_with_mc(bus: BusConfig, mc: McQueueConfig) -> Self {
+        Topology { bus, mc: Some(mc) }
+    }
+
+    /// Number of contention points on the request path.
+    pub fn resource_count(&self) -> usize {
+        1 + usize::from(self.mc.is_some())
+    }
+
+    /// The kinds of the chained resources, in request-path order.
+    pub fn resource_kinds(&self) -> Vec<ResourceKind> {
+        let mut kinds = vec![ResourceKind::Bus];
+        if self.mc.is_some() {
+            kinds.push(ResourceKind::MemoryController);
+        }
+        kinds
+    }
+
+    /// The per-resource Eq. 1 terms for `num_cores` requesters, in
+    /// request-path order. Their sum is the machine's total `ubd`.
+    pub fn ubd_breakdown(&self, num_cores: usize) -> Vec<ResourceUbd> {
+        let contenders = num_cores.saturating_sub(1) as u64;
+        let worst_bus = self
+            .bus
+            .l2_hit_occupancy
+            .max(self.bus.transfer_occupancy)
+            .max(self.bus.store_occupancy);
+        let mut terms =
+            vec![ResourceUbd { resource: ResourceKind::Bus, ubd: contenders * worst_bus }];
+        if let Some(mc) = self.mc {
+            terms.push(ResourceUbd {
+                resource: ResourceKind::MemoryController,
+                ubd: contenders * mc.service_occupancy,
+            });
+        }
+        terms
+    }
+
+    /// Validates every chained resource.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found in any resource.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.bus.validate()?;
+        if let Some(mc) = &self.mc {
+            mc.validate()?;
         }
         Ok(())
     }
@@ -338,9 +495,10 @@ pub struct MachineConfig {
     pub il1: CacheConfig,
     /// Shared, partitioned L2.
     pub l2: L2Config,
-    /// Shared bus.
-    pub bus: BusConfig,
-    /// Memory controller + DRAM.
+    /// The chain of arbitrated contention points (bus, optional
+    /// memory-controller queue).
+    pub topology: Topology,
+    /// DRAM timing behind the controller.
     pub dram: DramConfig,
     /// Per-core store buffer.
     pub store_buffer: StoreBufferConfig,
@@ -367,7 +525,7 @@ impl MachineConfig {
             dl1: CacheConfig::l1_ngmp(1),
             il1: CacheConfig::l1_ngmp(1),
             l2: L2Config::ngmp(),
-            bus: BusConfig::ngmp(),
+            topology: Topology::single_bus(BusConfig::ngmp()),
             dram: DramConfig::ddr2_667(),
             store_buffer: StoreBufferConfig::ngmp(),
             nop_latency: 1,
@@ -387,34 +545,71 @@ impl MachineConfig {
         cfg
     }
 
+    /// The reference architecture with *both* of its arbitrated
+    /// contention points modelled: the round-robin bus chained into the
+    /// FIFO memory-controller queue. L2 misses arbitrate twice, and the
+    /// Eq. 1 bound decomposes as `ubd = ubd_bus + ubd_mc`
+    /// (see [`MachineConfig::ubd_breakdown`]).
+    pub fn ngmp_two_level() -> Self {
+        let mut cfg = Self::ngmp_ref();
+        cfg.topology.mc = Some(McQueueConfig::ngmp());
+        cfg
+    }
+
     /// The toy bus of Figures 2–3: `num_cores` cores, a *uniform*
     /// per-transaction occupancy of `l_bus` cycles (loads and stores
     /// alike), and tiny caches, so `ubd = (num_cores-1)*l_bus`.
     pub fn toy(num_cores: usize, l_bus: u64) -> Self {
         let mut cfg = Self::ngmp_ref();
         cfg.num_cores = num_cores;
-        cfg.bus.l2_hit_occupancy = l_bus;
-        cfg.bus.store_occupancy = l_bus;
-        cfg.bus.transfer_occupancy = l_bus;
+        cfg.topology.bus.l2_hit_occupancy = l_bus;
+        cfg.topology.bus.store_occupancy = l_bus;
+        cfg.topology.bus.transfer_occupancy = l_bus;
         cfg.l2.ways = num_cores.max(4) as u32;
         cfg
     }
 
-    /// The theoretical upper-bound delay of this configuration (Eq. 1):
-    /// `ubd = (Nc - 1) * l_bus`, with `l_bus` the *longest* transaction
-    /// any contender can hold the bus for (the L2-hit occupancy on the
-    /// NGMP, where stores and split-transaction phases are shorter).
+    /// The bus of the request-path topology (resource 0).
+    pub fn bus(&self) -> &BusConfig {
+        &self.topology.bus
+    }
+
+    /// Mutable access to the bus configuration.
+    pub fn bus_mut(&mut self) -> &mut BusConfig {
+        &mut self.topology.bus
+    }
+
+    /// The memory-controller queue, if this topology chains one.
+    pub fn mc(&self) -> Option<&McQueueConfig> {
+        self.topology.mc.as_ref()
+    }
+
+    /// The theoretical upper-bound delay of this configuration —
+    /// Eq. 1 summed over every resource on the request path:
+    /// `ubd = Σ_r (Nc - 1) * l_r`, with `l_r` the *longest* transaction
+    /// any contender can hold resource `r` for (the L2-hit occupancy on
+    /// the NGMP bus, where stores and split-transaction phases are
+    /// shorter; the service occupancy at the controller queue).
     ///
     /// The whole point of the paper is that a COTS user *cannot* compute
     /// this (the latencies are undocumented); the simulator exposes it so
     /// experiments can compare measured estimates against the truth.
+    /// [`MachineConfig::ubd_breakdown`] exposes the per-resource terms.
     pub fn ubd(&self) -> u64 {
-        let worst = self
-            .bus
-            .l2_hit_occupancy
-            .max(self.bus.transfer_occupancy)
-            .max(self.bus.store_occupancy);
-        (self.num_cores as u64 - 1) * worst
+        self.ubd_breakdown().iter().map(|t| t.ubd).sum()
+    }
+
+    /// The per-resource terms of [`MachineConfig::ubd`], in request-path
+    /// order; they sum to the total by construction.
+    pub fn ubd_breakdown(&self) -> Vec<ResourceUbd> {
+        self.topology.ubd_breakdown(self.num_cores)
+    }
+
+    /// The bus's own term of the bound, `(Nc - 1) * l_bus` — the quantity
+    /// the rsk-nop saw-tooth measures (rsk kernels hit in L2 at steady
+    /// state, so they exercise the bus, not the controller queue).
+    pub fn bus_ubd(&self) -> u64 {
+        self.ubd_breakdown()[0].ubd
     }
 
     /// Validates every component.
@@ -435,7 +630,7 @@ impl MachineConfig {
         self.dl1.validate("dl1")?;
         self.il1.validate("il1")?;
         self.l2.validate(self.num_cores)?;
-        self.bus.validate()?;
+        self.topology.validate()?;
         self.dram.validate()?;
         self.store_buffer.validate()?;
         Ok(())
@@ -456,7 +651,7 @@ mod tests {
     fn ngmp_ref_matches_paper_numbers() {
         let cfg = MachineConfig::ngmp_ref();
         assert_eq!(cfg.num_cores, 4);
-        assert_eq!(cfg.bus.l2_hit_occupancy, 9);
+        assert_eq!(cfg.topology.bus.l2_hit_occupancy, 9);
         assert_eq!(cfg.ubd(), 27);
         assert_eq!(cfg.dl1.latency, 1);
         assert_eq!(cfg.dl1.sets(), 128);
@@ -513,7 +708,7 @@ mod tests {
     #[test]
     fn tdma_slot_shorter_than_occupancy_rejected() {
         let mut cfg = MachineConfig::ngmp_ref();
-        cfg.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 4 };
+        cfg.topology.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 4 };
         assert!(matches!(cfg.validate(), Err(ConfigError::TdmaSlotTooShort { .. })));
     }
 
@@ -525,6 +720,75 @@ mod tests {
                 assert_eq!(cfg.ubd(), (nc as u64 - 1) * lbus);
             }
         }
+    }
+
+    #[test]
+    fn single_bus_breakdown_is_the_classic_ubd() {
+        let cfg = MachineConfig::ngmp_ref();
+        let terms = cfg.ubd_breakdown();
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].resource, ResourceKind::Bus);
+        assert_eq!(terms[0].ubd, 27);
+        assert_eq!(cfg.bus_ubd(), 27);
+        assert_eq!(cfg.ubd(), 27, "one-resource topology keeps the Eq. 1 total");
+    }
+
+    #[test]
+    fn two_level_breakdown_sums_to_total() {
+        let cfg = MachineConfig::ngmp_two_level();
+        cfg.validate().expect("two-level preset must validate");
+        let terms = cfg.ubd_breakdown();
+        assert_eq!(
+            terms.iter().map(|t| t.resource).collect::<Vec<_>>(),
+            vec![ResourceKind::Bus, ResourceKind::MemoryController]
+        );
+        assert_eq!(terms[0].ubd, 27);
+        assert_eq!(terms[1].ubd, 3 * McQueueConfig::ngmp().service_occupancy);
+        assert_eq!(cfg.ubd(), terms[0].ubd + terms[1].ubd, "breakdown sums to the total");
+        assert_eq!(cfg.bus_ubd(), 27, "the bus term is unchanged by the extra resource");
+    }
+
+    #[test]
+    fn topology_constructors_chain_resources() {
+        let single = Topology::single_bus(BusConfig::ngmp());
+        assert_eq!(single.resource_count(), 1);
+        assert_eq!(single.resource_kinds(), vec![ResourceKind::Bus]);
+        let two = Topology::bus_with_mc(BusConfig::ngmp(), McQueueConfig::ngmp());
+        assert_eq!(two.resource_count(), 2);
+        assert_eq!(two.resource_kinds(), vec![ResourceKind::Bus, ResourceKind::MemoryController]);
+    }
+
+    #[test]
+    fn mc_queue_validation_rejects_bad_parameters() {
+        let mut cfg = MachineConfig::ngmp_two_level();
+        cfg.topology.mc = Some(McQueueConfig { service_occupancy: 0, arbiter: ArbiterKind::Fifo });
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroParameter { name: "mc.service_occupancy" })
+        );
+        cfg.topology.mc = Some(McQueueConfig {
+            service_occupancy: 6,
+            arbiter: ArbiterKind::Tdma { slot_cycles: 2 },
+        });
+        assert!(matches!(cfg.validate(), Err(ConfigError::TdmaSlotTooShort { .. })));
+    }
+
+    #[test]
+    fn degenerate_arbiter_parameters_are_config_errors_not_panics() {
+        // grr:0 / tdma:0 parse fine but would panic in the arbiter
+        // constructors; validation must catch them on every resource.
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.topology.bus.arbiter = ArbiterKind::GroupedRoundRobin { group_size: 0 };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroParameter { name: "arbiter.group_size" }));
+        let mut cfg = MachineConfig::ngmp_two_level();
+        cfg.topology.mc = Some(McQueueConfig {
+            service_occupancy: 6,
+            arbiter: ArbiterKind::GroupedRoundRobin { group_size: 0 },
+        });
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroParameter { name: "arbiter.group_size" }));
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.topology.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 0 };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroParameter { name: "arbiter.slot_cycles" }));
     }
 
     #[test]

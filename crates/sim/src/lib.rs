@@ -16,29 +16,55 @@
 //!
 //! ## Architecture
 //!
+//! Contention is modelled as a composable **topology** of shared
+//! resources on the request path, each an instance of the same
+//! post/grant/occupy/complete protocol ([`SharedResource`]) with its own
+//! arbiter, occupancy, and statistics:
+//!
 //! ```text
 //!  core 0      core 1      core 2      core 3        (in-order, 1 req
 //!  IL1/DL1/SB  IL1/DL1/SB  IL1/DL1/SB  IL1/DL1/SB     outstanding each)
 //!     |           |           |           |
 //!     +-----------+-----+-----+-----------+
-//!                       |  shared bus (RR / TDMA / FP / FIFO arbiter)
+//!                       |  resource 0: shared bus
+//!                       |  (RR / TDMA / FP / FIFO / grouped-RR arbiter)
 //!               +-------+--------+
 //!               |  L2 (way-partitioned per core)
-//!               |  memory controller + DDR2-like DRAM
+//!               +-------+--------+
+//!                       |  resource 1 (optional): MC admission queue
+//!                       |  (FIFO by default — the NGMP's second
+//!                       |   contention point, §5.1)
+//!               +-------+--------+
+//!               |  DDR2-like DRAM (banked, open page)
 //! ```
+//!
+//! [`MachineConfig::ngmp_ref`] is the classic one-resource topology;
+//! [`MachineConfig::ngmp_two_level`] chains the controller queue behind
+//! the bus, so every L2 miss arbitrates twice. The Eq. 1 bound
+//! decomposes per resource — `ubd = Σ_r (Nc − 1)·l_r`, see
+//! [`MachineConfig::ubd_breakdown`] — and the PMCs/trace tag every
+//! request with its [`ResourceId`], so per-resource delay distributions
+//! can be measured independently.
 //!
 //! ## Quick example
 //!
+//! Build machines with [`MachineBuilder`], chaining resources along the
+//! request path:
+//!
 //! ```
-//! use rrb_sim::{Machine, MachineConfig, Program, Instr, CoreId};
+//! use rrb_sim::{MachineBuilder, McQueueConfig, Program, Instr, CoreId};
 //!
 //! # fn main() -> Result<(), rrb_sim::SimError> {
-//! let mut machine = Machine::new(MachineConfig::ngmp_ref())?;
+//! let mut machine = MachineBuilder::new()            // ngmp_ref base
+//!     .then_memory_controller(McQueueConfig::ngmp()) // two-level path
+//!     .build()?;
 //! // A two-instruction program on core 0: one load and one nop.
 //! let prog = Program::from_body(vec![Instr::load(0x1000), Instr::Nop], 100);
 //! machine.load_program(CoreId::new(0), prog);
 //! let summary = machine.run()?;
 //! assert!(summary.core(CoreId::new(0)).completed());
+//! let terms = machine.config().ubd_breakdown();
+//! assert_eq!(terms.iter().map(|t| t.ubd).sum::<u64>(), machine.config().ubd());
 //! # Ok(())
 //! # }
 //! ```
@@ -76,19 +102,24 @@ pub mod instr;
 pub mod l2;
 pub mod machine;
 pub mod pmc;
+pub mod resource;
 pub mod store_buffer;
 pub mod trace;
 mod types;
 
 pub use bus::{
-    Arbiter, ArbiterKind, Bus, BusOpKind, FifoArbiter, FixedPriorityArbiter,
-    GroupedRoundRobinArbiter, RoundRobinArbiter, TdmaArbiter,
+    Arbiter, ArbiterKind, BusOpKind, FifoArbiter, FixedPriorityArbiter, GroupedRoundRobinArbiter,
+    ParseArbiterError, RoundRobinArbiter, TdmaArbiter,
 };
 pub use cache::{Cache, CacheStats, Replacement};
-pub use config::{BusConfig, CacheConfig, DramConfig, L2Config, MachineConfig, StoreBufferConfig};
+pub use config::{
+    BusConfig, CacheConfig, DramConfig, L2Config, MachineConfig, McQueueConfig, ResourceUbd,
+    StoreBufferConfig, Topology,
+};
 pub use error::{ConfigError, SimError};
 pub use instr::{Instr, Iterations, Program, ProgramBuilder};
-pub use machine::{CoreSummary, Machine, RunSummary};
+pub use machine::{CoreSummary, Machine, MachineBuilder, RunSummary};
 pub use pmc::{Pmc, RequestRecord};
+pub use resource::{ResourceId, ResourceKind, ResourceStats, SharedResource};
 pub use trace::{Trace, TraceEvent};
 pub use types::{Addr, CoreId, Cycle};

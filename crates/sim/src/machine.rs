@@ -20,16 +20,25 @@
 //! "resume, then request after `δ = dl1.latency`" rule in step 1/3 is what
 //! makes the injection time of consecutive rsk loads equal the DL1 latency
 //! (δ_rsk = 1 on `ngmp_ref`, 4 on `ngmp_var`).
+//!
+//! On a two-level topology ([`MachineConfig::ngmp_two_level`]) a second
+//! [`SharedResource`] — the memory-controller queue — sits between the
+//! bus and DRAM: an L2-miss request phase, after leaving the bus, posts
+//! to the queue, arbitrates (FIFO by default) for controller admission,
+//! and only then enters DRAM. The queue completes and grants inside the
+//! same per-cycle phases as the bus, so single-bus configurations are
+//! cycle-for-cycle unaffected (the golden-trace test pins this).
 
-use crate::bus::{ActiveTxn, Bus, BusOpKind};
+use crate::bus::{ActiveTxn, ArbiterKind, BusOpKind};
 use crate::cache::Access;
-use crate::config::MachineConfig;
+use crate::config::{BusConfig, MachineConfig, McQueueConfig, Topology};
 use crate::core_model::CoreModel;
 use crate::dram::Dram;
 use crate::error::SimError;
 use crate::instr::{Iterations, Program};
 use crate::l2::L2;
 use crate::pmc::{Pmc, RequestRecord};
+use crate::resource::{ResourceId, SharedResource};
 use crate::trace::{Trace, TraceEvent};
 use crate::types::{CoreId, Cycle};
 
@@ -70,6 +79,9 @@ pub struct RunSummary {
     cores: Vec<CoreSummary>,
     /// Overall bus utilisation over the run, in `[0, 1]`.
     pub bus_utilization: f64,
+    /// Memory-controller-queue utilisation over the run, when the
+    /// topology chains one.
+    pub mc_utilization: Option<f64>,
 }
 
 impl RunSummary {
@@ -94,14 +106,18 @@ pub struct Machine {
     cfg: MachineConfig,
     now: Cycle,
     cores: Vec<CoreModel>,
-    bus: Bus,
+    bus: SharedResource,
+    /// The memory-controller queue of two-level topologies.
+    mc: Option<SharedResource>,
     l2: L2,
     dram: Dram,
     pmc: Pmc,
     trace: Trace,
-    /// Contender count captured when each core's current request was
+    /// Bus contender count captured when each core's current request was
     /// posted (one outstanding request per core).
     contenders_at_post: Vec<u32>,
+    /// Same, for the memory-controller queue.
+    mc_contenders_at_post: Vec<u32>,
     /// Cores that were loaded with a finite program (the measurement
     /// targets; endless contenders never terminate).
     finite: Vec<bool>,
@@ -119,15 +135,22 @@ impl Machine {
         Ok(Machine {
             now: 0,
             cores,
-            bus: Bus::new(cfg.bus, cfg.num_cores),
+            bus: SharedResource::bus(cfg.topology.bus, cfg.num_cores),
+            mc: cfg.topology.mc.map(|mc| SharedResource::memory_controller(mc, cfg.num_cores)),
             l2: L2::new(cfg.l2, cfg.num_cores),
             dram: Dram::new(cfg.dram),
             pmc: Pmc::new(cfg.num_cores, cfg.record_requests),
             trace: Trace::new(cfg.record_trace),
             contenders_at_post: vec![0; cfg.num_cores],
+            mc_contenders_at_post: vec![0; cfg.num_cores],
             finite: vec![false; cfg.num_cores],
             cfg,
         })
+    }
+
+    /// Starts a [`MachineBuilder`] over the reference configuration.
+    pub fn builder() -> MachineBuilder {
+        MachineBuilder::new()
     }
 
     /// The machine's configuration.
@@ -145,9 +168,24 @@ impl Machine {
         &self.pmc
     }
 
-    /// The bus (for utilisation statistics).
-    pub fn bus(&self) -> &Bus {
+    /// The bus (resource 0), for utilisation statistics.
+    pub fn bus(&self) -> &SharedResource {
         &self.bus
+    }
+
+    /// The memory-controller queue (resource 1), when the topology
+    /// chains one.
+    pub fn memory_controller(&self) -> Option<&SharedResource> {
+        self.mc.as_ref()
+    }
+
+    /// A shared resource by request-path id, if present on this topology.
+    pub fn resource(&self, id: ResourceId) -> Option<&SharedResource> {
+        match id {
+            ResourceId::BUS => Some(&self.bus),
+            ResourceId::MEMORY_CONTROLLER => self.mc.as_ref(),
+            _ => None,
+        }
     }
 
     /// The event trace (empty unless `record_trace` was set).
@@ -251,14 +289,18 @@ impl Machine {
             cycles: self.now,
             cores,
             bus_utilization: self.bus.stats().utilization(self.now.max(1)),
+            mc_utilization: self.mc.as_ref().map(|mc| mc.stats().utilization(self.now.max(1))),
         }
     }
 
-    /// Clears every measurement (PMCs, bus statistics, trace) without
-    /// touching architectural state — the warm-up idiom.
+    /// Clears every measurement (PMCs, per-resource statistics, trace)
+    /// without touching architectural state — the warm-up idiom.
     pub fn reset_measurements(&mut self) {
         self.pmc.reset();
         self.bus.reset_stats();
+        if let Some(mc) = &mut self.mc {
+            mc.reset_stats();
+        }
         self.trace.clear();
     }
 
@@ -269,6 +311,32 @@ impl Machine {
         // 1. Bus completion.
         if let Some(done) = self.bus.take_completed(now) {
             self.handle_completion(done, now);
+        }
+
+        // 1b. Memory-controller-queue completion: the miss has won
+        // controller admission; its line fetch enters DRAM immediately.
+        if let Some(mc) = &mut self.mc {
+            if let Some(done) = mc.take_completed(now) {
+                self.trace.push(TraceEvent::Complete {
+                    resource: ResourceId::MEMORY_CONTROLLER,
+                    core: done.core,
+                    cycle: now,
+                    kind: done.kind,
+                });
+                self.pmc.record_request(
+                    done.core,
+                    RequestRecord {
+                        resource: ResourceId::MEMORY_CONTROLLER,
+                        kind: done.kind,
+                        addr: done.addr,
+                        ready: done.ready,
+                        granted: done.granted,
+                        completed: now,
+                        contenders: self.mc_contenders_at_post[done.core.index()],
+                    },
+                );
+                self.dram.enqueue(done.core, done.addr, now);
+            }
         }
 
         // 2. DRAM.
@@ -313,14 +381,19 @@ impl Machine {
             if let Some((kind, addr)) = post {
                 self.contenders_at_post[i] = self.bus.contenders_of(id);
                 self.bus.post(id, kind, addr, now);
-                self.trace.push(TraceEvent::Ready { core: id, cycle: now, kind });
+                self.trace.push(TraceEvent::Ready {
+                    resource: ResourceId::BUS,
+                    core: id,
+                    cycle: now,
+                    kind,
+                });
             }
         }
 
-        // 5. Arbitration.
+        // 5. Bus arbitration.
         let l2 = &mut self.l2;
         let pmc = &mut self.pmc;
-        let bus_cfg = self.cfg.bus;
+        let bus_cfg = self.cfg.topology.bus;
         let granted = self.bus.try_grant(now, |core, pending| match pending.kind {
             BusOpKind::Load | BusOpKind::Ifetch => match l2.touch(core, pending.addr) {
                 Access::Hit => {
@@ -344,6 +417,7 @@ impl Machine {
         });
         if let Some(txn) = granted {
             self.trace.push(TraceEvent::Grant {
+                resource: ResourceId::BUS,
                 core: txn.core,
                 cycle: txn.granted,
                 gamma: txn.gamma(),
@@ -352,12 +426,35 @@ impl Machine {
             });
         }
 
+        // 6. Memory-controller-queue arbitration (two-level topologies):
+        // a fixed service occupancy per admitted miss, granted by the
+        // queue's own arbiter.
+        if let Some(mc) = &mut self.mc {
+            let occupancy = mc.worst_occupancy();
+            if let Some(txn) = mc.try_grant(now, |_, _| (occupancy, None)) {
+                self.trace.push(TraceEvent::Grant {
+                    resource: ResourceId::MEMORY_CONTROLLER,
+                    core: txn.core,
+                    cycle: txn.granted,
+                    gamma: txn.gamma(),
+                    occupancy: txn.until - txn.granted,
+                    kind: txn.kind,
+                });
+            }
+        }
+
         self.now += 1;
     }
 
     fn handle_completion(&mut self, txn: ActiveTxn, now: Cycle) {
-        self.trace.push(TraceEvent::Complete { core: txn.core, cycle: now, kind: txn.kind });
+        self.trace.push(TraceEvent::Complete {
+            resource: ResourceId::BUS,
+            core: txn.core,
+            cycle: now,
+            kind: txn.kind,
+        });
         let record = RequestRecord {
+            resource: ResourceId::BUS,
             kind: txn.kind,
             addr: txn.addr,
             ready: txn.ready,
@@ -371,8 +468,20 @@ impl Machine {
             BusOpKind::Load | BusOpKind::Ifetch => {
                 if txn.l2_hit == Some(true) {
                     core.on_data_return(txn.addr, now);
+                } else if let Some(mc) = &mut self.mc {
+                    // Request phase of a split transaction on a two-level
+                    // topology: the miss now arbitrates for controller
+                    // admission before its line fetch may enter DRAM.
+                    self.mc_contenders_at_post[txn.core.index()] = mc.contenders_of(txn.core);
+                    mc.post(txn.core, txn.kind, txn.addr, now);
+                    self.trace.push(TraceEvent::Ready {
+                        resource: ResourceId::MEMORY_CONTROLLER,
+                        core: txn.core,
+                        cycle: now,
+                        kind: txn.kind,
+                    });
                 } else {
-                    // Request phase of a split transaction: fetch the line.
+                    // Single-bus topology: fetch the line directly.
                     self.dram.enqueue(txn.core, txn.addr, now);
                 }
             }
@@ -383,6 +492,121 @@ impl Machine {
                 core.store_buffer.complete_head(now);
             }
         }
+    }
+}
+
+/// Chained builder for a [`Machine`]: start from a base configuration,
+/// adjust the cores and caches, and compose the request-path topology
+/// resource by resource.
+///
+/// ```
+/// use rrb_sim::{MachineBuilder, BusConfig, McQueueConfig};
+///
+/// # fn main() -> Result<(), rrb_sim::SimError> {
+/// let machine = MachineBuilder::new()
+///     .cores(4)
+///     .bus(BusConfig::ngmp())
+///     .then_memory_controller(McQueueConfig::ngmp())
+///     .build()?;
+/// assert_eq!(machine.config().ubd_breakdown().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineBuilder {
+    /// A builder over the reference configuration
+    /// ([`MachineConfig::ngmp_ref`]).
+    pub fn new() -> Self {
+        MachineBuilder { cfg: MachineConfig::ngmp_ref() }
+    }
+
+    /// A builder over an explicit base configuration.
+    pub fn from_config(cfg: MachineConfig) -> Self {
+        MachineBuilder { cfg }
+    }
+
+    /// Sets the core count.
+    #[must_use]
+    pub fn cores(mut self, num_cores: usize) -> Self {
+        self.cfg.num_cores = num_cores;
+        if (self.cfg.l2.ways as usize) < num_cores {
+            self.cfg.l2.ways = num_cores as u32;
+        }
+        self
+    }
+
+    /// Replaces the whole request-path topology.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.cfg.topology = topology;
+        self
+    }
+
+    /// Sets the bus (resource 0) and drops any chained resource — the
+    /// start of a fresh request path.
+    #[must_use]
+    pub fn bus(mut self, bus: BusConfig) -> Self {
+        self.cfg.topology = Topology::single_bus(bus);
+        self
+    }
+
+    /// Sets the bus arbitration policy in place.
+    #[must_use]
+    pub fn bus_arbiter(mut self, arbiter: ArbiterKind) -> Self {
+        self.cfg.topology.bus.arbiter = arbiter;
+        self
+    }
+
+    /// Chains a memory-controller queue behind the bus (resource 1).
+    #[must_use]
+    pub fn then_memory_controller(mut self, mc: McQueueConfig) -> Self {
+        self.cfg.topology.mc = Some(mc);
+        self
+    }
+
+    /// Enables or disables the per-request record log.
+    #[must_use]
+    pub fn record_requests(mut self, on: bool) -> Self {
+        self.cfg.record_requests = on;
+        self
+    }
+
+    /// Enables or disables the resource-event trace.
+    #[must_use]
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.cfg.record_trace = on;
+        self
+    }
+
+    /// The configuration built so far.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Consumes the builder, returning the configuration (e.g. to hand
+    /// to a campaign instead of a single machine).
+    pub fn into_config(self) -> MachineConfig {
+        self.cfg
+    }
+
+    /// Validates the configuration and builds the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when the composed configuration is
+    /// invalid.
+    pub fn build(self) -> Result<Machine, SimError> {
+        Machine::new(self.cfg)
+    }
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -648,6 +872,93 @@ mod tests {
             "gantt too sparse:
 {g}"
         );
+    }
+
+    #[test]
+    fn two_level_misses_arbitrate_at_the_controller_queue() {
+        // §5.1: "contention only happens on the bus and the memory
+        // controller". On the two-level topology, concurrent L2-miss
+        // streams must queue (γ_mc > 0) at the controller resource.
+        let mut cfg = MachineConfig::ngmp_two_level();
+        cfg.record_trace = true;
+        let miss_body = |core: usize| -> Vec<Instr> {
+            let base = 0x4000_0000 + 0x0400_0000 * core as u64;
+            (0..64).map(|i| Instr::load(base + i * 4096)).collect()
+        };
+        let mut m = Machine::new(cfg).expect("config");
+        for i in 0..2 {
+            m.load_program(CoreId::new(i), Program::endless(miss_body(i)));
+        }
+        let s = m.run_for(30_000);
+        let mc = m.memory_controller().expect("two-level topology has an mc queue");
+        assert_eq!(mc.id(), ResourceId::MEMORY_CONTROLLER);
+        assert!(mc.stats().grants > 0, "misses must pass through the queue");
+        assert!(s.mc_utilization.expect("mc utilisation reported") > 0.0);
+        assert!(m.pmc().core(CoreId::new(0)).requests_at(ResourceId::MEMORY_CONTROLLER) > 0);
+        // The bus staggers the two miss streams, so which core queues at
+        // the controller is schedule-dependent — but *someone* must.
+        let max_mc_gamma = (0..2)
+            .filter_map(|i| {
+                m.pmc().core(CoreId::new(i)).max_gamma_at(ResourceId::MEMORY_CONTROLLER)
+            })
+            .max()
+            .expect("mc gammas recorded");
+        assert!(max_mc_gamma > 0, "a second miss stream must contend at the controller");
+        let mc_ubd = m.config().ubd_breakdown()[1].ubd;
+        assert!(
+            max_mc_gamma <= mc_ubd,
+            "per-resource gamma {max_mc_gamma} must respect the per-resource term {mc_ubd}"
+        );
+        assert!(
+            m.trace().events().iter().any(|e| e.resource() == ResourceId::MEMORY_CONTROLLER
+                && matches!(e, TraceEvent::Grant { .. })),
+            "trace must tag controller-queue grants"
+        );
+    }
+
+    #[test]
+    fn two_level_preserves_bus_synchrony() {
+        // The extra resource sits behind the L2, so the steady-state
+        // (L2-hitting) rsk traffic still sees the pure bus algebra:
+        // dominant γ_bus = ubd_bus - δ_rsk = 26.
+        let mut m = Machine::new(MachineConfig::ngmp_two_level()).expect("config");
+        m.load_program(CoreId::new(0), Program::from_body(rsk_load_body(0), 2000));
+        for i in 1..4 {
+            m.load_program(CoreId::new(i), Program::endless(rsk_load_body(0)));
+        }
+        let _ = m.run().expect("run");
+        let pmc = m.pmc().core(CoreId::new(0));
+        let (mode, _) = pmc.mode_gamma().expect("requests recorded");
+        assert_eq!(mode, 26, "gamma histogram: {:?}", pmc.gamma_histogram);
+    }
+
+    #[test]
+    fn single_bus_machine_has_no_controller_resource() {
+        let m = Machine::new(MachineConfig::ngmp_ref()).expect("config");
+        assert!(m.memory_controller().is_none());
+        assert!(m.resource(ResourceId::MEMORY_CONTROLLER).is_none());
+        assert_eq!(m.resource(ResourceId::BUS).expect("bus").id(), ResourceId::BUS);
+        assert_eq!(m.summary().mc_utilization, None);
+    }
+
+    #[test]
+    fn builder_composes_topologies() {
+        use crate::config::McQueueConfig;
+        let m = Machine::builder()
+            .cores(3)
+            .bus_arbiter(crate::bus::ArbiterKind::Fifo)
+            .then_memory_controller(McQueueConfig {
+                service_occupancy: 4,
+                arbiter: ArbiterKind::Fifo,
+            })
+            .record_trace(true)
+            .build()
+            .expect("build");
+        assert_eq!(m.config().num_cores, 3);
+        assert_eq!(m.bus().arbiter_kind(), ArbiterKind::Fifo);
+        assert_eq!(m.memory_controller().expect("mc").arbiter_kind(), ArbiterKind::Fifo);
+        assert_eq!(m.config().ubd(), m.config().bus_ubd() + 2 * 4);
+        assert!(m.trace().is_enabled());
     }
 
     #[test]

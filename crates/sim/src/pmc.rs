@@ -7,31 +7,43 @@
 //! per-core aggregate counters, which the analysis crates consume to build
 //! the paper's histograms (Fig. 6) without reaching into simulator
 //! internals.
+//!
+//! Every record is tagged with the [`ResourceId`] it was observed at, and
+//! the γ histograms are kept **per resource**: on a two-level topology
+//! the bus and the memory-controller queue each expose their own delay
+//! distribution, so per-resource UBD contributions can be read off the
+//! counters independently. The bus-flavoured accessors
+//! ([`CorePmc::bus_requests`], [`CorePmc::max_gamma`], …) read resource 0
+//! and keep their pre-topology meaning.
 
 use crate::bus::BusOpKind;
+use crate::resource::ResourceId;
 use crate::types::{Addr, CoreId, Cycle};
 use std::collections::BTreeMap;
 
-/// One completed bus request, as recorded by the monitoring hardware.
+/// One completed request at a shared resource, as recorded by the
+/// monitoring hardware.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestRecord {
+    /// The resource the request arbitrated for.
+    pub resource: ResourceId,
     /// Transaction kind.
     pub kind: BusOpKind,
     /// Line-aligned address.
     pub addr: Addr,
-    /// Cycle the request became ready at the bus.
+    /// Cycle the request became ready at the resource.
     pub ready: Cycle,
-    /// Cycle the bus granted it.
+    /// Cycle the resource granted it.
     pub granted: Cycle,
     /// Cycle the transaction completed.
     pub completed: Cycle,
-    /// Number of *other* cores with an outstanding bus transaction at the
-    /// ready cycle (Fig. 6(a)).
+    /// Number of *other* cores with an outstanding transaction at this
+    /// resource at the ready cycle (Fig. 6(a) on the bus).
     pub contenders: u32,
 }
 
 impl RequestRecord {
-    /// The contention delay γ = granted − ready (Eq. 2).
+    /// The contention delay γ = granted − ready (Eq. 2, per resource).
     pub fn gamma(&self) -> u64 {
         self.granted - self.ready
     }
@@ -43,9 +55,12 @@ pub struct CorePmc {
     /// Every completed request, in completion order (present only when the
     /// machine was configured with `record_requests`).
     pub records: Vec<RequestRecord>,
-    /// Histogram of per-request γ (always recorded).
+    /// Histogram of per-request γ at the **bus** (always recorded).
     pub gamma_histogram: BTreeMap<u64, u64>,
-    /// Histogram of ready-time contender counts (always recorded).
+    /// Histogram of per-request γ at the **memory-controller queue**
+    /// (always recorded; empty on single-bus topologies).
+    pub mc_gamma_histogram: BTreeMap<u64, u64>,
+    /// Histogram of ready-time bus contender counts (always recorded).
     pub contender_histogram: BTreeMap<u32, u64>,
     /// Retired instructions.
     pub instructions: u64,
@@ -66,26 +81,52 @@ pub struct CorePmc {
 }
 
 impl CorePmc {
+    /// The γ histogram of one resource (resource 0 = bus, 1 = controller
+    /// queue; ids beyond the topology read as empty).
+    pub fn gamma_histogram_at(&self, resource: ResourceId) -> &BTreeMap<u64, u64> {
+        static EMPTY: BTreeMap<u64, u64> = BTreeMap::new();
+        match resource {
+            ResourceId::BUS => &self.gamma_histogram,
+            ResourceId::MEMORY_CONTROLLER => &self.mc_gamma_histogram,
+            _ => &EMPTY,
+        }
+    }
+
     /// Total bus requests observed (from the γ histogram, so it is
     /// available even when full records are off).
     pub fn bus_requests(&self) -> u64 {
-        self.gamma_histogram.values().sum()
+        self.requests_at(ResourceId::BUS)
     }
 
-    /// Sum of all recorded contention delays.
+    /// Total requests observed at one resource.
+    pub fn requests_at(&self, resource: ResourceId) -> u64 {
+        self.gamma_histogram_at(resource).values().sum()
+    }
+
+    /// Sum of all recorded bus contention delays.
     pub fn total_gamma(&self) -> u64 {
-        self.gamma_histogram.iter().map(|(g, n)| g * n).sum()
+        self.total_gamma_at(ResourceId::BUS)
     }
 
-    /// Largest observed contention delay — the `ubd_m` a naive
+    /// Sum of all recorded contention delays at one resource.
+    pub fn total_gamma_at(&self, resource: ResourceId) -> u64 {
+        self.gamma_histogram_at(resource).iter().map(|(g, n)| g * n).sum()
+    }
+
+    /// Largest observed bus contention delay — the `ubd_m` a naive
     /// measurement-based analysis would report for this core.
     pub fn max_gamma(&self) -> Option<u64> {
-        self.gamma_histogram.keys().next_back().copied()
+        self.max_gamma_at(ResourceId::BUS)
     }
 
-    /// The most frequent contention delay and its count, if any requests
-    /// were observed. Under the synchrony effect this mode covers almost
-    /// all requests (98 % in the paper's Fig. 6(b)).
+    /// Largest observed contention delay at one resource.
+    pub fn max_gamma_at(&self, resource: ResourceId) -> Option<u64> {
+        self.gamma_histogram_at(resource).keys().next_back().copied()
+    }
+
+    /// The most frequent bus contention delay and its count, if any
+    /// requests were observed. Under the synchrony effect this mode covers
+    /// almost all requests (98 % in the paper's Fig. 6(b)).
     pub fn mode_gamma(&self) -> Option<(u64, u64)> {
         self.gamma_histogram.iter().max_by_key(|&(g, n)| (*n, *g)).map(|(&g, &n)| (g, n))
     }
@@ -115,11 +156,15 @@ impl Pmc {
         &mut self.cores[core.index()]
     }
 
-    /// Records a completed bus request.
+    /// Records a completed request at the resource named in the record.
     pub(crate) fn record_request(&mut self, core: CoreId, rec: RequestRecord) {
         let c = &mut self.cores[core.index()];
-        *c.gamma_histogram.entry(rec.gamma()).or_insert(0) += 1;
-        *c.contender_histogram.entry(rec.contenders).or_insert(0) += 1;
+        if rec.resource == ResourceId::BUS {
+            *c.gamma_histogram.entry(rec.gamma()).or_insert(0) += 1;
+            *c.contender_histogram.entry(rec.contenders).or_insert(0) += 1;
+        } else {
+            *c.mc_gamma_histogram.entry(rec.gamma()).or_insert(0) += 1;
+        }
         if self.record_requests {
             c.records.push(rec);
         }
@@ -138,6 +183,7 @@ mod tests {
 
     fn rec(ready: Cycle, granted: Cycle, contenders: u32) -> RequestRecord {
         RequestRecord {
+            resource: ResourceId::BUS,
             kind: BusOpKind::Load,
             addr: 0,
             ready,
@@ -145,6 +191,10 @@ mod tests {
             completed: granted + 9,
             contenders,
         }
+    }
+
+    fn mc_rec(ready: Cycle, granted: Cycle) -> RequestRecord {
+        RequestRecord { resource: ResourceId::MEMORY_CONTROLLER, ..rec(ready, granted, 0) }
     }
 
     #[test]
@@ -173,6 +223,23 @@ mod tests {
     }
 
     #[test]
+    fn mc_records_fill_their_own_histogram() {
+        let mut pmc = Pmc::new(1, true);
+        let c0 = CoreId::new(0);
+        pmc.record_request(c0, rec(0, 26, 3));
+        pmc.record_request(c0, mc_rec(40, 44));
+        pmc.record_request(c0, mc_rec(60, 60));
+        let core = pmc.core(c0);
+        assert_eq!(core.bus_requests(), 1, "mc requests must not count as bus requests");
+        assert_eq!(core.requests_at(ResourceId::MEMORY_CONTROLLER), 2);
+        assert_eq!(core.max_gamma(), Some(26));
+        assert_eq!(core.max_gamma_at(ResourceId::MEMORY_CONTROLLER), Some(4));
+        assert_eq!(core.total_gamma_at(ResourceId::MEMORY_CONTROLLER), 4);
+        assert_eq!(core.contender_histogram.len(), 1, "contender histogram stays bus-only");
+        assert_eq!(core.records.len(), 3, "full records keep every resource");
+    }
+
+    #[test]
     fn record_toggle_drops_records_but_keeps_histograms() {
         let mut pmc = Pmc::new(1, false);
         pmc.record_request(CoreId::new(0), rec(0, 5, 2));
@@ -185,8 +252,10 @@ mod tests {
     fn reset_clears_counters() {
         let mut pmc = Pmc::new(1, true);
         pmc.record_request(CoreId::new(0), rec(0, 1, 0));
+        pmc.record_request(CoreId::new(0), mc_rec(0, 1));
         pmc.reset();
         assert_eq!(pmc.core(CoreId::new(0)).bus_requests(), 0);
+        assert_eq!(pmc.core(CoreId::new(0)).requests_at(ResourceId::MEMORY_CONTROLLER), 0);
         assert!(pmc.core(CoreId::new(0)).records.is_empty());
     }
 
@@ -203,5 +272,6 @@ mod tests {
         let pmc = Pmc::new(1, true);
         assert_eq!(pmc.core(CoreId::new(0)).max_gamma(), None);
         assert_eq!(pmc.core(CoreId::new(0)).mode_gamma(), None);
+        assert_eq!(pmc.core(CoreId::new(0)).max_gamma_at(ResourceId::MEMORY_CONTROLLER), None);
     }
 }

@@ -1,0 +1,391 @@
+//! The shared-resource contention protocol.
+//!
+//! The paper's reference NGMP has *two* arbitrated contention points on
+//! the request path — the shared round-robin bus and the FIFO queue at
+//! the on-chip memory controller (§5.1: "contention only happens on the
+//! bus and the memory controller"). Both follow the same protocol:
+//!
+//! 1. **post** — a requester presents at most one transaction;
+//! 2. **grant** — when the resource is free, its [`Arbiter`] picks among
+//!    the ready transactions; the per-request contention delay is
+//!    `γ = grant − ready` (Eq. 2, per resource);
+//! 3. **occupy** — the grant holds the resource for the transaction's
+//!    occupancy;
+//! 4. **complete** — the transaction leaves and its effects are
+//!    delivered.
+//!
+//! [`SharedResource`] implements that protocol once, keyed by a
+//! [`ResourceId`]; the machine's bus and optional memory-controller
+//! queue are both instances. Each instance owns its own arbiter,
+//! occupancy table, and [`ResourceStats`], so per-resource UBD terms
+//! (`ubd_r = (Nc − 1) · l_r`) can be measured and summed independently.
+
+use crate::bus::{build_arbiter, ActiveTxn, Arbiter, ArbiterKind, BusOpKind, Pending, RequestView};
+use crate::config::{BusConfig, McQueueConfig};
+use crate::types::{Addr, CoreId, Cycle};
+use std::fmt;
+
+/// Identifies one shared resource on the request path.
+///
+/// Resource 0 is always the bus; further resources are numbered in
+/// request-path order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(usize);
+
+impl ResourceId {
+    /// The shared bus (always present, always resource 0).
+    pub const BUS: ResourceId = ResourceId(0);
+    /// The memory-controller queue (present on two-level topologies).
+    pub const MEMORY_CONTROLLER: ResourceId = ResourceId(1);
+
+    /// A resource id from a raw request-path position.
+    pub fn new(index: usize) -> Self {
+        ResourceId(index)
+    }
+
+    /// The raw request-path position.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// What a shared resource *is* — used for reporting and record keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// The shared AHB-like processor bus.
+    Bus,
+    /// The admission queue at the on-chip memory controller.
+    MemoryController,
+}
+
+impl ResourceKind {
+    /// Short, stable name used in records and reports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            ResourceKind::Bus => "bus",
+            ResourceKind::MemoryController => "mc",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.slug())
+    }
+}
+
+/// Aggregate statistics of one shared resource — the analogue of the
+/// NGMP's PMC counters 0x17/0x18 (per-core and overall utilisation,
+/// §4.3), kept per resource so two-level topologies expose one counter
+/// set per contention point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceStats {
+    /// Cycles the resource spent occupied.
+    pub busy_cycles: u64,
+    /// Number of transactions granted.
+    pub grants: u64,
+    /// Occupied cycles attributed to each requester.
+    pub per_core_busy: Vec<u64>,
+    /// Grants attributed to each requester.
+    pub per_core_grants: Vec<u64>,
+}
+
+impl ResourceStats {
+    fn new(num_cores: usize) -> Self {
+        ResourceStats {
+            busy_cycles: 0,
+            grants: 0,
+            per_core_busy: vec![0; num_cores],
+            per_core_grants: vec![0; num_cores],
+        }
+    }
+
+    /// Overall utilisation over `elapsed` cycles, in `[0, 1]`.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / elapsed as f64
+        }
+    }
+}
+
+/// One arbitrated contention point: one pending slot per requester, one
+/// active transaction, an [`Arbiter`], and its own statistics.
+#[derive(Debug)]
+pub struct SharedResource {
+    id: ResourceId,
+    kind: ResourceKind,
+    arbiter: Box<dyn Arbiter>,
+    /// Worst-case occupancy presented to the arbiter (TDMA slot fitting).
+    worst_occupancy: u64,
+    pending: Vec<Option<Pending>>,
+    active: Option<ActiveTxn>,
+    stats: ResourceStats,
+}
+
+impl SharedResource {
+    /// A resource with an explicit identity, policy, and worst-case
+    /// occupancy over `num_cores` requesters.
+    pub fn new(
+        id: ResourceId,
+        kind: ResourceKind,
+        arbiter: ArbiterKind,
+        worst_occupancy: u64,
+        num_cores: usize,
+    ) -> Self {
+        SharedResource {
+            id,
+            kind,
+            arbiter: build_arbiter(arbiter, num_cores),
+            worst_occupancy,
+            pending: vec![None; num_cores],
+            active: None,
+            stats: ResourceStats::new(num_cores),
+        }
+    }
+
+    /// The shared bus of a [`BusConfig`] (resource 0).
+    pub fn bus(cfg: BusConfig, num_cores: usize) -> Self {
+        SharedResource::new(
+            ResourceId::BUS,
+            ResourceKind::Bus,
+            cfg.arbiter,
+            cfg.l2_hit_occupancy,
+            num_cores,
+        )
+    }
+
+    /// The memory-controller queue of an [`McQueueConfig`] (resource 1).
+    pub fn memory_controller(cfg: McQueueConfig, num_cores: usize) -> Self {
+        SharedResource::new(
+            ResourceId::MEMORY_CONTROLLER,
+            ResourceKind::MemoryController,
+            cfg.arbiter,
+            cfg.service_occupancy,
+            num_cores,
+        )
+    }
+
+    /// This resource's request-path identity.
+    pub fn id(&self) -> ResourceId {
+        self.id
+    }
+
+    /// What this resource is.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// The arbitration policy in force.
+    pub fn arbiter_kind(&self) -> ArbiterKind {
+        self.arbiter.kind()
+    }
+
+    /// The worst-case occupancy presented to the arbiter — the `l_r` of
+    /// this resource's Eq. 1 term (and the fixed service occupancy of
+    /// constant-occupancy resources like the controller queue).
+    pub fn worst_occupancy(&self) -> u64 {
+        self.worst_occupancy
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &ResourceStats {
+        &self.stats
+    }
+
+    /// The transaction currently occupying the resource, if any.
+    pub fn active(&self) -> Option<&ActiveTxn> {
+        self.active.as_ref()
+    }
+
+    /// Whether `core` already has a transaction posted (pending or active).
+    pub fn has_outstanding(&self, core: CoreId) -> bool {
+        self.pending[core.index()].is_some() || self.active.is_some_and(|a| a.core == core)
+    }
+
+    /// Number of cores *other than* `core` with an outstanding transaction
+    /// (pending or occupying). On the bus this is the paper's Fig. 6(a)
+    /// quantity: how many contenders compete when a request becomes ready.
+    pub fn contenders_of(&self, core: CoreId) -> u32 {
+        let mut n = 0;
+        for i in 0..self.pending.len() {
+            if i == core.index() {
+                continue;
+            }
+            let id = CoreId::new(i);
+            if self.pending[i].is_some() || self.active.is_some_and(|a| a.core == id) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Posts a transaction for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core already has a pending transaction: cores are
+    /// single-outstanding masters at every resource on the path, and the
+    /// machine must wait for completion before posting again.
+    pub fn post(&mut self, core: CoreId, kind: BusOpKind, addr: Addr, ready: Cycle) {
+        let slot = &mut self.pending[core.index()];
+        assert!(slot.is_none(), "core {core} posted a second transaction while one is pending");
+        *slot = Some(Pending { kind, addr, ready });
+    }
+
+    /// Whether the resource is free at cycle `now`.
+    pub fn is_free(&self, now: Cycle) -> bool {
+        match self.active {
+            None => true,
+            Some(a) => a.until <= now,
+        }
+    }
+
+    /// If the active transaction finishes exactly at `now`, removes and
+    /// returns it. The machine delivers its effects in response.
+    pub fn take_completed(&mut self, now: Cycle) -> Option<ActiveTxn> {
+        if self.active.is_some_and(|a| a.until == now) {
+            self.active.take()
+        } else {
+            None
+        }
+    }
+
+    /// Runs arbitration at cycle `now` if the resource is free.
+    ///
+    /// `occupancy_of` maps a granted transaction to its occupancy and an
+    /// optional grant-time lookup outcome (the bus passes an L2-partition
+    /// probe; fixed-occupancy resources return a constant). Returns the
+    /// granted transaction, which the resource has also retained as
+    /// active.
+    pub fn try_grant<F>(&mut self, now: Cycle, mut occupancy_of: F) -> Option<ActiveTxn>
+    where
+        F: FnMut(CoreId, &Pending) -> (u64, Option<bool>),
+    {
+        if !self.is_free(now) {
+            return None;
+        }
+        let worst = self.worst_occupancy;
+        let view: Vec<Option<RequestView>> = self
+            .pending
+            .iter()
+            .map(|p| p.map(|p| RequestView { ready: p.ready, occupancy: worst }))
+            .collect();
+        let chosen = self.arbiter.select(&view, now)?;
+        let pending = self.pending[chosen].take().expect("arbiter chose an empty slot");
+        debug_assert!(pending.ready <= now, "arbiter granted a not-yet-ready request");
+        let core = CoreId::new(chosen);
+        let (occupancy, l2_hit) = occupancy_of(core, &pending);
+        debug_assert!(occupancy > 0);
+        let txn = ActiveTxn {
+            core,
+            kind: pending.kind,
+            addr: pending.addr,
+            ready: pending.ready,
+            granted: now,
+            until: now + occupancy,
+            l2_hit,
+        };
+        self.active = Some(txn);
+        self.stats.busy_cycles += occupancy;
+        self.stats.grants += 1;
+        self.stats.per_core_busy[chosen] += occupancy;
+        self.stats.per_core_grants[chosen] += 1;
+        Some(txn)
+    }
+
+    /// Resets arbitration statistics (not pending requests).
+    pub fn reset_stats(&mut self) {
+        let n = self.pending.len();
+        self.stats = ResourceStats::new(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc(occupancy: u64, num_cores: usize) -> SharedResource {
+        SharedResource::memory_controller(
+            McQueueConfig { service_occupancy: occupancy, arbiter: ArbiterKind::Fifo },
+            num_cores,
+        )
+    }
+
+    #[test]
+    fn resource_ids_are_stable() {
+        assert_eq!(ResourceId::BUS.index(), 0);
+        assert_eq!(ResourceId::MEMORY_CONTROLLER.index(), 1);
+        assert_eq!(ResourceId::new(1), ResourceId::MEMORY_CONTROLLER);
+        assert_eq!(ResourceId::BUS.to_string(), "r0");
+    }
+
+    #[test]
+    fn kind_slugs_are_short_and_stable() {
+        assert_eq!(ResourceKind::Bus.to_string(), "bus");
+        assert_eq!(ResourceKind::MemoryController.to_string(), "mc");
+    }
+
+    #[test]
+    fn bus_constructor_uses_bus_config() {
+        let bus = SharedResource::bus(BusConfig::ngmp(), 4);
+        assert_eq!(bus.id(), ResourceId::BUS);
+        assert_eq!(bus.kind(), ResourceKind::Bus);
+        assert_eq!(bus.arbiter_kind(), ArbiterKind::RoundRobin);
+    }
+
+    #[test]
+    fn mc_queue_serialises_concurrent_misses_in_ready_order() {
+        let mut q = mc(4, 3);
+        q.post(CoreId::new(2), BusOpKind::Load, 0x80, 0);
+        q.post(CoreId::new(0), BusOpKind::Load, 0x40, 1);
+        let first = q.try_grant(1, |_, _| (4, None)).expect("grant");
+        assert_eq!(first.core, CoreId::new(2), "FIFO grants the oldest ready request");
+        assert!(q.try_grant(2, |_, _| (4, None)).is_none(), "occupied until cycle 5");
+        let done = q.take_completed(5).expect("completes");
+        assert_eq!(done.gamma(), 1);
+        let second = q.try_grant(5, |_, _| (4, None)).expect("grant");
+        assert_eq!(second.core, CoreId::new(0));
+        assert_eq!(second.gamma(), 4, "queued behind the first occupancy");
+    }
+
+    #[test]
+    fn per_resource_stats_accumulate_independently() {
+        let mut q = mc(3, 2);
+        q.post(CoreId::new(1), BusOpKind::Ifetch, 0, 0);
+        q.try_grant(0, |_, _| (3, None)).expect("grant");
+        assert_eq!(q.stats().grants, 1);
+        assert_eq!(q.stats().busy_cycles, 3);
+        assert_eq!(q.stats().per_core_busy, vec![0, 3]);
+        assert!((q.stats().utilization(6) - 0.5).abs() < 1e-12);
+        q.reset_stats();
+        assert_eq!(q.stats().grants, 0);
+    }
+
+    #[test]
+    fn contenders_and_outstanding_cover_pending_and_active() {
+        let mut q = mc(2, 3);
+        q.post(CoreId::new(0), BusOpKind::Load, 0, 0);
+        q.post(CoreId::new(1), BusOpKind::Load, 0, 0);
+        assert_eq!(q.contenders_of(CoreId::new(2)), 2);
+        q.try_grant(0, |_, _| (2, None)).expect("grant c0");
+        assert!(q.has_outstanding(CoreId::new(0)), "active still counts");
+        assert!(q.has_outstanding(CoreId::new(1)));
+        assert!(!q.has_outstanding(CoreId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "second transaction")]
+    fn double_post_panics_per_resource() {
+        let mut q = mc(2, 1);
+        q.post(CoreId::new(0), BusOpKind::Load, 0, 0);
+        q.post(CoreId::new(0), BusOpKind::Load, 0, 0);
+    }
+}

@@ -1,17 +1,22 @@
-//! Bus-event tracing for timeline figures.
+//! Resource-event tracing for timeline figures.
 //!
 //! When enabled, the machine records every request-ready, grant, and
-//! completion event. The Fig. 5 regenerator renders these as an ASCII
-//! Gantt chart equivalent to the paper's timing diagrams.
+//! completion event, tagged with the [`ResourceId`] it happened at (bus
+//! events on every topology; memory-controller-queue events on two-level
+//! ones). The Fig. 5 regenerator renders the bus rows as an ASCII Gantt
+//! chart equivalent to the paper's timing diagrams.
 
 use crate::bus::BusOpKind;
+use crate::resource::ResourceId;
 use crate::types::{CoreId, Cycle};
 
-/// One traced bus event.
+/// One traced resource event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
-    /// A core's request became ready at the bus.
+    /// A core's request became ready at a resource.
     Ready {
+        /// The resource the request targets.
+        resource: ResourceId,
         /// Requesting core.
         core: CoreId,
         /// Cycle of readiness.
@@ -19,8 +24,10 @@ pub enum TraceEvent {
         /// Transaction kind.
         kind: BusOpKind,
     },
-    /// The bus granted a request.
+    /// A resource granted a request.
     Grant {
+        /// The granting resource.
+        resource: ResourceId,
         /// Granted core.
         core: CoreId,
         /// Grant cycle.
@@ -32,8 +39,10 @@ pub enum TraceEvent {
         /// Transaction kind.
         kind: BusOpKind,
     },
-    /// A transaction left the bus.
+    /// A transaction left a resource.
     Complete {
+        /// The resource it occupied.
+        resource: ResourceId,
         /// Owning core.
         core: CoreId,
         /// Completion cycle.
@@ -59,6 +68,15 @@ impl TraceEvent {
             TraceEvent::Ready { core, .. }
             | TraceEvent::Grant { core, .. }
             | TraceEvent::Complete { core, .. } => core,
+        }
+    }
+
+    /// The resource this event was observed at.
+    pub fn resource(&self) -> ResourceId {
+        match *self {
+            TraceEvent::Ready { resource, .. }
+            | TraceEvent::Grant { resource, .. }
+            | TraceEvent::Complete { resource, .. } => resource,
         }
     }
 }
@@ -98,16 +116,19 @@ impl Trace {
         self.events.clear();
     }
 
-    /// Renders an ASCII Gantt chart of bus occupancy over
+    /// Renders an ASCII Gantt chart of **bus** occupancy over
     /// `[from, to)`, one row per core — the shape of the paper's
     /// Figures 2 and 5. `#` marks occupied cycles, `.` marks cycles where
     /// the core had a ready-but-waiting request, and spaces are idle.
+    /// Events of other resources (the controller queue on two-level
+    /// topologies) are ignored; use [`Trace::events`] with
+    /// [`TraceEvent::resource`] to inspect them.
     pub fn gantt(&self, num_cores: usize, from: Cycle, to: Cycle) -> String {
         let width = (to - from) as usize;
         let mut rows = vec![vec![b' '; width]; num_cores];
         // Mark waiting periods first so grants can overwrite them.
         let mut ready_at: Vec<Option<Cycle>> = vec![None; num_cores];
-        for ev in &self.events {
+        for ev in self.events.iter().filter(|e| e.resource() == ResourceId::BUS) {
             match *ev {
                 TraceEvent::Ready { core, cycle, .. } => {
                     ready_at[core.index()] = Some(cycle);
@@ -146,15 +167,26 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new(false);
-        t.push(TraceEvent::Ready { core: CoreId::new(0), cycle: 1, kind: BusOpKind::Load });
+        t.push(TraceEvent::Ready {
+            resource: ResourceId::BUS,
+            core: CoreId::new(0),
+            cycle: 1,
+            kind: BusOpKind::Load,
+        });
         assert!(t.events().is_empty());
     }
 
     #[test]
     fn enabled_trace_keeps_order() {
         let mut t = Trace::new(true);
-        t.push(TraceEvent::Ready { core: CoreId::new(0), cycle: 1, kind: BusOpKind::Load });
+        t.push(TraceEvent::Ready {
+            resource: ResourceId::BUS,
+            core: CoreId::new(0),
+            cycle: 1,
+            kind: BusOpKind::Load,
+        });
         t.push(TraceEvent::Grant {
+            resource: ResourceId::BUS,
             core: CoreId::new(0),
             cycle: 3,
             gamma: 2,
@@ -169,8 +201,14 @@ mod tests {
     #[test]
     fn gantt_draws_wait_and_occupancy() {
         let mut t = Trace::new(true);
-        t.push(TraceEvent::Ready { core: CoreId::new(0), cycle: 0, kind: BusOpKind::Load });
+        t.push(TraceEvent::Ready {
+            resource: ResourceId::BUS,
+            core: CoreId::new(0),
+            cycle: 0,
+            kind: BusOpKind::Load,
+        });
         t.push(TraceEvent::Grant {
+            resource: ResourceId::BUS,
             core: CoreId::new(0),
             cycle: 2,
             gamma: 2,
@@ -185,6 +223,7 @@ mod tests {
     fn gantt_clips_to_window() {
         let mut t = Trace::new(true);
         t.push(TraceEvent::Grant {
+            resource: ResourceId::BUS,
             core: CoreId::new(0),
             cycle: 0,
             gamma: 0,
@@ -196,9 +235,29 @@ mod tests {
     }
 
     #[test]
+    fn gantt_ignores_non_bus_resources() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Grant {
+            resource: ResourceId::MEMORY_CONTROLLER,
+            core: CoreId::new(0),
+            cycle: 0,
+            gamma: 0,
+            occupancy: 4,
+            kind: BusOpKind::Load,
+        });
+        assert_eq!(t.events()[0].resource(), ResourceId::MEMORY_CONTROLLER);
+        assert_eq!(t.gantt(1, 0, 4), "c0 |    |\n", "mc occupancy must not paint bus rows");
+    }
+
+    #[test]
     fn clear_empties_log() {
         let mut t = Trace::new(true);
-        t.push(TraceEvent::Complete { core: CoreId::new(1), cycle: 9, kind: BusOpKind::Store });
+        t.push(TraceEvent::Complete {
+            resource: ResourceId::BUS,
+            core: CoreId::new(1),
+            cycle: 9,
+            kind: BusOpKind::Store,
+        });
         t.clear();
         assert!(t.events().is_empty());
     }

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mcfg.iterations = 300; // enough for a clean tooth, quick to run
         let derivation = derive_ubd(&cfg, &mcfg)?;
 
-        println!("{}", report::render_comparison(&naive, &derivation, cfg.ubd()));
+        println!("{}", report::render_comparison(&naive, &derivation, cfg.bus_ubd()));
         println!("audit trail:");
         println!("{}", report::render_derivation(&derivation));
     }

@@ -1,0 +1,140 @@
+//! Golden-trace regression pin for the single-bus reference machine.
+//!
+//! These constants were captured from the pre-topology (single hard-coded
+//! `Bus`) simulator. The `Topology`/`SharedResource` refactor must keep
+//! `MachineConfig::ngmp_ref()` cycle-for-cycle identical, so every value
+//! here — the event-stream hash, the cycle count, and the per-core
+//! counters — is pinned and must never drift.
+//!
+//! The hash deliberately excludes any resource tag so it is insensitive
+//! to fields the topology work adds to `TraceEvent`; on the single-bus
+//! reference machine every event belongs to the bus anyway.
+
+use rrb_kernels::{rsk, rsk_nop, AccessKind};
+use rrb_sim::{BusOpKind, CoreId, Machine, MachineConfig, TraceEvent};
+
+/// FNV-1a over a stream of u64 words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn op_word(kind: BusOpKind) -> u64 {
+    match kind {
+        BusOpKind::Load => 0,
+        BusOpKind::Ifetch => 1,
+        BusOpKind::Store => 2,
+        BusOpKind::MissResponse => 3,
+    }
+}
+
+/// Hashes the bus-event stream: every `Ready`/`Grant`/`Complete` event in
+/// order, with its core, cycle, and (for grants) gamma and occupancy.
+fn trace_hash(events: &[TraceEvent]) -> u64 {
+    let mut h = Fnv::new();
+    for ev in events {
+        match *ev {
+            TraceEvent::Ready { core, cycle, kind, .. } => {
+                h.push(1);
+                h.push(core.index() as u64);
+                h.push(cycle);
+                h.push(op_word(kind));
+            }
+            TraceEvent::Grant { core, cycle, gamma, occupancy, kind, .. } => {
+                h.push(2);
+                h.push(core.index() as u64);
+                h.push(cycle);
+                h.push(gamma);
+                h.push(occupancy);
+                h.push(op_word(kind));
+            }
+            TraceEvent::Complete { core, cycle, kind, .. } => {
+                h.push(3);
+                h.push(core.index() as u64);
+                h.push(cycle);
+                h.push(op_word(kind));
+            }
+        }
+    }
+    h.0
+}
+
+/// The contended reference workload: an rsk-nop scua against three
+/// saturating rsk contenders — the paper's measurement setup.
+fn contended_machine() -> Machine {
+    let mut cfg = MachineConfig::ngmp_ref();
+    cfg.record_trace = true;
+    let mut m = Machine::new(cfg.clone()).expect("config");
+    m.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, 2, &cfg, CoreId::new(0), 40));
+    for i in 1..4 {
+        m.load_program(CoreId::new(i), rsk(AccessKind::Load, &cfg, CoreId::new(i)));
+    }
+    m
+}
+
+#[test]
+fn ngmp_ref_contended_trace_is_pinned() {
+    let mut m = contended_machine();
+    let summary = m.run().expect("run");
+    assert_eq!(summary.cycles, GOLDEN_CYCLES, "total cycle count drifted");
+    assert_eq!(trace_hash(m.trace().events()), GOLDEN_TRACE_HASH, "bus event stream drifted");
+    let scua = summary.core(CoreId::new(0));
+    assert_eq!(scua.instructions, GOLDEN_SCUA_INSTRUCTIONS);
+    assert_eq!(scua.bus_requests, GOLDEN_SCUA_BUS_REQUESTS);
+    assert_eq!(scua.max_gamma, Some(GOLDEN_SCUA_MAX_GAMMA));
+    assert_eq!(scua.total_gamma, GOLDEN_SCUA_TOTAL_GAMMA);
+    assert_eq!(summary.bus_utilization.to_bits(), GOLDEN_BUS_UTILIZATION_BITS);
+}
+
+#[test]
+fn ngmp_ref_isolated_execution_time_is_pinned() {
+    let cfg = MachineConfig::ngmp_ref();
+    let mut m = Machine::new(cfg.clone()).expect("config");
+    m.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, 3, &cfg, CoreId::new(0), 200));
+    let summary = m.run().expect("run");
+    let core = summary.core(CoreId::new(0));
+    assert_eq!(core.execution_time(), Some(GOLDEN_ISOLATED_CYCLES));
+    assert_eq!(core.max_gamma, Some(0), "no contenders, no contention");
+}
+
+// Captured from the pre-refactor single-bus simulator (seed + PR 1).
+const GOLDEN_CYCLES: u64 = 7447;
+const GOLDEN_TRACE_HASH: u64 = 0x1e16_e2ba_baaa_cac1;
+const GOLDEN_SCUA_INSTRUCTIONS: u64 = 600;
+const GOLDEN_SCUA_BUS_REQUESTS: u64 = 209;
+const GOLDEN_SCUA_MAX_GAMMA: u64 = 26;
+const GOLDEN_SCUA_TOTAL_GAMMA: u64 = 4706;
+const GOLDEN_BUS_UTILIZATION_BITS: u64 = 0x3fef_1e7d_e2c7_b9df;
+const GOLDEN_ISOLATED_CYCLES: u64 = 13126;
+
+/// Prints the pinned values; run with `--nocapture` to recapture after an
+/// *intended* behaviour change (and say why in the commit).
+#[test]
+fn print_golden_values() {
+    let mut m = contended_machine();
+    let summary = m.run().expect("run");
+    let scua = summary.core(CoreId::new(0));
+    println!("GOLDEN_CYCLES: {}", summary.cycles);
+    println!("GOLDEN_TRACE_HASH: {:#x}", trace_hash(m.trace().events()));
+    println!("GOLDEN_SCUA_INSTRUCTIONS: {}", scua.instructions);
+    println!("GOLDEN_SCUA_BUS_REQUESTS: {}", scua.bus_requests);
+    println!("GOLDEN_SCUA_MAX_GAMMA: {}", scua.max_gamma.unwrap());
+    println!("GOLDEN_SCUA_TOTAL_GAMMA: {}", scua.total_gamma);
+    println!("GOLDEN_BUS_UTILIZATION_BITS: {:#x}", summary.bus_utilization.to_bits());
+
+    let cfg = MachineConfig::ngmp_ref();
+    let mut iso = Machine::new(cfg.clone()).expect("config");
+    iso.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, 3, &cfg, CoreId::new(0), 200));
+    let s = iso.run().expect("run");
+    println!("GOLDEN_ISOLATED_CYCLES: {}", s.core(CoreId::new(0)).execution_time().unwrap());
+}

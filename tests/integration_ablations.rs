@@ -82,7 +82,7 @@ fn tdma_bus_shows_no_sawtooth() {
     // a bogus ubd — either no period, or a failed utilisation check
     // (TDMA is not work-conserving).
     let mut cfg = MachineConfig::toy(4, 2);
-    cfg.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 4 };
+    cfg.topology.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 4 };
     match derive_ubd(&cfg, &fast(20)) {
         Err(_) => {}
         Ok(d) => {
@@ -98,7 +98,7 @@ fn fixed_priority_starves_low_priority_contender_math() {
     // Under fixed priority the highest-priority core never waits: its
     // max γ is bounded by one in-flight transaction, far below RR's ubd.
     let mut cfg = MachineConfig::toy(4, 2);
-    cfg.bus.arbiter = ArbiterKind::FixedPriority;
+    cfg.topology.bus.arbiter = ArbiterKind::FixedPriority;
     let mut m = Machine::new(cfg.clone()).expect("config");
     m.load_program(CoreId::new(0), rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 300));
     for i in 1..4 {
@@ -115,7 +115,7 @@ fn fifo_arbiter_breaks_the_synchrony_tooth() {
     // depth, not on RR alignment, so the γ(δ) saw-tooth (and with it the
     // methodology's signal) disappears or degenerates.
     let mut cfg = MachineConfig::toy(4, 2);
-    cfg.bus.arbiter = ArbiterKind::Fifo;
+    cfg.topology.bus.arbiter = ArbiterKind::Fifo;
     // Sample mode-γ at two k values one RR-period apart; under RR they
     // would match while differing in between — under FIFO the whole
     // series is flat (every request waits the full queue).

@@ -153,3 +153,39 @@ fn campaign_json_is_stable_across_repeated_runs() {
     assert_eq!(a.to_json(), b.to_json());
     assert_eq!(a.reports[0].metric_u64("period"), Some(6));
 }
+
+#[test]
+fn two_level_campaign_reports_contributions_that_sum() {
+    // Acceptance: a campaign on a bus+mc topology must emit per-resource
+    // UBD contributions that sum to the reported total.
+    let mut base = toy();
+    base.topology.mc =
+        Some(rrb_sim::McQueueConfig { service_occupancy: 2, arbiter: ArbiterKind::Fifo });
+    let grid = CampaignGrid::new(GridScenario::Derive, base).iterations(vec![60]).max_k(14);
+    let result = Campaign::builder().grid(&grid).build().run();
+    assert_eq!(result.reports.len(), 1);
+    let report = &result.reports[0];
+    assert!(report.is_ok(), "{report:?}");
+    assert!(report.scenario.ends_with("/bus+mc:fifo:2"), "{}", report.scenario);
+    let bus = report.metric_u64("ubd_bus").expect("bus contribution");
+    let mc = report.metric_u64("ubd_mc").expect("mc contribution");
+    let total = report.metric_u64("ubd_total").expect("total");
+    assert_eq!(bus + mc, total, "contributions must sum to the total");
+    assert_eq!(bus, 6, "the saw-tooth still recovers the bus bound");
+    assert_eq!(report.metric_u64("ubd_m"), Some(6));
+    // The flat records expose the controller-queue delays too.
+    let header = result.to_csv().lines().next().expect("header").to_string();
+    assert!(header.ends_with("max_gamma_mc"), "{header}");
+    assert!(
+        result.records.iter().any(|r| r.max_gamma_mc.is_some()),
+        "contended runs must record controller-queue gammas"
+    );
+}
+
+#[test]
+fn single_bus_derivation_has_one_contribution() {
+    let d = derive_ubd(&toy(), &MethodologyConfig::fast()).expect("derivation");
+    assert_eq!(d.resource_contributions.len(), 1);
+    assert_eq!(d.resource_contributions[0].resource, "bus");
+    assert_eq!(d.total_ubd_m(), d.ubd_m);
+}

@@ -143,7 +143,7 @@ fn non_round_robin_arbiters_do_not_mimic_rr() {
     use rrb_sim::ArbiterKind;
 
     let mut fp = MachineConfig::ngmp_ref();
-    fp.bus.arbiter = ArbiterKind::FixedPriority;
+    fp.topology.bus.arbiter = ArbiterKind::FixedPriority;
     match derive_ubd(&fp, &sweep()) {
         Ok(d) => assert_eq!(
             d.ubd_m, 9,
@@ -154,7 +154,7 @@ fn non_round_robin_arbiters_do_not_mimic_rr() {
     }
 
     let mut tdma = MachineConfig::ngmp_ref();
-    tdma.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 12 };
+    tdma.topology.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 12 };
     match derive_ubd(&tdma, &sweep()) {
         Err(_) => {}
         Ok(d) => panic!("TDMA bus unexpectedly yielded ubd_m {}", d.ubd_m),

@@ -271,3 +271,121 @@ fn campaign_execution_is_schedule_invariant() {
         assert_eq!(execute_plan(&specs, jobs), serial, "jobs={jobs}");
     }
 }
+
+// ---------- Arbiter invariants ----------
+
+use rrb_sim::bus::{Arbiter, FifoArbiter, RequestView, TdmaArbiter};
+use rrb_sim::{ArbiterKind, BusConfig, BusOpKind, SharedResource};
+
+/// A pseudo-random request view: each requester is independently absent,
+/// ready in the past, or ready in the future.
+fn random_view(rng: &mut KernelRng, n: usize, now: u64) -> Vec<Option<RequestView>> {
+    (0..n)
+        .map(|_| match rng.gen_below(3) {
+            0 => None,
+            1 => Some(RequestView { ready: now.saturating_sub(rng.gen_below(50)), occupancy: 2 }),
+            _ => Some(RequestView { ready: now + 1 + rng.gen_below(50), occupancy: 2 }),
+        })
+        .collect()
+}
+
+/// TDMA only ever grants the owner of the current slot, and only when the
+/// transaction fits in the slot's remainder.
+#[test]
+fn tdma_grants_only_inside_the_owners_slot() {
+    for_cases(0x20, 200, |rng| {
+        let n = rng.gen_range(2, 6) as usize;
+        let slot = rng.gen_range(2, 12);
+        let now = rng.gen_below(10_000);
+        let mut view = random_view(rng, n, now);
+        // Randomise occupancies so slot-fitting is exercised too.
+        for v in view.iter_mut().flatten() {
+            v.occupancy = rng.gen_range(1, 15);
+        }
+        let mut a = TdmaArbiter::new(n, slot);
+        if let Some(granted) = a.select(&view, now) {
+            let owner = ((now / slot) as usize) % n;
+            assert_eq!(granted, owner, "TDMA granted a non-owner (now={now} slot={slot})");
+            let req = view[granted].expect("granted an empty slot");
+            assert!(req.ready <= now, "granted a future request");
+            assert!(
+                req.occupancy <= slot - (now % slot),
+                "transaction overruns the slot (now={now} slot={slot})"
+            );
+        }
+    });
+}
+
+/// FIFO grants strictly in ready-time order (ties to the lower index).
+/// The oracle is stated independently of the implementation: a grant
+/// must exist exactly when some request is ready, the granted request
+/// must itself be ready, and no other ready request may precede it in
+/// (ready, index) order.
+#[test]
+fn fifo_grants_in_ready_time_order() {
+    for_cases(0x21, 200, |rng| {
+        let n = rng.gen_range(2, 8) as usize;
+        let now = rng.gen_below(10_000);
+        let view = random_view(rng, n, now);
+        let mut a = FifoArbiter;
+        let any_ready = view.iter().flatten().any(|r| r.ready <= now);
+        match a.select(&view, now) {
+            None => assert!(!any_ready, "FIFO left a ready request waiting"),
+            Some(g) => {
+                let granted = view[g].expect("granted an empty slot");
+                assert!(granted.ready <= now, "granted a future request");
+                for (i, req) in view.iter().enumerate() {
+                    if i == g {
+                        continue;
+                    }
+                    if let Some(r) = req {
+                        if r.ready <= now {
+                            assert!(
+                                r.ready > granted.ready || (r.ready == granted.ready && i > g),
+                                "request {i} (ready {}) precedes the grant {g} (ready {})",
+                                r.ready,
+                                granted.ready
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Under saturation, a grouped-RR requester's per-request delay is
+/// bounded by the group-count UBD: consecutive services of one member
+/// are at most `max_group_size * groups` grants apart, so
+/// `gamma <= (max_group_size * groups - 1) * l`.
+#[test]
+fn grouped_rr_delay_bounded_by_group_count_ubd() {
+    for_cases(0x22, 8, |rng| {
+        let num_cores = rng.gen_range(3, 7) as usize;
+        let group_size = rng.gen_range(1, num_cores as u64) as usize;
+        let l = rng.gen_range(1, 5);
+        let cfg = BusConfig {
+            l2_hit_occupancy: l,
+            transfer_occupancy: l,
+            store_occupancy: l,
+            arbiter: ArbiterKind::GroupedRoundRobin { group_size },
+        };
+        let mut bus = SharedResource::bus(cfg, num_cores);
+        for i in 0..num_cores {
+            bus.post(CoreId::new(i), BusOpKind::Load, 0, 0);
+        }
+        let groups = num_cores.div_ceil(group_size);
+        let bound = (group_size as u64 * groups as u64 - 1) * l;
+        for now in 0..3_000u64 {
+            if let Some(done) = bus.take_completed(now) {
+                assert!(
+                    done.gamma() <= bound,
+                    "gamma {} > bound {bound} (cores={num_cores} group={group_size} l={l})",
+                    done.gamma()
+                );
+                bus.post(done.core, BusOpKind::Load, 0, now);
+            }
+            bus.try_grant(now, |_, _| (l, Some(true)));
+        }
+    });
+}
