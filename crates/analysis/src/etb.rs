@@ -3,6 +3,12 @@
 //! With measurement-based timing analysis, the analyst determines an
 //! upper bound `nr` on the number of bus requests the software component
 //! performs and pads its execution-time bound with `pad = nr × ubd_m`.
+//!
+//! All arithmetic here **saturates** at `u64::MAX`: request bounds are
+//! analyst-supplied and can be astronomically conservative, and a bound
+//! that silently wraps (release) or aborts the analysis (debug) is worse
+//! than one that pins to "unboundedly large". Saturation keeps the
+//! results sound — an over-estimate is always a valid upper bound.
 
 use std::fmt;
 
@@ -21,12 +27,14 @@ impl EtbPadding {
         EtbPadding { requests, ubd_m }
     }
 
-    /// `pad = nr × ubd_m`.
+    /// `pad = nr × ubd_m`, saturating at `u64::MAX` for very large
+    /// request bounds instead of wrapping (release) or panicking (debug).
     pub fn pad(&self) -> u64 {
-        self.requests * self.ubd_m
+        self.requests.saturating_mul(self.ubd_m)
     }
 
-    /// The execution-time bound: isolation time plus the pad.
+    /// The execution-time bound: isolation time plus the pad
+    /// (saturating; a pinned `u64::MAX` stays a sound upper bound).
     ///
     /// ```
     /// use rrb_analysis::EtbPadding;
@@ -34,15 +42,16 @@ impl EtbPadding {
     /// assert_eq!(p.etb(1_000_000), 1_270_000);
     /// ```
     pub fn etb(&self, isolation_time: u64) -> u64 {
-        isolation_time + self.pad()
+        isolation_time.saturating_add(self.pad())
     }
 
     /// How much an underestimated `ubd_m` undercuts the true bound, in
-    /// cycles: `nr × (ubd − ubd_m)`. This is the paper's motivation — a
-    /// naive `ubd_m` of 26 instead of 27 leaves every request one cycle
-    /// short, and the resulting ETB is unsound by `nr` cycles.
+    /// cycles: `nr × (ubd − ubd_m)`, saturating in both the difference
+    /// and the product. This is the paper's motivation — a naive `ubd_m`
+    /// of 26 instead of 27 leaves every request one cycle short, and the
+    /// resulting ETB is unsound by `nr` cycles.
     pub fn shortfall_against(&self, true_ubd: u64) -> u64 {
-        self.requests * true_ubd.saturating_sub(self.ubd_m)
+        self.requests.saturating_mul(true_ubd.saturating_sub(self.ubd_m))
     }
 }
 
@@ -84,6 +93,23 @@ mod tests {
         // Overestimates are safe (never negative).
         let over = EtbPadding::new(10_000, 30);
         assert_eq!(over.shortfall_against(27), 0);
+    }
+
+    #[test]
+    fn huge_bounds_saturate_instead_of_wrapping() {
+        // A maximally conservative request bound must pin the pad (and
+        // everything downstream of it) to u64::MAX, not wrap to a small
+        // — unsound — number.
+        let p = EtbPadding::new(u64::MAX, 27);
+        assert_eq!(p.pad(), u64::MAX);
+        assert_eq!(p.etb(1_000_000), u64::MAX);
+        assert_eq!(p.shortfall_against(u64::MAX), u64::MAX);
+        // Saturation in the difference still reports zero shortfall for
+        // overestimates.
+        assert_eq!(EtbPadding::new(u64::MAX, 30).shortfall_against(27), 0);
+        // The boundary product that just fits is exact.
+        let exact = EtbPadding::new(u64::MAX / 27, 27);
+        assert_eq!(exact.pad(), (u64::MAX / 27) * 27);
     }
 
     #[test]

@@ -175,6 +175,21 @@ pub trait Arbiter: fmt::Debug + Send {
 
     /// Restores the arbiter to its initial state.
     fn reset(&mut self);
+
+    /// A lower bound on the first cycle `>= now` at which `core`'s
+    /// request `req` could be granted, assuming the resource is free and
+    /// stays free; `None` if the policy can never serve it.
+    ///
+    /// This is the event horizon the quiescence-skipping machine loop
+    /// uses: it may be earlier than the actual grant (competing requests
+    /// are ignored — stepping a no-op cycle is harmless), but it must
+    /// never be later. Work-conserving policies grant any ready request
+    /// on a free resource, so the default is `max(req.ready, now)`;
+    /// time-gated policies (TDMA) override it with their slot schedule.
+    fn earliest_grant(&self, core: usize, req: RequestView, now: Cycle) -> Option<Cycle> {
+        let _ = core;
+        Some(req.ready.max(now))
+    }
 }
 
 /// Rotating-priority round-robin (§2).
@@ -296,6 +311,33 @@ impl Arbiter for TdmaArbiter {
     }
 
     fn reset(&mut self) {}
+
+    /// TDMA is time-gated: the request can only start inside its own
+    /// core's slot, and only if it fits in what remains of that slot.
+    /// The earliest chance is therefore its ready cycle (if that lands
+    /// in a fitting position of its own slot) or the start of the
+    /// core's next slot — an exact horizon, not just a lower bound,
+    /// because within a slot the remaining room only shrinks.
+    fn earliest_grant(&self, core: usize, req: RequestView, now: Cycle) -> Option<Cycle> {
+        let slot = self.slot_cycles;
+        let n = self.num_cores as u64;
+        let t = req.ready.max(now);
+        let owner = ((t / slot) % n) as usize;
+        if owner == core && req.occupancy <= slot - (t % slot) {
+            return Some(t);
+        }
+        if req.occupancy > slot {
+            return None; // cannot fit even a whole slot
+        }
+        // Start of this core's next slot at or after t.
+        let cur = t / slot;
+        let mut q = cur + (core as u64 + n - cur % n) % n;
+        if q == cur {
+            // Own slot, but too little of it left: wait a full rotation.
+            q += n;
+        }
+        Some(q * slot)
+    }
 }
 
 /// MBBA-style two-level round-robin: groups rotate, and members rotate
@@ -747,6 +789,52 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn grouped_rr_zero_group_panics() {
         let _ = GroupedRoundRobinArbiter::new(4, 0);
+    }
+
+    #[test]
+    fn work_conserving_earliest_grant_is_readiness() {
+        let req = RequestView { ready: 7, occupancy: 3 };
+        for kind in [ArbiterKind::RoundRobin, ArbiterKind::FixedPriority, ArbiterKind::Fifo] {
+            let a = build_arbiter(kind, 4);
+            assert_eq!(a.earliest_grant(2, req, 0), Some(7), "{kind}: future readiness");
+            assert_eq!(a.earliest_grant(2, req, 20), Some(20), "{kind}: already ready");
+        }
+    }
+
+    #[test]
+    fn tdma_earliest_grant_respects_slot_schedule() {
+        // 2 cores, 10-cycle slots: c0 owns [0,10), [20,30)…; c1 owns [10,20)…
+        let a = TdmaArbiter::new(2, 10);
+        let req = |ready, occupancy| RequestView { ready, occupancy };
+        // c0 ready inside its own slot with room: granted at readiness.
+        assert_eq!(a.earliest_grant(0, req(3, 5), 3), Some(3));
+        // c0 ready but the slot remainder is too short: next own slot.
+        assert_eq!(a.earliest_grant(0, req(0, 5), 7), Some(20));
+        // c1 ready during c0's slot: start of c1's slot.
+        assert_eq!(a.earliest_grant(1, req(0, 5), 3), Some(10));
+        // A transaction longer than a whole slot can never be served.
+        assert_eq!(a.earliest_grant(0, req(0, 11), 0), None);
+        // Exact fit at a slot boundary.
+        assert_eq!(a.earliest_grant(1, req(0, 10), 12), Some(30));
+    }
+
+    /// The TDMA horizon is *sound*: select never grants before the
+    /// predicted cycle, and (with a lone requester) grants exactly at it.
+    #[test]
+    fn tdma_earliest_grant_matches_select() {
+        let mut a = TdmaArbiter::new(3, 12);
+        for ready in 0..40u64 {
+            for occ in [1u64, 5, 12] {
+                for core in 0..3usize {
+                    let mut view = vec![None; 3];
+                    view[core] = Some(RequestView { ready, occupancy: occ });
+                    let predicted =
+                        a.earliest_grant(core, RequestView { ready, occupancy: occ }, ready);
+                    let actual = (ready..ready + 80).find(|&t| a.select(&view, t).is_some());
+                    assert_eq!(predicted, actual, "core={core} ready={ready} occ={occ}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -515,6 +515,20 @@ pub struct MachineConfig {
     pub record_requests: bool,
     /// Whether to record a bus-event trace (used by timeline figures).
     pub record_trace: bool,
+    /// Whether [`Machine::run`]/[`Machine::run_for`] may jump `now`
+    /// straight to the next component event horizon when no component
+    /// can act this cycle (all cores stalled on DRAM/bus waits), instead
+    /// of stepping every quiescent cycle.
+    ///
+    /// The two modes are cycle-identical — skipping elides only provable
+    /// no-op cycles, and the golden-trace and equivalence property tests
+    /// pin that — so this stays `true` everywhere except when forcing
+    /// naive per-cycle stepping to debug the simulator itself (or to
+    /// benchmark the skip, as `simspeed` does).
+    ///
+    /// [`Machine::run`]: crate::Machine::run
+    /// [`Machine::run_for`]: crate::Machine::run_for
+    pub quiescence_skip: bool,
 }
 
 impl MachineConfig {
@@ -533,6 +547,7 @@ impl MachineConfig {
             max_cycles: 200_000_000,
             record_requests: true,
             record_trace: false,
+            quiescence_skip: true,
         }
     }
 

@@ -301,6 +301,36 @@ impl CoreModel {
     pub fn is_waiting_for_bus(&self) -> bool {
         matches!(self.state, State::WaitLoad | State::WaitIfetch)
     }
+
+    /// The earliest cycle `>= now` at which this core can act on its own:
+    /// dispatch its next instruction (`Idle` resume deadline) or present
+    /// a request to the machine's posting phase (demand/refill post
+    /// readiness, store-buffer drain readiness). `None` when the core is
+    /// passive — `Done`, or stalled waiting for a data return, which the
+    /// bus completion horizon accounts for.
+    ///
+    /// `may_post` is whether the machine would accept a post this cycle
+    /// (the core has no transaction outstanding at the bus); while one is
+    /// outstanding, posting deadlines are unreachable until the bus
+    /// completion — itself a tracked event — so they are excluded from
+    /// the horizon.
+    pub(crate) fn next_event(&self, now: Cycle, may_post: bool) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        if let State::Idle { resume_at } = self.state {
+            horizon = Some(resume_at.max(now));
+        }
+        if may_post {
+            let post_ready = match self.want_post {
+                Some(p) => Some(p.ready),
+                None => self.store_buffer.head_ready(),
+            };
+            if let Some(ready) = post_ready {
+                let ready = ready.max(now);
+                horizon = Some(horizon.map_or(ready, |h| h.min(ready)));
+            }
+        }
+        horizon
+    }
 }
 
 #[cfg(test)]
@@ -435,6 +465,40 @@ mod tests {
         }
         assert!(!c.is_done());
         assert!(c.instructions() > 100);
+    }
+
+    #[test]
+    fn next_event_follows_pipeline_and_posting_deadlines() {
+        let cfg = MachineConfig::ngmp_ref();
+        let mut c = core(&cfg);
+        assert_eq!(c.next_event(0, true), None, "a Done core with nothing buffered is passive");
+        c.load_program(Program::from_body(vec![Instr::load(0x8000)], 1), 4);
+        assert_eq!(c.next_event(0, true), Some(4), "idle until the program start");
+        c.tick(4);
+        // Cold IL1 miss: the fetch post is ready after the IL1 latency.
+        assert_eq!(c.next_event(4, true), Some(4 + cfg.il1.latency));
+        assert_eq!(c.next_event(4, false), None, "posting blocked: wake on bus completion");
+        let f = c.take_post().expect("ifetch miss");
+        assert_eq!(c.next_event(5, false), None, "waiting for the fetch data");
+        c.on_data_return(f.addr, 9);
+        assert_eq!(c.next_event(7, true), Some(9), "resumes at the data return");
+    }
+
+    #[test]
+    fn next_event_tracks_store_drain_readiness() {
+        let cfg = MachineConfig::ngmp_ref();
+        let mut c = core(&cfg);
+        c.load_program(Program::from_body(vec![Instr::store(0x9000)], 1), 0);
+        c.tick(0);
+        let f = c.take_post().expect("ifetch");
+        c.on_data_return(f.addr, 10);
+        c.tick(10);
+        assert!(c.is_done(), "the store retires into the buffer");
+        // The buffered store becomes a posting deadline once the core may
+        // post again: ready = dispatch + dl1 latency.
+        assert_eq!(c.next_event(10, true), Some(10 + cfg.dl1.latency));
+        assert_eq!(c.next_event(10, false), None);
+        assert_eq!(c.next_event(20, true), Some(20), "overdue drains are imminent");
     }
 
     #[test]

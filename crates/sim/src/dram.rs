@@ -123,6 +123,23 @@ impl Dram {
         self.queue.len() + usize::from(self.in_flight.is_some())
     }
 
+    /// The earliest cycle `>= now` at which the controller can act, or
+    /// `None` when it is quiescent (no request queued or in flight).
+    ///
+    /// The in-flight access completes at its `done` cycle and the next
+    /// queued request starts service in the very same [`Dram::tick`], so
+    /// that one cycle is the only event horizon. A non-empty queue with
+    /// nothing in flight cannot outlive a tick (the head is admitted
+    /// immediately); `now` is returned defensively so a skipping caller
+    /// never jumps over the admission.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match self.in_flight {
+            Some(f) => Some(f.done.max(now)),
+            None if !self.queue.is_empty() => Some(now),
+            None => None,
+        }
+    }
+
     /// Advances the controller to cycle `now`; returns a completion if one
     /// finishes exactly at `now`.
     pub fn tick(&mut self, now: Cycle) -> Option<DramCompletion> {
@@ -257,6 +274,20 @@ mod tests {
         assert_eq!(done[1].core, CoreId::new(1));
         assert!(done[1].finished > done[0].finished);
         assert!(d.stats().queue_wait_cycles > 0, "second request waited");
+    }
+
+    #[test]
+    fn next_event_is_the_in_flight_completion() {
+        let mut d = dram();
+        assert_eq!(d.next_event(0), None, "idle DRAM is quiescent");
+        d.enqueue(CoreId::new(0), 0, 0);
+        assert_eq!(d.next_event(0), Some(0), "queued but not started: imminent");
+        d.tick(0); // admits the request; empty-bank latency is 12
+        assert_eq!(d.next_event(1), Some(12));
+        d.enqueue(CoreId::new(1), 4096, 3);
+        assert_eq!(d.next_event(3), Some(12), "queued work waits behind the flight");
+        assert!(d.tick(12).is_some());
+        assert_eq!(d.next_event(12), Some(12 + 12), "second request started in the same tick");
     }
 
     #[test]

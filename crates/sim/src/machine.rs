@@ -28,6 +28,34 @@
 //! and only then enters DRAM. The queue completes and grants inside the
 //! same per-cycle phases as the bus, so single-bus configurations are
 //! cycle-for-cycle unaffected (the golden-trace test pins this).
+//!
+//! ## Event-driven quiescence skipping
+//!
+//! [`Machine::step`] always advances exactly one cycle, but most cycles
+//! of a contended run are *quiescent*: every core is stalled on a bus or
+//! DRAM wait and every phase above is a no-op. Instead of stepping
+//! through them, [`Machine::run`] and [`Machine::run_for`] ask each
+//! component for its **event horizon** — the earliest future cycle at
+//! which it can act:
+//!
+//! * each [`SharedResource`] reports its active transaction's completion
+//!   cycle, or (when free) the earliest grant chance of its pending
+//!   requests ([`Arbiter::earliest_grant`], which for TDMA folds in the
+//!   slot schedule);
+//! * the DRAM reports its in-flight access's `done` cycle;
+//! * each core reports its pipeline resume deadline and, when it holds
+//!   no bus transaction, its post/store-drain readiness.
+//!
+//! `now` then jumps straight to the minimum horizon
+//! ([`Machine::next_event`]). Every horizon is a sound lower bound on
+//! its component's next state change, so the elided cycles are provable
+//! no-ops and both modes are cycle-identical — pinned by the
+//! golden-trace test and the `prop_event_driven` equivalence property.
+//! Set [`MachineConfig::quiescence_skip`] to `false` (or
+//! [`MachineBuilder::quiescence_skip`]) to force naive per-cycle
+//! stepping when debugging.
+//!
+//! [`Arbiter::earliest_grant`]: crate::bus::Arbiter::earliest_grant
 
 use crate::bus::{ActiveTxn, ArbiterKind, BusOpKind};
 use crate::cache::Access;
@@ -77,10 +105,12 @@ pub struct RunSummary {
     /// Cycle at which stepping stopped.
     pub cycles: Cycle,
     cores: Vec<CoreSummary>,
-    /// Overall bus utilisation over the run, in `[0, 1]`.
+    /// Overall bus utilisation over the measurement window (the whole
+    /// run, or since the last [`Machine::reset_measurements`]), in
+    /// `[0, 1]`.
     pub bus_utilization: f64,
-    /// Memory-controller-queue utilisation over the run, when the
-    /// topology chains one.
+    /// Memory-controller-queue utilisation over the measurement window,
+    /// when the topology chains one.
     pub mc_utilization: Option<f64>,
 }
 
@@ -121,6 +151,18 @@ pub struct Machine {
     /// Cores that were loaded with a finite program (the measurement
     /// targets; endless contenders never terminate).
     finite: Vec<bool>,
+    /// Number of finite cores that have not completed yet — maintained
+    /// on load and on completion so the run loop never materialises the
+    /// core list just to test emptiness.
+    unfinished_count: usize,
+    /// Cycle of the last [`Machine::reset_measurements`]: the start of
+    /// the current measurement window. Utilisations divide by
+    /// `now - measure_start`, not absolute `now`, so statistics stay
+    /// meaningful after the warm-up idiom.
+    measure_start: Cycle,
+    /// Number of [`Machine::step`] calls executed — `now` minus the
+    /// cycles elided by quiescence skipping. Diagnostics only.
+    steps_executed: u64,
 }
 
 impl Machine {
@@ -144,6 +186,9 @@ impl Machine {
             contenders_at_post: vec![0; cfg.num_cores],
             mc_contenders_at_post: vec![0; cfg.num_cores],
             finite: vec![false; cfg.num_cores],
+            unfinished_count: 0,
+            measure_start: 0,
+            steps_executed: 0,
             cfg,
         })
     }
@@ -232,8 +277,16 @@ impl Machine {
         if core.index() >= self.cfg.num_cores {
             return Err(SimError::NoSuchCore { core: core.index(), num_cores: self.cfg.num_cores });
         }
-        self.finite[core.index()] = matches!(program.iterations(), Iterations::Finite(_));
-        self.cores[core.index()].load_program(program, self.now);
+        let idx = core.index();
+        let was_unfinished = self.finite[idx] && !self.cores[idx].is_done();
+        self.finite[idx] = matches!(program.iterations(), Iterations::Finite(_));
+        self.cores[idx].load_program(program, self.now);
+        let is_unfinished = self.finite[idx] && !self.cores[idx].is_done();
+        match (was_unfinished, is_unfinished) {
+            (false, true) => self.unfinished_count += 1,
+            (true, false) => self.unfinished_count -= 1,
+            _ => {}
+        }
         Ok(())
     }
 
@@ -241,15 +294,17 @@ impl Machine {
         (0..self.cfg.num_cores).filter(|&i| self.finite[i] && !self.cores[i].is_done()).collect()
     }
 
-    /// Steps until every finite program completes.
+    /// Runs until every finite program completes — jumping over
+    /// quiescent cycles unless [`MachineConfig::quiescence_skip`] is off.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::CycleBudgetExhausted`] if `max_cycles` elapses
     /// first.
     pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        debug_assert_eq!(self.unfinished_count, self.unfinished().len());
         let budget = self.now + self.cfg.max_cycles;
-        while !self.unfinished().is_empty() {
+        while self.unfinished_count > 0 {
             if self.now >= budget {
                 return Err(SimError::CycleBudgetExhausted {
                     budget: self.cfg.max_cycles,
@@ -257,20 +312,72 @@ impl Machine {
                 });
             }
             self.step();
+            if self.unfinished_count > 0 {
+                self.skip_quiescence(budget);
+            }
         }
         Ok(self.summary())
     }
 
-    /// Steps the machine for exactly `cycles` cycles (useful when every
-    /// core runs an endless kernel).
+    /// Advances the machine by exactly `cycles` cycles (useful when every
+    /// core runs an endless kernel), jumping over quiescent stretches
+    /// unless [`MachineConfig::quiescence_skip`] is off.
     pub fn run_for(&mut self, cycles: Cycle) -> RunSummary {
-        for _ in 0..cycles {
+        let end = self.now + cycles;
+        while self.now < end {
             self.step();
+            self.skip_quiescence(end);
         }
         self.summary()
     }
 
-    /// Builds the current run summary.
+    /// Jumps `now` to the next event horizon, never past `horizon` and
+    /// never backwards. A fully quiescent machine (no event at all: a
+    /// deadlock unless every finite core is done) jumps straight to
+    /// `horizon`, exactly as per-cycle stepping would idle up to it.
+    fn skip_quiescence(&mut self, horizon: Cycle) {
+        if !self.cfg.quiescence_skip || self.now >= horizon {
+            return;
+        }
+        let target = self.next_event().unwrap_or(horizon).min(horizon);
+        if target > self.now {
+            self.now = target;
+        }
+    }
+
+    /// The earliest cycle `>= now` at which any component can act — the
+    /// minimum of the per-component event horizons — or `None` when the
+    /// whole machine is quiescent (nothing in flight anywhere, so no
+    /// amount of stepping will change its state).
+    pub fn next_event(&self) -> Option<Cycle> {
+        let now = self.now;
+        let mut horizon = self.bus.next_event(now);
+        if let Some(mc) = &self.mc {
+            horizon = min_opt(horizon, mc.next_event(now));
+        }
+        horizon = min_opt(horizon, self.dram.next_event(now));
+        for i in 0..self.cfg.num_cores {
+            let may_post = !self.bus.has_outstanding(CoreId::new(i));
+            horizon = min_opt(horizon, self.cores[i].next_event(now, may_post));
+        }
+        horizon
+    }
+
+    /// First cycle of the current measurement window (0 until
+    /// [`Machine::reset_measurements`] moves it).
+    pub fn measure_start(&self) -> Cycle {
+        self.measure_start
+    }
+
+    /// Cycles elapsed in the current measurement window — the
+    /// denominator of the summary's utilisations.
+    pub fn measured_cycles(&self) -> Cycle {
+        self.now - self.measure_start
+    }
+
+    /// Builds the current run summary. Utilisations are computed over
+    /// the current measurement window (since the last
+    /// [`Machine::reset_measurements`], or the whole run without one).
     pub fn summary(&self) -> RunSummary {
         let cores = (0..self.cfg.num_cores)
             .map(|i| {
@@ -285,16 +392,20 @@ impl Machine {
                 }
             })
             .collect();
+        let window = self.measured_cycles().max(1);
         RunSummary {
             cycles: self.now,
             cores,
-            bus_utilization: self.bus.stats().utilization(self.now.max(1)),
-            mc_utilization: self.mc.as_ref().map(|mc| mc.stats().utilization(self.now.max(1))),
+            bus_utilization: self.bus.stats().utilization(window),
+            mc_utilization: self.mc.as_ref().map(|mc| mc.stats().utilization(window)),
         }
     }
 
     /// Clears every measurement (PMCs, per-resource statistics, trace)
-    /// without touching architectural state — the warm-up idiom.
+    /// without touching architectural state — the warm-up idiom — and
+    /// starts a new measurement window at the current cycle, so the
+    /// summary's utilisations divide by the cycles actually measured
+    /// rather than the absolute cycle count.
     pub fn reset_measurements(&mut self) {
         self.pmc.reset();
         self.bus.reset_stats();
@@ -302,10 +413,18 @@ impl Machine {
             mc.reset_stats();
         }
         self.trace.clear();
+        self.measure_start = self.now;
+    }
+
+    /// Number of cycles actually stepped so far — `now()` minus the
+    /// quiescent cycles the event-driven loop jumped over.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
     }
 
     /// Advances the machine by one cycle.
     pub fn step(&mut self) {
+        self.steps_executed += 1;
         let now = self.now;
 
         // 1. Bus completion.
@@ -346,9 +465,13 @@ impl Machine {
 
         // 3. Core pipelines.
         for i in 0..self.cfg.num_cores {
+            let was_done = self.cores[i].is_done();
             let stalls = self.cores[i].tick(now);
             if stalls > 0 {
                 self.pmc.core_mut(CoreId::new(i)).sb_stall_cycles += stalls;
+            }
+            if !was_done && self.finite[i] && self.cores[i].is_done() {
+                self.unfinished_count -= 1;
             }
         }
 
@@ -463,6 +586,7 @@ impl Machine {
             contenders: self.contenders_at_post[txn.core.index()],
         };
         self.pmc.record_request(txn.core, record);
+        let was_done = self.cores[txn.core.index()].is_done();
         let core = &mut self.cores[txn.core.index()];
         match txn.kind {
             BusOpKind::Load | BusOpKind::Ifetch => {
@@ -492,6 +616,19 @@ impl Machine {
                 core.store_buffer.complete_head(now);
             }
         }
+        let idx = txn.core.index();
+        if !was_done && self.finite[idx] && self.cores[idx].is_done() {
+            self.unfinished_count -= 1;
+        }
+    }
+}
+
+/// Minimum of two optional horizons (`None` = no event).
+fn min_opt(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 
@@ -579,6 +716,15 @@ impl MachineBuilder {
     #[must_use]
     pub fn record_trace(mut self, on: bool) -> Self {
         self.cfg.record_trace = on;
+        self
+    }
+
+    /// Enables or disables quiescence skipping in `run`/`run_for`
+    /// (cycle-identical either way; disable to force per-cycle stepping
+    /// when debugging the simulator itself).
+    #[must_use]
+    pub fn quiescence_skip(mut self, on: bool) -> Self {
+        self.cfg.quiescence_skip = on;
         self
     }
 
@@ -959,6 +1105,108 @@ mod tests {
         assert_eq!(m.memory_controller().expect("mc").arbiter_kind(), ArbiterKind::Fifo);
         assert_eq!(m.config().ubd(), m.config().bus_ubd() + 2 * 4);
         assert!(m.trace().is_enabled());
+    }
+
+    /// One machine per stepping mode over the same config and programs.
+    fn paired_machines(mut cfg: MachineConfig) -> (Machine, Machine) {
+        cfg.quiescence_skip = true;
+        let skip = Machine::new(cfg.clone()).expect("config");
+        cfg.quiescence_skip = false;
+        let step = Machine::new(cfg).expect("config");
+        (skip, step)
+    }
+
+    #[test]
+    fn quiescence_skip_is_cycle_identical_on_contended_run() {
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.record_trace = true;
+        let (mut a, mut b) = paired_machines(cfg);
+        for m in [&mut a, &mut b] {
+            m.load_program(CoreId::new(0), Program::from_body(rsk_load_body(2), 300));
+            for i in 1..4 {
+                m.load_program(CoreId::new(i), Program::endless(rsk_load_body(0)));
+            }
+        }
+        let sa = a.run().expect("skip run");
+        let sb = b.run().expect("step run");
+        assert_eq!(sa, sb, "summaries must be identical across stepping modes");
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.trace().events(), b.trace().events());
+        assert_eq!(a.bus().stats(), b.bus().stats());
+        assert_eq!(a.dram().stats(), b.dram().stats());
+    }
+
+    #[test]
+    fn quiescence_skip_is_cycle_identical_on_dram_bound_run_for() {
+        // The stall-heavy case the skip targets: every load misses L2, so
+        // cores spend most cycles waiting on the serialised controller.
+        let miss_body = |core: usize| -> Vec<Instr> {
+            let base = 0x4000_0000 + 0x0400_0000 * core as u64;
+            (0..64).map(|i| Instr::load(base + i * 4096)).collect()
+        };
+        let (mut a, mut b) = paired_machines(MachineConfig::ngmp_two_level());
+        for m in [&mut a, &mut b] {
+            for i in 0..2 {
+                m.load_program(CoreId::new(i), Program::endless(miss_body(i)));
+            }
+        }
+        let sa = a.run_for(20_000);
+        let sb = b.run_for(20_000);
+        assert_eq!(sa, sb);
+        assert_eq!(sa.cycles, 20_000, "run_for lands exactly on the requested cycle");
+        assert_eq!(a.dram().stats(), b.dram().stats());
+        assert_eq!(a.l2().stats(CoreId::new(0)), b.l2().stats(CoreId::new(0)));
+    }
+
+    #[test]
+    fn quiescence_skip_preserves_budget_exhaustion() {
+        let mut cfg = MachineConfig::ngmp_ref();
+        cfg.max_cycles = 100;
+        let (mut a, mut b) = paired_machines(cfg);
+        for m in [&mut a, &mut b] {
+            m.load_program(CoreId::new(0), Program::from_body(rsk_load_body(0), 1_000_000));
+        }
+        assert_eq!(a.run(), b.run(), "same error, same incomplete set");
+        assert_eq!(a.now(), b.now(), "both stop at the budget");
+    }
+
+    #[test]
+    fn next_event_is_none_on_quiescent_machine() {
+        let mut m = Machine::new(MachineConfig::ngmp_ref()).expect("config");
+        assert_eq!(m.next_event(), None, "freshly built: nothing in flight");
+        m.load_program(CoreId::new(0), Program::from_body(rsk_load_body(0), 5));
+        assert_eq!(m.next_event(), Some(0), "a loaded core dispatches at its start cycle");
+        m.run().expect("run");
+        assert_eq!(m.next_event(), None, "all work drained: quiescent again");
+    }
+
+    #[test]
+    fn utilization_uses_measurement_window_after_reset() {
+        // Warm-up idiom: idle warm-up, reset, then saturate the bus. The
+        // absolute-cycle denominator would under-report utilisation by
+        // the warm-up share; the window denominator must not.
+        let mut m = Machine::new(MachineConfig::ngmp_ref()).expect("config");
+        m.run_for(50_000); // long idle warm-up, no programs loaded
+        for i in 0..4 {
+            m.load_program(CoreId::new(i), Program::endless(rsk_load_body(0)));
+        }
+        m.run_for(2_000); // let the rsk reach steady state
+        m.reset_measurements();
+        assert_eq!(m.measure_start(), 52_000);
+        let s = m.run_for(10_000);
+        assert_eq!(m.measured_cycles(), 10_000);
+        assert!(
+            s.bus_utilization > 0.99,
+            "saturated window must report ~full utilisation (got {})",
+            s.bus_utilization
+        );
+    }
+
+    #[test]
+    fn builder_forces_per_cycle_stepping() {
+        let m = Machine::builder().quiescence_skip(false).build().expect("build");
+        assert!(!m.config().quiescence_skip);
+        assert!(Machine::builder().build().expect("build").config().quiescence_skip);
     }
 
     #[test]

@@ -162,8 +162,12 @@ impl Pmc {
         if rec.resource == ResourceId::BUS {
             *c.gamma_histogram.entry(rec.gamma()).or_insert(0) += 1;
             *c.contender_histogram.entry(rec.contenders).or_insert(0) += 1;
-        } else {
+        } else if rec.resource == ResourceId::MEMORY_CONTROLLER {
             *c.mc_gamma_histogram.entry(rec.gamma()).or_insert(0) += 1;
+        } else {
+            // A resource beyond the controller has no histogram yet;
+            // counting it as mc would silently misattribute its gammas.
+            debug_assert!(false, "no gamma histogram for resource {}", rec.resource);
         }
         if self.record_requests {
             c.records.push(rec);

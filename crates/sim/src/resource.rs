@@ -128,6 +128,9 @@ pub struct SharedResource {
     pending: Vec<Option<Pending>>,
     active: Option<ActiveTxn>,
     stats: ResourceStats,
+    /// Reusable arbitration view, so [`SharedResource::try_grant`] does
+    /// not allocate on every free cycle of the hot simulation loop.
+    view_buf: Vec<Option<RequestView>>,
 }
 
 impl SharedResource {
@@ -148,6 +151,7 @@ impl SharedResource {
             pending: vec![None; num_cores],
             active: None,
             stats: ResourceStats::new(num_cores),
+            view_buf: Vec::with_capacity(num_cores),
         }
     }
 
@@ -273,12 +277,13 @@ impl SharedResource {
             return None;
         }
         let worst = self.worst_occupancy;
-        let view: Vec<Option<RequestView>> = self
-            .pending
-            .iter()
-            .map(|p| p.map(|p| RequestView { ready: p.ready, occupancy: worst }))
-            .collect();
-        let chosen = self.arbiter.select(&view, now)?;
+        self.view_buf.clear();
+        self.view_buf.extend(
+            self.pending
+                .iter()
+                .map(|p| p.map(|p| RequestView { ready: p.ready, occupancy: worst })),
+        );
+        let chosen = self.arbiter.select(&self.view_buf, now)?;
         let pending = self.pending[chosen].take().expect("arbiter chose an empty slot");
         debug_assert!(pending.ready <= now, "arbiter granted a not-yet-ready request");
         let core = CoreId::new(chosen);
@@ -299,6 +304,35 @@ impl SharedResource {
         self.stats.per_core_busy[chosen] += occupancy;
         self.stats.per_core_grants[chosen] += 1;
         Some(txn)
+    }
+
+    /// The earliest cycle `>= now` at which this resource can act on its
+    /// own — complete its active transaction, or (when free) grant a
+    /// posted request — or `None` when it is quiescent (idle with
+    /// nothing posted, so only a new post can wake it).
+    ///
+    /// This is a *sound lower bound*: the machine's quiescence-skipping
+    /// loop may step the returned cycle and find nothing to do (e.g. a
+    /// fixed-priority loser), but no grant or completion can ever occur
+    /// strictly before it. While occupied, the horizon is the completion
+    /// cycle — arbitration only runs on a free resource, so nothing else
+    /// can happen here earlier (posts are the cores' events, and they are
+    /// accounted by the per-core horizons).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if let Some(active) = self.active {
+            return Some(active.until.max(now));
+        }
+        let worst = self.worst_occupancy;
+        let mut horizon: Option<Cycle> = None;
+        for (core, pending) in self.pending.iter().enumerate() {
+            let Some(p) = pending else { continue };
+            let view = RequestView { ready: p.ready, occupancy: worst };
+            if let Some(chance) = self.arbiter.earliest_grant(core, view, now) {
+                let chance = chance.max(now);
+                horizon = Some(horizon.map_or(chance, |h: Cycle| h.min(chance)));
+            }
+        }
+        horizon
     }
 
     /// Resets arbitration statistics (not pending requests).
@@ -379,6 +413,32 @@ mod tests {
         assert!(q.has_outstanding(CoreId::new(0)), "active still counts");
         assert!(q.has_outstanding(CoreId::new(1)));
         assert!(!q.has_outstanding(CoreId::new(2)));
+    }
+
+    #[test]
+    fn next_event_tracks_completion_then_grant_chance() {
+        let mut q = mc(4, 2);
+        assert_eq!(q.next_event(0), None, "idle and empty: quiescent");
+        q.post(CoreId::new(0), BusOpKind::Load, 0, 5);
+        assert_eq!(q.next_event(0), Some(5), "free: earliest grant chance is readiness");
+        assert_eq!(q.next_event(9), Some(9), "a ready request on a free resource is imminent");
+        q.try_grant(9, |_, _| (4, None)).expect("grant");
+        q.post(CoreId::new(1), BusOpKind::Load, 0, 10);
+        assert_eq!(q.next_event(10), Some(13), "occupied: horizon is the completion cycle");
+        q.take_completed(13).expect("completes");
+        assert_eq!(q.next_event(13), Some(13), "pending again ready at completion");
+    }
+
+    #[test]
+    fn next_event_honours_tdma_schedule() {
+        let mut q = SharedResource::memory_controller(
+            McQueueConfig { service_occupancy: 4, arbiter: ArbiterKind::Tdma { slot_cycles: 8 } },
+            2,
+        );
+        // Core 1's slots are [8,16), [24,32)…
+        q.post(CoreId::new(1), BusOpKind::Load, 0, 0);
+        assert_eq!(q.next_event(0), Some(8), "skip straight to the owner's slot");
+        assert_eq!(q.next_event(14), Some(24), "too little slot left: next rotation");
     }
 
     #[test]

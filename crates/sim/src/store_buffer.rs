@@ -106,6 +106,12 @@ impl StoreBuffer {
     /// the later of its buffering time and the completion of the previous
     /// drain. Consecutive drained writes are therefore back to back
     /// (injection time zero), reproducing §5.3.
+    ///
+    /// This is also the buffer's event horizon for the machine's
+    /// quiescence-skipping loop: between `head_ready` deadlines (and the
+    /// pushes/drains that move them, which are events of the pipeline and
+    /// the bus respectively) the buffer's state is time-invariant, so the
+    /// machine may jump over the in-between cycles.
     pub fn head_ready(&self) -> Option<Cycle> {
         self.entries.front().map(|e| match self.last_drain_done {
             Some(done) => e.pushed_at.max(done),
