@@ -3,11 +3,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed command line: a subcommand plus `--key value` flags.
+/// Parsed command line: a subcommand plus positional arguments and
+/// `--key value` flags.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Parsed {
-    /// The subcommand (first positional argument).
+    /// The subcommand (first argument).
     pub command: String,
+    positionals: Vec<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -60,10 +62,14 @@ impl Parsed {
     pub fn parse(argv: &[String]) -> Result<Self, ParseArgsError> {
         let mut it = argv.iter();
         let command = it.next().ok_or(ParseArgsError::MissingCommand)?.clone();
+        let mut positionals = Vec::new();
         let mut flags = BTreeMap::new();
         while let Some(arg) = it.next() {
             let Some(name) = arg.strip_prefix("--") else {
-                return Err(ParseArgsError::UnexpectedPositional(arg.clone()));
+                // Collected here; commands that take none reject them via
+                // `require_no_positionals`.
+                positionals.push(arg.clone());
+                continue;
             };
             if SWITCHES.contains(&name) {
                 flags.insert(name.to_string(), String::from("true"));
@@ -73,7 +79,26 @@ impl Parsed {
                 flags.insert(name.to_string(), value.clone());
             }
         }
-        Ok(Parsed { command, flags })
+        Ok(Parsed { command, positionals, flags })
+    }
+
+    /// The positional arguments after the subcommand, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Errors unless the command line had no positional arguments — for
+    /// the subcommands that take only flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::UnexpectedPositional`] naming the first
+    /// stray argument.
+    pub fn require_no_positionals(&self) -> Result<(), ParseArgsError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(arg) => Err(ParseArgsError::UnexpectedPositional(arg.clone())),
+        }
     }
 
     /// A string flag.
@@ -171,9 +196,16 @@ mod tests {
     }
 
     #[test]
-    fn positional_rejected() {
-        let e = Parsed::parse(&argv("derive extra")).expect_err("must fail");
-        assert!(matches!(e, ParseArgsError::UnexpectedPositional(_)));
+    fn positionals_are_collected_and_rejectable() {
+        let p = Parsed::parse(&argv("run spec.json --jobs 2")).expect("parse");
+        assert_eq!(p.positionals(), ["spec.json"]);
+        assert_eq!(p.get_u64("jobs", 1).expect("num"), 2);
+        let e = p.require_no_positionals().expect_err("must fail");
+        assert_eq!(e, ParseArgsError::UnexpectedPositional("spec.json".into()));
+        Parsed::parse(&argv("derive --max-k 3"))
+            .expect("parse")
+            .require_no_positionals()
+            .expect("flag-only command lines have no positionals");
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //! stdout.
 
 use crate::args::{ParseArgsError, Parsed};
-use rrb::campaign::{Campaign, CampaignGrid, GridScenario};
+use rrb::campaign::{Campaign, CampaignGrid, GridScenario, ParseGridScenarioError};
 use rrb::methodology::{derive_ubd, derive_ubd_repeated, store_tooth_check, MethodologyConfig};
 use rrb::naive::naive_rsk_vs_rsk;
 use rrb::report;
+use rrb::spec::ExperimentSpec;
 use rrb::{MbtaAnalysis, TaskSpec};
 use rrb_analysis::GammaModel;
 use rrb_kernels::{random_eembc_workload, AccessKind, AutobenchKernel};
@@ -64,6 +65,11 @@ impl From<ParseArgsError> for CliError {
 /// Returns [`CliError`] for malformed input or failed derivations.
 pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let parsed = Parsed::parse(argv)?;
+    // Only `run` takes a positional (the spec file); everywhere else a
+    // stray argument is a mistake.
+    if parsed.command != "run" {
+        parsed.require_no_positionals()?;
+    }
     match parsed.command.as_str() {
         "derive" => cmd_derive(&parsed),
         "naive" => cmd_naive(&parsed),
@@ -71,6 +77,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "audit" => cmd_audit(&parsed),
         "simulate" => cmd_simulate(&parsed),
         "campaign" => cmd_campaign(&parsed),
+        "run" => cmd_run(&parsed),
+        "export-spec" => cmd_export_spec(&parsed),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -315,25 +323,20 @@ fn parse_access(token: &str) -> Result<AccessKind, CliError> {
     }
 }
 
-/// `rrb campaign`: expand a parameter grid into scenarios, execute the
-/// deduplicated run plan across `--jobs` worker threads, and print the
-/// results as text, JSON, or CSV. Output is byte-identical for every
-/// `--jobs` value.
-fn cmd_campaign(parsed: &Parsed) -> Result<String, CliError> {
+/// Resolves the grid flags (`--scenario`, `--arbiters`, `--grid-cores`,
+/// `--accesses`, `--contenders`, `--iterations`, `--max-k`, …) into a
+/// [`CampaignGrid`] over the `machine_from` base — shared by
+/// `rrb campaign` (which runs it) and `rrb export-spec` (which
+/// serialises it), so the two can never disagree about what a flag set
+/// means.
+fn grid_from(parsed: &Parsed) -> Result<CampaignGrid, CliError> {
     let base = machine_from(parsed)?;
-    let scenario = match parsed.get("scenario").unwrap_or("derive") {
-        "derive" => GridScenario::Derive,
-        "naive" => GridScenario::Naive,
-        "sweep" => GridScenario::Sweep,
-        "validate" => GridScenario::ValidateGamma,
-        other => {
-            return Err(CliError::UnknownChoice {
-                flag: "scenario",
-                value: other.to_string(),
-                allowed: "derive, naive, sweep, validate",
-            })
-        }
-    };
+    let scenario_token = parsed.get("scenario").unwrap_or("derive");
+    let scenario: GridScenario = scenario_token.parse().map_err(|_| CliError::UnknownChoice {
+        flag: "scenario",
+        value: scenario_token.to_string(),
+        allowed: ParseGridScenarioError::ALLOWED,
+    })?;
 
     let arbiters = parsed
         .get_list("arbiters", &[])
@@ -368,11 +371,15 @@ fn cmd_campaign(parsed: &Parsed) -> Result<String, CliError> {
     if !arbiters.is_empty() {
         grid = grid.arbiters(arbiters);
     }
+    Ok(grid)
+}
 
-    let default_jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let jobs = parsed.get_u64("jobs", default_jobs as u64)?.max(1) as usize;
-    let result = Campaign::builder().grid(&grid).jobs(jobs).build().run();
-
+/// Renders a campaign result per `--format` and writes it to `--out`
+/// (or returns it for stdout).
+fn render_result(
+    parsed: &Parsed,
+    result: &rrb::campaign::CampaignResult,
+) -> Result<String, CliError> {
     let rendered = match parsed.get("format").unwrap_or("text") {
         "text" => result.render_text(),
         "json" => result.to_json(),
@@ -385,12 +392,61 @@ fn cmd_campaign(parsed: &Parsed) -> Result<String, CliError> {
             })
         }
     };
+    write_or_return(parsed, rendered)
+}
 
+fn write_or_return(parsed: &Parsed, rendered: String) -> Result<String, CliError> {
     if let Some(path) = parsed.get("out") {
         std::fs::write(path, &rendered).map_err(|e| CliError::Tool(Box::new(e)))?;
         return Ok(format!("wrote {} bytes to {path}\n", rendered.len()));
     }
     Ok(rendered)
+}
+
+fn jobs_from(parsed: &Parsed) -> Result<usize, CliError> {
+    let default_jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Ok(parsed.get_u64("jobs", default_jobs as u64)?.max(1) as usize)
+}
+
+/// `rrb campaign`: expand a parameter grid into scenarios, execute the
+/// deduplicated run plan across `--jobs` worker threads, and print the
+/// results as text, JSON, or CSV. Output is byte-identical for every
+/// `--jobs` value.
+fn cmd_campaign(parsed: &Parsed) -> Result<String, CliError> {
+    let grid = grid_from(parsed)?;
+    let result = Campaign::builder().grid(&grid).jobs(jobs_from(parsed)?).build().run();
+    render_result(parsed, &result)
+}
+
+/// `rrb export-spec`: serialise the campaign a flag set describes into a
+/// declarative experiment file, so `rrb run <file>` reproduces
+/// `rrb campaign <same flags>` byte for byte.
+fn cmd_export_spec(parsed: &Parsed) -> Result<String, CliError> {
+    let grid = grid_from(parsed)?;
+    let spec = ExperimentSpec::from_grid(parsed.get("name").unwrap_or("campaign"), &grid);
+    write_or_return(parsed, spec.to_text())
+}
+
+/// `rrb run <spec.json>`: parse, validate, and execute a declarative
+/// experiment file through the same campaign runner the flag-driven
+/// commands use. `--jobs`, `--format`, and `--out` stay runtime
+/// choices — `--jobs` never changes the serialised json/csv bytes (the
+/// text format's trailing stats line does report the job count).
+fn cmd_run(parsed: &Parsed) -> Result<String, CliError> {
+    let path = match parsed.positionals() {
+        [path] => path,
+        [] => {
+            return Err(CliError::Args(ParseArgsError::MissingValue(String::from(
+                "spec file (usage: rrb run <spec.json>)",
+            ))))
+        }
+        [_, extra, ..] => {
+            return Err(CliError::Args(ParseArgsError::UnexpectedPositional(extra.clone())))
+        }
+    };
+    let spec = ExperimentSpec::from_file(path).map_err(|e| CliError::Tool(Box::new(e)))?;
+    let result = spec.to_campaign(jobs_from(parsed)?).run();
+    render_result(parsed, &result)
 }
 
 fn help_text() -> String {
@@ -422,6 +478,13 @@ fn help_text() -> String {
                      [--contenders load,store] [--iterations 100,200]\n\
                      [--max-k N] [--jobs N] [--format text|json|csv]\n\
                      [--out FILE]\n\
+           export-spec  serialise the campaign the given flags describe\n\
+                     into a declarative experiment file (same flags as\n\
+                     campaign) [--name NAME] [--out FILE]\n\
+           run       execute an experiment file: rrb run <spec.json>\n\
+                     [--jobs N] [--format text|json|csv] [--out FILE]\n\
+                     (json/csv output is byte-identical to the\n\
+                     flag-driven campaign the spec was exported from)\n\
            help      this text\n",
     )
 }
@@ -492,6 +555,101 @@ mod tests {
     fn unknown_command_is_reported() {
         let e = run("frobnicate").expect_err("must fail");
         assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn stray_positionals_are_rejected_outside_run() {
+        let e = run("derive extra").expect_err("must fail");
+        assert!(e.to_string().contains("extra"), "{e}");
+    }
+
+    /// A scratch path in the target-adjacent temp dir, removed on drop.
+    struct TempFile(std::path::PathBuf);
+
+    impl TempFile {
+        fn new(name: &str) -> Self {
+            let path =
+                std::env::temp_dir().join(format!("rrb-cli-test-{}-{name}", std::process::id()));
+            TempFile(path)
+        }
+
+        fn as_str(&self) -> &str {
+            self.0.to_str().expect("utf-8 temp path")
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn export_spec_then_run_reproduces_the_flag_driven_campaign() {
+        let flags = "--arch toy --cores 4 --l-bus 2 --scenario derive \
+                     --arbiters rr,fifo --iterations 60 --max-k 14";
+        let spec_file = TempFile::new("roundtrip.json");
+        let exported =
+            run(&format!("export-spec {flags} --out {}", spec_file.as_str())).expect("export");
+        assert!(exported.contains("wrote"), "{exported}");
+
+        // The serialised formats must match across differing --jobs; the
+        // text format appends the execution-stats line (which reports the
+        // job count), so it is compared at equal --jobs.
+        for (format, spec_jobs) in [("json", 1), ("csv", 1), ("text", 2)] {
+            let direct = run(&format!("campaign {flags} --format {format} --jobs 2"))
+                .expect("flag campaign");
+            let via_spec =
+                run(&format!("run {} --format {format} --jobs {spec_jobs}", spec_file.as_str()))
+                    .expect("spec campaign");
+            assert_eq!(via_spec, direct, "--format {format} must match byte for byte");
+        }
+    }
+
+    #[test]
+    fn exported_spec_is_a_lossless_spec_file() {
+        let spec_file = TempFile::new("lossless.json");
+        run(&format!(
+            "export-spec --arch ref --topology bus+mc --mc-occupancy 4 --scenario sweep \
+             --grid-cores 2,4 --iterations 80 --max-k 10 --name ngmp --out {}",
+            spec_file.as_str()
+        ))
+        .expect("export");
+        let text = std::fs::read_to_string(spec_file.as_str()).expect("read");
+        let spec = ExperimentSpec::parse(&text).expect("parse");
+        assert_eq!(spec.name, "ngmp");
+        assert_eq!(spec.machine.num_cores, 4);
+        assert!(spec.machine.mc().is_some(), "mc flags must survive export");
+        assert_eq!(spec.to_text(), text, "the file is the canonical rendering");
+    }
+
+    #[test]
+    fn run_reports_missing_file_bad_spec_and_missing_argument() {
+        let e = run("run").expect_err("must fail");
+        assert!(e.to_string().contains("rrb run <spec.json>"), "{e}");
+        let e = run("run /nonexistent/spec.json").expect_err("must fail");
+        assert!(e.to_string().contains("No such file"), "{e}");
+        let bad = TempFile::new("bad.json");
+        std::fs::write(&bad.0, "{\"version\": 1}").expect("write");
+        let e = run(&format!("run {}", bad.as_str())).expect_err("must fail");
+        assert!(e.to_string().contains("name"), "{e}");
+        let e = run("run a.json b.json").expect_err("must fail");
+        assert!(e.to_string().contains("b.json"), "{e}");
+    }
+
+    #[test]
+    fn run_rejects_invalid_machine_specs_with_a_clear_error() {
+        // A structurally valid file whose machine cannot exist (0 cores):
+        // validation must catch it before any run is attempted.
+        let grid = CampaignGrid::new(GridScenario::Naive, {
+            let mut cfg = rrb_sim::MachineConfig::toy(4, 2);
+            cfg.num_cores = 0;
+            cfg
+        });
+        let file = TempFile::new("invalid-machine.json");
+        std::fs::write(&file.0, ExperimentSpec::from_grid("bad", &grid).to_text()).expect("write");
+        let e = run(&format!("run {}", file.as_str())).expect_err("must fail");
+        assert!(e.to_string().contains("num_cores"), "{e}");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! rrb campaign [--scenario derive|naive|sweep|validate]
 //!             [--arbiters rr,fp,...] [--grid-cores 2,3,4]
 //!             [--jobs N] [--format text|json|csv] [--out FILE]
+//! rrb export-spec [same flags as campaign] [--name NAME] [--out FILE]
+//! rrb run <spec.json> [--jobs N] [--format text|json|csv] [--out FILE]
 //! ```
 //!
 //! Run `rrb help` for details.

@@ -23,17 +23,18 @@
 //! assert_eq!(serial.reports[0].metric_u64("ubd_m"), Some(6));
 //! ```
 
-use crate::json::{csv_field, Json};
+use crate::json::{csv_field, Fnv64Hasher, Json};
 use crate::methodology::{MethodologyConfig, UbdScenario};
 use crate::naive::NaiveScenario;
 use crate::scenario::{RunOutcome, Scenario, ScenarioReport, SweepScenario};
 use crate::validation::GammaValidationScenario;
 use rrb_analysis::Histogram;
-use rrb_kernels::{rsk, rsk_nop, AccessKind};
+use rrb_kernels::{rsk_nop, AccessKind, KernelSpec};
 use rrb_sim::{ArbiterKind, CoreId, Machine, MachineConfig, Program, SimError};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -80,27 +81,72 @@ impl RunSpec {
         scua: Program,
         access: AccessKind,
     ) -> Self {
-        let contenders = (1..cfg.num_cores).map(|i| rsk(access, &cfg, CoreId::new(i))).collect();
+        let spec = KernelSpec::Rsk { access };
+        let contenders = (1..cfg.num_cores).map(|i| spec.build(&cfg, CoreId::new(i))).collect();
         RunSpec { label: label.into(), cfg, scua, contenders }
     }
 
-    /// The deduplication key: everything that determines the (fully
-    /// deterministic) measurement — configuration and workload, but not
-    /// the label.
-    fn key(&self) -> RunKey {
-        RunKey {
-            cfg: self.cfg.clone(),
-            scua: self.scua.clone(),
-            contenders: self.contenders.clone(),
-        }
+    /// A run built entirely from declarative [`KernelSpec`]s: the scua
+    /// spec materialises on core 0, `contenders[i]` on core `i + 1`.
+    /// This is how experiment files enter the runner — the spec is data,
+    /// the programs are derived here.
+    pub fn from_kernels(
+        label: impl Into<String>,
+        cfg: MachineConfig,
+        scua: &KernelSpec,
+        contenders: &[KernelSpec],
+    ) -> Self {
+        let scua_program = scua.build(&cfg, CoreId::new(0));
+        let contender_programs =
+            contenders.iter().enumerate().map(|(i, k)| k.build(&cfg, CoreId::new(i + 1))).collect();
+        RunSpec { label: label.into(), cfg, scua: scua_program, contenders: contender_programs }
+    }
+
+    /// The deduplication key: a 64-bit FNV-1a digest of everything that
+    /// determines the (fully deterministic) measurement — configuration
+    /// and workload, but **not** the label. Two runs with equal hashes
+    /// *and* equal measurement fields are executed once and share the
+    /// result (the dedup tables confirm equality on every hash hit, so a
+    /// collision costs one extra comparison, never a wrong measurement);
+    /// the digest has no random state, so it is stable across processes
+    /// on one platform.
+    pub fn spec_hash(&self) -> u64 {
+        let mut h = Fnv64Hasher::new();
+        self.cfg.hash(&mut h);
+        self.scua.hash(&mut h);
+        self.contenders.hash(&mut h);
+        h.finish()
+    }
+
+    /// Whether two specs describe the same measurement (labels ignored) —
+    /// the equality that [`RunSpec::spec_hash`] approximates.
+    fn same_measurement(&self, other: &RunSpec) -> bool {
+        self.cfg == other.cfg && self.scua == other.scua && self.contenders == other.contenders
     }
 }
 
-#[derive(PartialEq, Eq, Hash)]
-struct RunKey {
-    cfg: MachineConfig,
-    scua: Program,
-    contenders: Vec<Program>,
+/// The deduplication table behind campaign planning: specs keyed by
+/// [`RunSpec::spec_hash`], with a structural [`RunSpec::same_measurement`]
+/// check on every hash hit so an FNV collision can only cost an extra
+/// comparison, never alias two different runs onto one measurement.
+#[derive(Default)]
+struct DedupTable {
+    by_hash: HashMap<u64, Vec<usize>>,
+}
+
+impl DedupTable {
+    /// Returns the index of `spec` in `unique`, appending it if no
+    /// equal-measurement spec is present yet.
+    fn intern(&mut self, spec: &RunSpec, unique: &mut Vec<RunSpec>) -> usize {
+        let candidates = self.by_hash.entry(spec.spec_hash()).or_default();
+        if let Some(&idx) = candidates.iter().find(|&&idx| unique[idx].same_measurement(spec)) {
+            return idx;
+        }
+        let idx = unique.len();
+        unique.push(spec.clone());
+        candidates.push(idx);
+        idx
+    }
 }
 
 /// Everything measured about the scua in one run.
@@ -265,19 +311,10 @@ pub fn execute_plan_deduped(
     jobs: usize,
 ) -> Vec<Result<RunMeasurement, RunError>> {
     let mut unique: Vec<RunSpec> = Vec::new();
-    let mut seen: HashMap<RunKey, usize> = HashMap::new();
+    let mut seen = DedupTable::default();
     let mut indices = Vec::with_capacity(specs.len());
     for spec in specs {
-        let idx = match seen.entry(spec.key()) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let idx = unique.len();
-                unique.push(spec.clone());
-                e.insert(idx);
-                idx
-            }
-        };
-        indices.push(idx);
+        indices.push(seen.intern(spec, &mut unique));
     }
     let results = execute_plan(&unique, jobs);
     indices.into_iter().map(|idx| results[idx].clone()).collect()
@@ -555,9 +592,12 @@ impl Campaign {
         let plans: Vec<_> = self.scenarios.iter().map(|s| (s.name(), s.plan())).collect();
 
         // Phase 2: build the deduplicated execution plan. `mapping`
-        // records, for every planned run, its index in `unique`.
+        // records, for every planned run, its index in `unique`. Runs
+        // are keyed by their stable FNV spec hash (label excluded), so
+        // identical (configuration, workload) pairs — shared isolated
+        // baselines in particular — execute once.
         let mut unique: Vec<RunSpec> = Vec::new();
-        let mut seen: HashMap<RunKey, usize> = HashMap::new();
+        let mut seen = DedupTable::default();
         let mut mapping: Vec<Vec<usize>> = Vec::with_capacity(plans.len());
         let mut planned_runs = 0usize;
         for (_, plan) in &plans {
@@ -566,15 +606,7 @@ impl Campaign {
                 planned_runs += specs.len();
                 for spec in specs {
                     let idx = if self.dedup {
-                        match seen.entry(spec.key()) {
-                            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-                            std::collections::hash_map::Entry::Vacant(e) => {
-                                let idx = unique.len();
-                                unique.push(spec.clone());
-                                e.insert(idx);
-                                idx
-                            }
-                        }
+                        seen.intern(spec, &mut unique)
                     } else {
                         let idx = unique.len();
                         unique.push(spec.clone());
@@ -664,6 +696,51 @@ impl GridScenario {
             GridScenario::Naive => "naive",
             GridScenario::Sweep => "sweep",
             GridScenario::ValidateGamma => "validate",
+        }
+    }
+}
+
+impl fmt::Display for GridScenario {
+    /// The canonical token (`derive`, `naive`, `sweep`, `validate`)
+    /// used in scenario names, CLI flags, and experiment files;
+    /// round-tripped by [`GridScenario::from_str`].
+    ///
+    /// [`GridScenario::from_str`]: std::str::FromStr::from_str
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.slug())
+    }
+}
+
+/// A scenario token that `GridScenario::from_str` could not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGridScenarioError {
+    /// The offending token.
+    pub token: String,
+}
+
+impl ParseGridScenarioError {
+    /// The canonical tokens, for error messages and CLI help.
+    pub const ALLOWED: &'static str = "derive, naive, sweep, validate";
+}
+
+impl fmt::Display for ParseGridScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown scenario `{}` (expected one of: {})", self.token, Self::ALLOWED)
+    }
+}
+
+impl Error for ParseGridScenarioError {}
+
+impl std::str::FromStr for GridScenario {
+    type Err = ParseGridScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "derive" => Ok(GridScenario::Derive),
+            "naive" => Ok(GridScenario::Naive),
+            "sweep" => Ok(GridScenario::Sweep),
+            "validate" => Ok(GridScenario::ValidateGamma),
+            other => Err(ParseGridScenarioError { token: other.to_string() }),
         }
     }
 }
@@ -866,7 +943,7 @@ impl CampaignGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rrb_kernels::rsk_nop;
+    use rrb_kernels::{rsk, rsk_nop};
 
     fn toy() -> MachineConfig {
         MachineConfig::toy(4, 2)
@@ -932,6 +1009,39 @@ mod tests {
         let serial = execute_plan(&specs, 1);
         let parallel = execute_plan(&specs, 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn spec_hash_ignores_labels_and_separates_everything_else() {
+        let cfg = toy();
+        let scua = rsk_nop(AccessKind::Load, 1, &cfg, CoreId::new(0), 40);
+        let a = RunSpec::isolated("a", cfg.clone(), scua.clone());
+        let b = RunSpec::isolated("totally different label", cfg.clone(), scua.clone());
+        assert_eq!(a.spec_hash(), b.spec_hash(), "labels are not part of the measurement");
+        assert_eq!(a.spec_hash(), a.spec_hash(), "the digest is deterministic");
+        let mut other_cfg = cfg.clone();
+        other_cfg.topology.bus.l2_hit_occupancy += 1;
+        assert_ne!(a.spec_hash(), RunSpec::isolated("a", other_cfg, scua.clone()).spec_hash());
+        let other_scua = rsk_nop(AccessKind::Load, 2, &cfg, CoreId::new(0), 40);
+        assert_ne!(a.spec_hash(), RunSpec::isolated("a", cfg.clone(), other_scua).spec_hash());
+        let contended = RunSpec::contended_rsk("a", cfg, scua, AccessKind::Load);
+        assert_ne!(a.spec_hash(), contended.spec_hash());
+    }
+
+    #[test]
+    fn from_kernels_matches_the_direct_constructors() {
+        let cfg = toy();
+        let scua_spec = KernelSpec::RskNop { access: AccessKind::Load, nops: 1, iterations: 40 };
+        let contenders = vec![KernelSpec::Rsk { access: AccessKind::Store }; cfg.num_cores - 1];
+        let via_spec = RunSpec::from_kernels("r", cfg.clone(), &scua_spec, &contenders);
+        let direct = RunSpec::contended_rsk(
+            "r",
+            cfg.clone(),
+            rsk_nop(AccessKind::Load, 1, &cfg, CoreId::new(0), 40),
+            AccessKind::Store,
+        );
+        assert_eq!(via_spec, direct);
+        assert_eq!(via_spec.spec_hash(), direct.spec_hash());
     }
 
     #[test]

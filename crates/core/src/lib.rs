@@ -27,7 +27,11 @@
 //!   with output bit-identical between serial and parallel execution;
 //! * the shared single-run harness ([`experiment`]) behind the
 //!   scenarios, and plain-text reporting ([`report`]) used by the figure
-//!   regenerators.
+//!   regenerators;
+//! * **experiments as data** ([`spec`]): an [`ExperimentSpec`] is a
+//!   fully declarative, JSON-serialisable description of a campaign —
+//!   machine, grid axes, per-core kernels — that round-trips losslessly
+//!   through [`json`] and runs via `rrb run <spec.json>`.
 //!
 //! ## Quick start: one derivation
 //!
@@ -80,6 +84,7 @@ pub mod methodology;
 pub mod naive;
 pub mod report;
 pub mod scenario;
+pub mod spec;
 pub mod validation;
 
 /// Re-export of the simulator substrate.
@@ -91,9 +96,11 @@ pub use rrb_sim as sim;
 
 pub use campaign::{
     execute_plan, execute_run, Campaign, CampaignBuilder, CampaignGrid, CampaignResult,
-    CampaignStats, GridScenario, RunError, RunMeasurement, RunRecord, RunSpec,
+    CampaignStats, GridScenario, ParseGridScenarioError, RunError, RunMeasurement, RunRecord,
+    RunSpec,
 };
 pub use experiment::{ContendedRun, IsolatedRun, SlowdownMeasurement};
+pub use json::{fnv1a_64, Fnv64Hasher, Json, JsonParseError};
 pub use mbta::{BoundValidation, MbtaAnalysis, TaskBound, TaskSpec};
 pub use methodology::{
     derive_ubd, derive_ubd_repeated, derive_ubd_repeated_jobs, store_tooth_check,
@@ -103,6 +110,9 @@ pub use methodology::{
 pub use naive::{naive_rsk_vs_rsk, naive_scua_vs_rsk, NaiveEstimate, NaiveScenario};
 pub use scenario::{
     Metric, MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport, SweepScenario,
+};
+pub use spec::{
+    ExperimentSpec, GridSpec, MachineSpec, SpecError, WorkloadCase, WorkloadScenario, SPEC_VERSION,
 };
 pub use validation::{
     validate_gamma_model, GammaComparison, GammaValidationScenario, ValidationReport,

@@ -24,8 +24,8 @@
 use crate::campaign::{execute_plan, execute_plan_deduped, RunError, RunSpec};
 use crate::scenario::{MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport};
 use rrb_analysis::sawtooth::{detect_period, ubd_candidates, PeriodEstimate};
-use rrb_kernels::{estimate_delta_nop, nop_kernel, AccessKind, RskBuilder};
-use rrb_sim::{CoreId, MachineConfig, ResourceKind, SimError};
+use rrb_kernels::{estimate_delta_nop, nop_kernel, AccessKind, KernelSpec};
+use rrb_sim::{MachineConfig, ResourceKind, SimError};
 use std::error::Error;
 use std::fmt;
 
@@ -374,27 +374,36 @@ impl Scenario for UbdScenario {
     fn plan(&self) -> Result<Vec<RunSpec>, ScenarioError> {
         self.machine.validate().map_err(SimError::from)?;
         let mcfg = &self.methodology;
+        // The whole plan is declarative: each run is a KernelSpec per
+        // core, and the programs are derived from the specs.
+        let contenders = vec![
+            KernelSpec::Rsk { access: mcfg.contender_access };
+            self.machine.num_cores.saturating_sub(1)
+        ];
         let mut specs = Vec::with_capacity(1 + 2 * (mcfg.max_k + 1));
-        specs.push(RunSpec::isolated(
+        specs.push(RunSpec::from_kernels(
             "calibration",
             self.machine.clone(),
-            nop_kernel(&self.machine, mcfg.calibration_iterations),
+            &KernelSpec::Nop { iterations: mcfg.calibration_iterations },
+            &[],
         ));
         for k in 0..=mcfg.max_k {
-            let scua = RskBuilder::new(mcfg.access)
-                .nops(k)
-                .iterations(mcfg.iterations)
-                .build(&self.machine, CoreId::new(0));
-            specs.push(RunSpec::isolated(
+            let scua = KernelSpec::RskNop {
+                access: mcfg.access,
+                nops: k as u64,
+                iterations: mcfg.iterations,
+            };
+            specs.push(RunSpec::from_kernels(
                 format!("k={k}/isolated"),
                 self.machine.clone(),
-                scua.clone(),
+                &scua,
+                &[],
             ));
-            specs.push(RunSpec::contended_rsk(
+            specs.push(RunSpec::from_kernels(
                 format!("k={k}/contended"),
                 self.machine.clone(),
-                scua,
-                mcfg.contender_access,
+                &scua,
+                &contenders,
             ));
         }
         Ok(specs)

@@ -23,8 +23,8 @@
 use crate::campaign::{RunError, RunMeasurement, RunSpec};
 use crate::json::Json;
 use rrb_analysis::sawtooth::detect_period;
-use rrb_kernels::{AccessKind, RskBuilder};
-use rrb_sim::{CoreId, MachineConfig, SimError};
+use rrb_kernels::{AccessKind, KernelSpec};
+use rrb_sim::{MachineConfig, SimError};
 use std::error::Error;
 use std::fmt;
 
@@ -312,22 +312,28 @@ impl Scenario for SweepScenario {
 
     fn plan(&self) -> Result<Vec<RunSpec>, ScenarioError> {
         self.machine.validate().map_err(SimError::from)?;
+        let contenders = vec![
+            KernelSpec::Rsk { access: self.contender_access };
+            self.machine.num_cores.saturating_sub(1)
+        ];
         let mut specs = Vec::with_capacity(2 * (self.max_k + 1));
         for k in 0..=self.max_k {
-            let scua = RskBuilder::new(self.access)
-                .nops(k)
-                .iterations(self.iterations)
-                .build(&self.machine, CoreId::new(0));
-            specs.push(RunSpec::isolated(
+            let scua = KernelSpec::RskNop {
+                access: self.access,
+                nops: k as u64,
+                iterations: self.iterations,
+            };
+            specs.push(RunSpec::from_kernels(
                 format!("k={k}/isolated"),
                 self.machine.clone(),
-                scua.clone(),
+                &scua,
+                &[],
             ));
-            specs.push(RunSpec::contended_rsk(
+            specs.push(RunSpec::from_kernels(
                 format!("k={k}/contended"),
                 self.machine.clone(),
-                scua,
-                self.contender_access,
+                &scua,
+                &contenders,
             ));
         }
         Ok(specs)

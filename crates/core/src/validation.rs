@@ -13,8 +13,8 @@
 use crate::campaign::{execute_plan, RunError, RunSpec};
 use crate::scenario::{MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport};
 use rrb_analysis::GammaModel;
-use rrb_kernels::{AccessKind, RskBuilder};
-use rrb_sim::{CoreId, MachineConfig, SimError};
+use rrb_kernels::{AccessKind, KernelSpec};
+use rrb_sim::{MachineConfig, SimError};
 use std::fmt;
 
 /// One δ point of a validation sweep.
@@ -146,17 +146,22 @@ impl Scenario for GammaValidationScenario {
 
     fn plan(&self) -> Result<Vec<RunSpec>, ScenarioError> {
         self.machine.validate().map_err(SimError::from)?;
+        let contenders = vec![
+            KernelSpec::Rsk { access: AccessKind::Load };
+            self.machine.num_cores.saturating_sub(1)
+        ];
         let mut specs = Vec::with_capacity(self.max_k as usize + 1);
         for k in 0..=self.max_k {
-            let scua = RskBuilder::new(AccessKind::Load)
-                .nops(k as usize)
-                .iterations(self.iterations)
-                .build(&self.machine, CoreId::new(0));
-            specs.push(RunSpec::contended_rsk(
+            let scua = KernelSpec::RskNop {
+                access: AccessKind::Load,
+                nops: k,
+                iterations: self.iterations,
+            };
+            specs.push(RunSpec::from_kernels(
                 format!("k={k}/contended"),
                 self.machine.clone(),
-                scua,
-                AccessKind::Load,
+                &scua,
+                &contenders,
             ));
         }
         Ok(specs)

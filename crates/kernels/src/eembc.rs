@@ -13,6 +13,7 @@
 use crate::rng::KernelRng;
 use rrb_sim::{Addr, CoreId, Instr, MachineConfig, Program};
 use std::fmt;
+use std::str::FromStr;
 
 /// Memory-access pattern of a profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +132,39 @@ impl fmt::Display for AutobenchKernel {
             AutobenchKernel::Ttsprk => "ttsprk",
         };
         write!(f, "{name}")
+    }
+}
+
+/// A kernel name that [`AutobenchKernel::from_str`] could not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKernelError {
+    /// The offending token.
+    pub token: String,
+}
+
+impl fmt::Display for ParseKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown Autobench kernel `{}`", self.token)?;
+        write!(f, " (expected one of:")?;
+        for k in AutobenchKernel::all() {
+            write!(f, " {k}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for ParseKernelError {}
+
+impl FromStr for AutobenchKernel {
+    type Err = ParseKernelError;
+
+    /// Parses the lowercase suite name emitted by `Display`
+    /// (`"canrdr"`, `"matrix"`, …), round-tripping every kernel.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AutobenchKernel::all()
+            .into_iter()
+            .find(|k| k.to_string() == s)
+            .ok_or_else(|| ParseKernelError { token: s.to_string() })
     }
 }
 

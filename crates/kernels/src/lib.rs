@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod eembc;
+pub mod kernel_spec;
 pub mod layout;
 pub mod nop_kernel;
 pub mod rng;
@@ -54,10 +55,11 @@ pub mod rsk;
 pub mod rsk_variants;
 pub mod workload;
 
-pub use eembc::{AutobenchKernel, AutobenchProfile, StridePattern};
+pub use eembc::{AutobenchKernel, AutobenchProfile, ParseKernelError, StridePattern};
+pub use kernel_spec::{KernelSpec, KernelSpecError};
 pub use layout::DataLayout;
 pub use nop_kernel::{estimate_delta_nop, nop_kernel};
 pub use rng::KernelRng;
-pub use rsk::{rsk, rsk_nop, AccessKind, RskBuilder};
+pub use rsk::{rsk, rsk_nop, AccessKind, ParseAccessError, RskBuilder};
 pub use rsk_variants::{rsk_capacity, rsk_l2_miss, rsk_mixed, rsk_pointer_chase};
-pub use workload::{random_eembc_workload, scua_vs_contenders, WorkloadSpec};
+pub use workload::{random_eembc_workload, scua_vs_contenders, WorkloadError, WorkloadSpec};

@@ -18,6 +18,7 @@
 use crate::layout::DataLayout;
 use rrb_sim::{CoreId, MachineConfig, Program, ProgramBuilder};
 use std::fmt;
+use std::str::FromStr;
 
 /// The type `t` of the bus-accessing instruction in `rsk(t)` and
 /// `rsk-nop(t, k)`.
@@ -31,10 +32,45 @@ pub enum AccessKind {
 }
 
 impl fmt::Display for AccessKind {
+    /// The canonical token (`load` / `store`), round-tripped by
+    /// [`AccessKind::from_str`] and shared by the CLI and the
+    /// experiment-file schema.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AccessKind::Load => write!(f, "load"),
             AccessKind::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// An access-kind token that [`AccessKind::from_str`] could not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAccessError {
+    /// The offending token.
+    pub token: String,
+}
+
+impl ParseAccessError {
+    /// The canonical tokens, for error messages and CLI help.
+    pub const ALLOWED: &'static str = "load, store";
+}
+
+impl fmt::Display for ParseAccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown access kind `{}` (expected one of: {})", self.token, Self::ALLOWED)
+    }
+}
+
+impl std::error::Error for ParseAccessError {}
+
+impl FromStr for AccessKind {
+    type Err = ParseAccessError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "load" => Ok(AccessKind::Load),
+            "store" => Ok(AccessKind::Store),
+            other => Err(ParseAccessError { token: other.to_string() }),
         }
     }
 }

@@ -9,8 +9,35 @@
 //!   Fig. 6(a).
 
 use crate::eembc::AutobenchKernel;
+use crate::kernel_spec::KernelSpec;
 use crate::rng::KernelRng;
 use rrb_sim::{CoreId, Machine, MachineConfig, Program, SimError};
+use std::fmt;
+
+/// Why a [`WorkloadSpec`] could not be assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The scua core index does not name one of the workload's programs.
+    ScuaOutOfRange {
+        /// The requested scua core.
+        scua: usize,
+        /// How many per-core programs the workload has.
+        programs: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ScuaOutOfRange { scua, programs } => write!(
+                f,
+                "scua core {scua} is out of range for a workload of {programs} program(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// A complete per-core program assignment.
 #[derive(Debug, Clone)]
@@ -24,12 +51,19 @@ impl WorkloadSpec {
     /// A workload from explicit per-core programs; `scua` marks the
     /// observed core.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `scua` is out of range.
-    pub fn new(programs: Vec<Program>, scua: CoreId) -> Self {
-        assert!(scua.index() < programs.len(), "scua core out of range");
-        WorkloadSpec { programs, scua }
+    /// Returns [`WorkloadError::ScuaOutOfRange`] when `scua` does not
+    /// name one of `programs` — a recoverable error rather than a panic,
+    /// so analyst-supplied experiment specs cannot abort the process.
+    pub fn try_new(programs: Vec<Program>, scua: CoreId) -> Result<Self, WorkloadError> {
+        if scua.index() >= programs.len() {
+            return Err(WorkloadError::ScuaOutOfRange {
+                scua: scua.index(),
+                programs: programs.len(),
+            });
+        }
+        Ok(WorkloadSpec { programs, scua })
     }
 
     /// The program of each core, in core order.
@@ -66,7 +100,7 @@ where
     for i in 1..cfg.num_cores {
         programs.push(contender_program(CoreId::new(i)));
     }
-    WorkloadSpec::new(programs, CoreId::new(0))
+    WorkloadSpec::try_new(programs, CoreId::new(0)).expect("core 0 always holds a program")
 }
 
 /// Draws a random `Nc`-task EEMBC workload (Fig. 6(a)'s "8 randomly
@@ -78,17 +112,16 @@ pub fn random_eembc_workload(cfg: &MachineConfig, seed: u64, scua_iterations: u6
     rng.shuffle(&mut kernels);
     let programs = (0..cfg.num_cores)
         .map(|i| {
-            let core = CoreId::new(i);
             let iters = if i == 0 { Some(scua_iterations) } else { None };
-            kernels[i % kernels.len()].profile().program(
-                cfg,
-                core,
-                seed.wrapping_add(i as u64),
-                iters,
-            )
+            KernelSpec::Eembc {
+                kernel: kernels[i % kernels.len()],
+                seed: seed.wrapping_add(i as u64),
+                iterations: iters,
+            }
+            .build(cfg, CoreId::new(i))
         })
         .collect();
-    WorkloadSpec::new(programs, CoreId::new(0))
+    WorkloadSpec::try_new(programs, CoreId::new(0)).expect("core 0 always holds a program")
 }
 
 #[cfg(test)]
@@ -142,8 +175,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scua core out of range")]
-    fn bad_scua_panics() {
-        let _ = WorkloadSpec::new(vec![Program::empty()], CoreId::new(3));
+    fn bad_scua_is_an_error_not_a_panic() {
+        let e =
+            WorkloadSpec::try_new(vec![Program::empty()], CoreId::new(3)).expect_err("must fail");
+        assert_eq!(e, WorkloadError::ScuaOutOfRange { scua: 3, programs: 1 });
+        assert!(e.to_string().contains("out of range"));
+        let e = WorkloadSpec::try_new(Vec::new(), CoreId::new(0)).expect_err("must fail");
+        assert!(matches!(e, WorkloadError::ScuaOutOfRange { programs: 0, .. }));
     }
 }

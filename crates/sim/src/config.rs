@@ -25,6 +25,7 @@
 use crate::bus::ArbiterKind;
 use crate::error::ConfigError;
 use crate::resource::ResourceKind;
+use std::str::FromStr;
 
 /// Cache replacement policy.
 ///
@@ -48,6 +49,48 @@ impl std::fmt::Display for Replacement {
             Replacement::Lru => write!(f, "LRU"),
             Replacement::Fifo => write!(f, "FIFO"),
             Replacement::Random => write!(f, "random"),
+        }
+    }
+}
+
+/// A replacement-policy token that [`Replacement::from_str`] could not
+/// parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseReplacementError {
+    /// The offending token.
+    pub token: String,
+}
+
+impl ParseReplacementError {
+    /// The canonical tokens, for error messages and CLI help.
+    pub const ALLOWED: &'static str = "lru, fifo, random";
+}
+
+impl std::fmt::Display for ParseReplacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown replacement policy `{}` (expected one of: {})",
+            self.token,
+            Self::ALLOWED
+        )
+    }
+}
+
+impl std::error::Error for ParseReplacementError {}
+
+impl FromStr for Replacement {
+    type Err = ParseReplacementError;
+
+    /// Parses a policy token, accepting both the lowercase canonical
+    /// form and the `Display` spelling (`LRU`, `FIFO`, `random`), so the
+    /// two directions round-trip.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lru" | "LRU" => Ok(Replacement::Lru),
+            "fifo" | "FIFO" => Ok(Replacement::Fifo),
+            "random" => Ok(Replacement::Random),
+            other => Err(ParseReplacementError { token: other.to_string() }),
         }
     }
 }

@@ -113,8 +113,8 @@ pub use bus::{
 };
 pub use cache::{Cache, CacheStats, Replacement};
 pub use config::{
-    BusConfig, CacheConfig, DramConfig, L2Config, MachineConfig, McQueueConfig, ResourceUbd,
-    StoreBufferConfig, Topology,
+    BusConfig, CacheConfig, DramConfig, L2Config, MachineConfig, McQueueConfig,
+    ParseReplacementError, ResourceUbd, StoreBufferConfig, Topology,
 };
 pub use error::{ConfigError, SimError};
 pub use instr::{Instr, Iterations, Program, ProgramBuilder};

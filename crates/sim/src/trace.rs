@@ -116,19 +116,58 @@ impl Trace {
         self.events.clear();
     }
 
-    /// Renders an ASCII Gantt chart of **bus** occupancy over
-    /// `[from, to)`, one row per core — the shape of the paper's
-    /// Figures 2 and 5. `#` marks occupied cycles, `.` marks cycles where
-    /// the core had a ready-but-waiting request, and spaces are idle.
-    /// Events of other resources (the controller queue on two-level
-    /// topologies) are ignored; use [`Trace::events`] with
-    /// [`TraceEvent::resource`] to inspect them.
+    /// Renders an ASCII Gantt chart of resource occupancy over
+    /// `[from, to)` — the shape of the paper's Figures 2 and 5. `#` marks
+    /// occupied cycles, `.` marks cycles where the core had a
+    /// ready-but-waiting request, and spaces are idle.
+    ///
+    /// On single-bus traces the output is one row per core
+    /// (`c0 |..###|`). When the trace carries memory-controller events
+    /// (two-level topologies), each core gets one row per resource,
+    /// labelled `c0 bus` / `c0 mc`, so both contention points are
+    /// inspectable on the same time axis.
     pub fn gantt(&self, num_cores: usize, from: Cycle, to: Cycle) -> String {
+        let has_mc = self.events.iter().any(|e| e.resource() == ResourceId::MEMORY_CONTROLLER);
+        let mut out = String::new();
+        let bus_rows = self.rows_for(ResourceId::BUS, num_cores, from, to);
+        let mc_rows = if has_mc {
+            Some(self.rows_for(ResourceId::MEMORY_CONTROLLER, num_cores, from, to))
+        } else {
+            None
+        };
+        for i in 0..num_cores {
+            match &mc_rows {
+                None => {
+                    out.push_str(&format!("c{i} |"));
+                    out.push_str(std::str::from_utf8(&bus_rows[i]).expect("ascii"));
+                    out.push_str("|\n");
+                }
+                Some(mc_rows) => {
+                    out.push_str(&format!("c{i} bus |"));
+                    out.push_str(std::str::from_utf8(&bus_rows[i]).expect("ascii"));
+                    out.push_str("|\n");
+                    out.push_str(&format!("c{i} mc  |"));
+                    out.push_str(std::str::from_utf8(&mc_rows[i]).expect("ascii"));
+                    out.push_str("|\n");
+                }
+            }
+        }
+        out
+    }
+
+    /// One occupancy row per core for the events of `resource`.
+    fn rows_for(
+        &self,
+        resource: ResourceId,
+        num_cores: usize,
+        from: Cycle,
+        to: Cycle,
+    ) -> Vec<Vec<u8>> {
         let width = (to - from) as usize;
         let mut rows = vec![vec![b' '; width]; num_cores];
         // Mark waiting periods first so grants can overwrite them.
         let mut ready_at: Vec<Option<Cycle>> = vec![None; num_cores];
-        for ev in self.events.iter().filter(|e| e.resource() == ResourceId::BUS) {
+        for ev in self.events.iter().filter(|e| e.resource() == resource) {
             match *ev {
                 TraceEvent::Ready { core, cycle, .. } => {
                     ready_at[core.index()] = Some(cycle);
@@ -150,13 +189,7 @@ impl Trace {
                 TraceEvent::Complete { .. } => {}
             }
         }
-        let mut out = String::new();
-        for (i, row) in rows.iter().enumerate() {
-            out.push_str(&format!("c{i} |"));
-            out.push_str(std::str::from_utf8(row).expect("ascii"));
-            out.push_str("|\n");
-        }
-        out
+        rows
     }
 }
 
@@ -235,7 +268,7 @@ mod tests {
     }
 
     #[test]
-    fn gantt_ignores_non_bus_resources() {
+    fn gantt_renders_mc_rows_without_painting_bus_rows() {
         let mut t = Trace::new(true);
         t.push(TraceEvent::Grant {
             resource: ResourceId::MEMORY_CONTROLLER,
@@ -246,7 +279,54 @@ mod tests {
             kind: BusOpKind::Load,
         });
         assert_eq!(t.events()[0].resource(), ResourceId::MEMORY_CONTROLLER);
-        assert_eq!(t.gantt(1, 0, 4), "c0 |    |\n", "mc occupancy must not paint bus rows");
+        assert_eq!(
+            t.gantt(1, 0, 4),
+            "c0 bus |    |\nc0 mc  |####|\n",
+            "mc occupancy must get its own row, not paint the bus row"
+        );
+    }
+
+    #[test]
+    fn gantt_two_level_rows_share_the_time_axis() {
+        // An L2 miss: bus request phase, then controller admission with a
+        // wait, per core. Bus-only traces must keep the one-row form.
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Ready {
+            resource: ResourceId::BUS,
+            core: CoreId::new(1),
+            cycle: 0,
+            kind: BusOpKind::Load,
+        });
+        t.push(TraceEvent::Grant {
+            resource: ResourceId::BUS,
+            core: CoreId::new(1),
+            cycle: 1,
+            gamma: 1,
+            occupancy: 2,
+            kind: BusOpKind::Load,
+        });
+        t.push(TraceEvent::Ready {
+            resource: ResourceId::MEMORY_CONTROLLER,
+            core: CoreId::new(1),
+            cycle: 3,
+            kind: BusOpKind::Load,
+        });
+        t.push(TraceEvent::Grant {
+            resource: ResourceId::MEMORY_CONTROLLER,
+            core: CoreId::new(1),
+            cycle: 5,
+            gamma: 2,
+            occupancy: 3,
+            kind: BusOpKind::Load,
+        });
+        let g = t.gantt(2, 0, 8);
+        assert_eq!(
+            g,
+            "c0 bus |        |\n\
+             c0 mc  |        |\n\
+             c1 bus |.##     |\n\
+             c1 mc  |   ..###|\n"
+        );
     }
 
     #[test]
