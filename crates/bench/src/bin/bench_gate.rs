@@ -1,0 +1,124 @@
+//! CI benchmark-regression gate: evaluates every baseline in
+//! `crates/bench/baselines/` against the fresh `BENCH_*.json` artifacts
+//! in the working directory and fails (exit 1) on any regression.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin bench_gate                # gate what exists
+//! cargo run --release -p rrb-bench --bin bench_gate -- --require-all
+//! ```
+//!
+//! With `--require-all`, a baseline whose artifact file is missing is a
+//! failure — CI passes it so a bench that silently stops producing its
+//! artifact cannot sneak past the gate. Baselines whose `applies_when`
+//! guard mismatches (e.g. strict full-run speedup floors against a
+//! `--quick` artifact) are skipped either way.
+//!
+//! To *accept* a perf change, edit the corresponding baseline under
+//! `crates/bench/baselines/` in the same PR — the gate never rewrites
+//! files. The check format is documented in [`rrb_bench::gate`].
+
+use rrb::json::Json;
+use rrb_bench::gate::{evaluate, parse_baseline};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn baseline_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|read| {
+            read.flatten()
+                .map(|f| f.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baselines_dir = String::from("crates/bench/baselines");
+    let mut artifacts_dir = String::from(".");
+    let mut require_all = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baselines" => baselines_dir = it.next().expect("--baselines needs a dir").clone(),
+            "--artifacts" => artifacts_dir = it.next().expect("--artifacts needs a dir").clone(),
+            "--require-all" => require_all = true,
+            other => {
+                eprintln!("bench_gate: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let files = baseline_files(Path::new(&baselines_dir));
+    if files.is_empty() {
+        eprintln!("bench_gate: no baselines under `{baselines_dir}`");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    let mut checks = 0usize;
+    for file in files {
+        let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("<baseline>").to_string();
+        let baseline = match std::fs::read_to_string(&file).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_baseline(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    println!("FAIL {name}: malformed baseline: {e}");
+                    failures += 1;
+                    continue;
+                }
+            },
+            Err(e) => {
+                println!("FAIL {name}: unreadable baseline: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let artifact_path = Path::new(&artifacts_dir).join(&baseline.artifact);
+        let artifact = match std::fs::read_to_string(&artifact_path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(v) => v,
+                Err(e) => {
+                    println!("FAIL {name}: {} is not valid JSON: {e}", baseline.artifact);
+                    failures += 1;
+                    continue;
+                }
+            },
+            Err(_) if require_all => {
+                println!(
+                    "FAIL {name}: artifact {} is missing (--require-all)",
+                    artifact_path.display()
+                );
+                failures += 1;
+                continue;
+            }
+            Err(_) => {
+                println!("SKIP {name}: artifact {} not present", artifact_path.display());
+                continue;
+            }
+        };
+        let eval = evaluate(&baseline, &artifact);
+        if let Some(reason) = eval.skipped {
+            println!("SKIP {name}: {reason}");
+            continue;
+        }
+        for outcome in &eval.outcomes {
+            checks += 1;
+            if !outcome.is_pass() {
+                failures += 1;
+            }
+            println!("{outcome}  [{name}]");
+        }
+    }
+
+    println!("\nbench_gate: {checks} check(s), {failures} failure(s)");
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

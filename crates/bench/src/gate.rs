@@ -1,0 +1,412 @@
+//! Benchmark-regression gating: checked-in baselines vs fresh
+//! `BENCH_*.json` artifacts.
+//!
+//! Every perf-bearing bench bin in this workspace writes a JSON
+//! artifact (`BENCH_simspeed.json`, `BENCH_campaign.json`,
+//! `BENCH_cache.json`). Before this module those numbers were printed
+//! and thrown away; now `crates/bench/baselines/*.json` pin the
+//! invariants each artifact must keep — with explicit tolerances — and
+//! the `bench_gate` bin fails CI when one regresses.
+//!
+//! A baseline file looks like:
+//!
+//! ```json
+//! {
+//!   "artifact": "BENCH_simspeed.json",
+//!   "applies_when": { "quick": false },
+//!   "checks": [
+//!     { "metric": "workloads[0].speedup", "min": 3.0,
+//!       "reason": "quiescence-skip speedup on the dram-bound workload" },
+//!     { "metric": "workloads[0].stepped_cycles", "max": 0.1,
+//!       "ratio_of": "workloads[0].simulated_cycles",
+//!       "reason": "share of cycles actually stepped" },
+//!     { "metric": "campaign_runs", "eq": 115,
+//!       "reason": "the benchmark grid is fixed" }
+//!   ]
+//! }
+//! ```
+//!
+//! * `metric` is a dotted path with `[i]` indexing into the artifact.
+//! * `min` / `max` bound the metric (or, with `ratio_of`, the ratio
+//!   `metric / ratio_of`) — this is where tolerances live: bounds are
+//!   deliberately looser than the recorded numbers so scheduler noise
+//!   on shared CI runners cannot flake the gate, while a real
+//!   regression (e.g. the quiescence skip dropping under 3×) still
+//!   trips it.
+//! * `eq` pins deterministic values exactly (run counts, bools).
+//! * `applies_when` skips the baseline unless the artifact matches
+//!   (e.g. strict speedup floors only for full, non-`--quick` runs).
+//!
+//! Updating a baseline is a reviewed change by construction: the gate
+//! never rewrites files, so a perf regression can only be accepted by
+//! editing the checked-in JSON in the same PR that causes it.
+
+use rrb::json::Json;
+use std::fmt;
+
+/// One pinned invariant of a benchmark artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Dotted path (with `[i]` indexing) of the gated metric.
+    pub metric: String,
+    /// Optional denominator path: bounds then apply to the ratio.
+    pub ratio_of: Option<String>,
+    /// Inclusive lower bound.
+    pub min: Option<f64>,
+    /// Inclusive upper bound.
+    pub max: Option<f64>,
+    /// Exact expected value (numbers compare numerically, bools and
+    /// strings structurally).
+    pub eq: Option<Json>,
+    /// Why this invariant matters — shown on failure.
+    pub reason: String,
+}
+
+/// A parsed baseline file: which artifact it gates, when it applies,
+/// and the checks themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// File name of the gated artifact (e.g. `BENCH_simspeed.json`).
+    pub artifact: String,
+    /// `(path, expected)` guards: the baseline is skipped unless every
+    /// guard matches the artifact.
+    pub applies_when: Vec<(String, Json)>,
+    /// The pinned invariants.
+    pub checks: Vec<Check>,
+}
+
+/// The outcome of one check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The invariant holds. The message describes value vs bound.
+    Pass(String),
+    /// The invariant is violated (or the metric is missing/mistyped).
+    Fail(String),
+}
+
+impl Outcome {
+    /// Whether this outcome is a pass.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Outcome::Pass(_))
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Pass(msg) => write!(f, "PASS {msg}"),
+            Outcome::Fail(msg) => write!(f, "FAIL {msg}"),
+        }
+    }
+}
+
+/// One baseline evaluated against one artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// `Some(reason)` when the baseline did not apply (an
+    /// `applies_when` guard mismatched) and no checks ran.
+    pub skipped: Option<String>,
+    /// Per-check outcomes, in baseline order.
+    pub outcomes: Vec<Outcome>,
+}
+
+impl Evaluation {
+    /// Whether every executed check passed (a skipped baseline passes).
+    pub fn is_pass(&self) -> bool {
+        self.outcomes.iter().all(Outcome::is_pass)
+    }
+}
+
+/// Looks up a dotted path with `[i]` indexing (`workloads[0].speedup`)
+/// in a JSON document.
+pub fn lookup<'a>(doc: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut current = doc;
+    for segment in path.split('.') {
+        let (key, indexes) = match segment.find('[') {
+            Some(at) => (&segment[..at], &segment[at..]),
+            None => (segment, ""),
+        };
+        if !key.is_empty() {
+            current = current.get(key)?;
+        }
+        for index in indexes.split('[').filter(|s| !s.is_empty()) {
+            let index: usize = index.strip_suffix(']')?.parse().ok()?;
+            current = current.as_array()?.get(index)?;
+        }
+    }
+    Some(current)
+}
+
+fn scalar_to_string(v: &Json) -> String {
+    v.render_compact()
+}
+
+/// Parses a baseline document.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let v = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let artifact = v
+        .get("artifact")
+        .and_then(Json::as_str)
+        .ok_or("baseline needs a string `artifact` field")?
+        .to_string();
+    let applies_when = match v.get("applies_when") {
+        None => Vec::new(),
+        Some(guard) => guard
+            .as_object()
+            .ok_or("`applies_when` must be an object")?
+            .iter()
+            .map(|(k, val)| (k.clone(), val.clone()))
+            .collect(),
+    };
+    let checks_json =
+        v.get("checks").and_then(Json::as_array).ok_or("baseline needs a `checks` array")?;
+    let mut checks = Vec::with_capacity(checks_json.len());
+    for (i, c) in checks_json.iter().enumerate() {
+        let field_str = |key: &str| c.get(key).and_then(Json::as_str).map(str::to_string);
+        let field_f64 = |key: &str| c.get(key).and_then(Json::as_f64);
+        let check = Check {
+            metric: field_str("metric").ok_or(format!("checks[{i}] needs a `metric` path"))?,
+            ratio_of: field_str("ratio_of"),
+            min: field_f64("min"),
+            max: field_f64("max"),
+            eq: c.get("eq").cloned(),
+            reason: field_str("reason").ok_or(format!("checks[{i}] needs a `reason`"))?,
+        };
+        if check.min.is_none() && check.max.is_none() && check.eq.is_none() {
+            return Err(format!("checks[{i}] needs at least one of `min`, `max`, `eq`"));
+        }
+        if check.eq.is_some() && check.ratio_of.is_some() {
+            return Err(format!("checks[{i}]: `eq` and `ratio_of` do not compose"));
+        }
+        checks.push(check);
+    }
+    Ok(Baseline { artifact, applies_when, checks })
+}
+
+/// Evaluates one check against an artifact.
+pub fn evaluate_check(check: &Check, artifact: &Json) -> Outcome {
+    let Some(value) = lookup(artifact, &check.metric) else {
+        return Outcome::Fail(format!("{}: metric missing from artifact", check.metric));
+    };
+    if let Some(expected) = &check.eq {
+        // Numbers compare numerically so `eq: 115` matches a U64 115;
+        // everything else (bools, strings) compares structurally.
+        let equal = match (expected.as_f64(), value.as_f64()) {
+            (Some(e), Some(v)) => e == v,
+            _ => expected == value,
+        };
+        return if equal {
+            Outcome::Pass(format!(
+                "{} == {} ({})",
+                check.metric,
+                scalar_to_string(expected),
+                check.reason
+            ))
+        } else {
+            Outcome::Fail(format!(
+                "{}: expected {}, artifact has {} ({})",
+                check.metric,
+                scalar_to_string(expected),
+                scalar_to_string(value),
+                check.reason
+            ))
+        };
+    }
+    let Some(mut v) = value.as_f64() else {
+        return Outcome::Fail(format!("{}: not a number", check.metric));
+    };
+    let mut shown = check.metric.clone();
+    if let Some(denom_path) = &check.ratio_of {
+        let denom = lookup(artifact, denom_path).and_then(Json::as_f64);
+        let Some(denom) = denom.filter(|d| *d != 0.0) else {
+            return Outcome::Fail(format!("{denom_path}: missing or zero denominator"));
+        };
+        v /= denom;
+        shown = format!("{} / {}", check.metric, denom_path);
+    }
+    // NaN fails every bound: a poisoned metric must never pass a gate.
+    if let Some(min) = check.min {
+        if v.is_nan() || v < min {
+            return Outcome::Fail(format!(
+                "{shown} = {v:.4} < required minimum {min} ({})",
+                check.reason
+            ));
+        }
+    }
+    if let Some(max) = check.max {
+        if v.is_nan() || v > max {
+            return Outcome::Fail(format!(
+                "{shown} = {v:.4} > allowed maximum {max} ({})",
+                check.reason
+            ));
+        }
+    }
+    let bounds = match (check.min, check.max) {
+        (Some(min), Some(max)) => format!("within [{min}, {max}]"),
+        (Some(min), None) => format!(">= {min}"),
+        (None, Some(max)) => format!("<= {max}"),
+        (None, None) => String::from("unbounded"),
+    };
+    Outcome::Pass(format!("{shown} = {v:.4} {bounds} ({})", check.reason))
+}
+
+/// Evaluates a whole baseline against its artifact.
+pub fn evaluate(baseline: &Baseline, artifact: &Json) -> Evaluation {
+    for (path, expected) in &baseline.applies_when {
+        let actual = lookup(artifact, path);
+        if actual != Some(expected) {
+            return Evaluation {
+                skipped: Some(format!(
+                    "guard `{path}` is {} in the artifact, baseline wants {}",
+                    actual.map_or_else(|| String::from("absent"), scalar_to_string),
+                    scalar_to_string(expected),
+                )),
+                outcomes: Vec::new(),
+            };
+        }
+    }
+    Evaluation {
+        skipped: None,
+        outcomes: baseline.checks.iter().map(|c| evaluate_check(c, artifact)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> Json {
+        Json::parse(
+            r#"{
+                "bench": "simspeed",
+                "quick": false,
+                "workloads": [
+                    {"workload": "dram-bound", "simulated_cycles": 4000000,
+                     "stepped_cycles": 250000, "speedup": 9.02},
+                    {"workload": "bus-saturated", "simulated_cycles": 4000000,
+                     "stepped_cycles": 888907, "speedup": 1.95}
+                ],
+                "campaign_runs": 115,
+                "byte_identical": true
+            }"#,
+        )
+        .expect("artifact")
+    }
+
+    fn baseline(text: &str) -> Baseline {
+        parse_baseline(text).expect("baseline")
+    }
+
+    #[test]
+    fn lookup_follows_paths_and_indexes() {
+        let a = artifact();
+        assert_eq!(lookup(&a, "campaign_runs").and_then(Json::as_u64), Some(115));
+        assert_eq!(
+            lookup(&a, "workloads[1].workload").and_then(Json::as_str),
+            Some("bus-saturated")
+        );
+        assert_eq!(lookup(&a, "workloads[0].speedup").and_then(Json::as_f64), Some(9.02));
+        assert!(lookup(&a, "workloads[2].speedup").is_none());
+        assert!(lookup(&a, "nope.nope").is_none());
+    }
+
+    #[test]
+    fn a_seeded_synthetic_regression_fails_the_gate() {
+        let b = baseline(
+            r#"{"artifact": "BENCH_simspeed.json", "checks": [
+                {"metric": "workloads[0].speedup", "min": 3.0,
+                 "reason": "quiescence-skip speedup must stay >= 3x"}
+            ]}"#,
+        );
+        // Healthy artifact: passes.
+        assert!(evaluate(&b, &artifact()).is_pass());
+        // Seed a regression: the skip degraded to 2.4x.
+        let regressed = Json::parse(
+            &artifact().render_compact().replace("\"speedup\":9.02", "\"speedup\":2.4"),
+        )
+        .expect("regressed artifact");
+        let eval = evaluate(&b, &regressed);
+        assert!(!eval.is_pass(), "{eval:?}");
+        let msg = eval.outcomes[0].to_string();
+        assert!(msg.starts_with("FAIL"), "{msg}");
+        assert!(msg.contains("2.4") && msg.contains("required minimum 3"), "{msg}");
+    }
+
+    #[test]
+    fn ratio_eq_and_max_checks_work() {
+        let b = baseline(
+            r#"{"artifact": "BENCH_simspeed.json", "checks": [
+                {"metric": "workloads[0].stepped_cycles", "max": 0.1,
+                 "ratio_of": "workloads[0].simulated_cycles",
+                 "reason": "stepped share stays small"},
+                {"metric": "campaign_runs", "eq": 115, "reason": "fixed grid"},
+                {"metric": "byte_identical", "eq": true, "reason": "determinism"},
+                {"metric": "workloads[1].speedup", "max": 50.0, "reason": "sanity"}
+            ]}"#,
+        );
+        let eval = evaluate(&b, &artifact());
+        assert!(eval.is_pass(), "{eval:?}");
+
+        let broken = Json::parse(
+            &artifact()
+                .render_compact()
+                .replace("\"campaign_runs\":115", "\"campaign_runs\":114")
+                .replace("\"byte_identical\":true", "\"byte_identical\":false"),
+        )
+        .expect("broken");
+        let eval = evaluate(&b, &broken);
+        let fails: Vec<_> = eval.outcomes.iter().filter(|o| !o.is_pass()).collect();
+        assert_eq!(fails.len(), 2, "{eval:?}");
+    }
+
+    #[test]
+    fn applies_when_guards_skip_mismatched_artifacts() {
+        let b = baseline(
+            r#"{"artifact": "BENCH_simspeed.json",
+                "applies_when": {"quick": true},
+                "checks": [
+                    {"metric": "workloads[0].speedup", "min": 1000.0,
+                     "reason": "never evaluated"}
+                ]}"#,
+        );
+        let eval = evaluate(&b, &artifact());
+        assert!(eval.skipped.is_some(), "{eval:?}");
+        assert!(eval.is_pass(), "a skipped baseline cannot fail");
+    }
+
+    #[test]
+    fn missing_metrics_and_zero_denominators_fail_loudly() {
+        let b = baseline(
+            r#"{"artifact": "a.json", "checks": [
+                {"metric": "does.not.exist", "min": 0.0, "reason": "r"},
+                {"metric": "campaign_runs", "max": 1.0,
+                 "ratio_of": "does.not.exist", "reason": "r"}
+            ]}"#,
+        );
+        let eval = evaluate(&b, &artifact());
+        assert!(eval.outcomes.iter().all(|o| !o.is_pass()), "{eval:?}");
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected_with_a_reason() {
+        for (text, needle) in [
+            ("{", "not valid JSON"),
+            (r#"{"checks": []}"#, "artifact"),
+            (r#"{"artifact": "a.json"}"#, "checks"),
+            (r#"{"artifact": "a.json", "checks": [{"metric": "m", "reason": "r"}]}"#, "at least"),
+            (r#"{"artifact": "a.json", "checks": [{"metric": "m", "min": 1.0}]}"#, "reason"),
+            (
+                r#"{"artifact": "a.json",
+                    "checks": [{"metric": "m", "eq": 1, "ratio_of": "d", "reason": "r"}]}"#,
+                "compose",
+            ),
+        ] {
+            let e = parse_baseline(text).expect_err(text);
+            assert!(e.contains(needle), "`{text}` -> {e}");
+        }
+    }
+}

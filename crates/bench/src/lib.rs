@@ -3,6 +3,7 @@
 //! workspace needs no external bench framework and builds offline).
 #![allow(missing_docs)]
 
+pub mod gate;
 pub mod harness;
 
 pub use harness::{bench, BenchResult};

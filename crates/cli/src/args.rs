@@ -51,7 +51,7 @@ impl fmt::Display for ParseArgsError {
 impl std::error::Error for ParseArgsError {}
 
 /// Boolean flags that take no value.
-const SWITCHES: &[&str] = &["store-scua", "store-contenders", "verbose"];
+const SWITCHES: &[&str] = &["store-scua", "store-contenders", "verbose", "no-cache", "resume"];
 
 impl Parsed {
     /// Parses `argv` (without the program name).

@@ -8,12 +8,14 @@ use rrb::methodology::{derive_ubd, derive_ubd_repeated, store_tooth_check, Metho
 use rrb::naive::naive_rsk_vs_rsk;
 use rrb::report;
 use rrb::spec::ExperimentSpec;
+use rrb::store::{sim_fingerprint, write_file_atomic, ResultStore};
 use rrb::{MbtaAnalysis, TaskSpec};
 use rrb_analysis::GammaModel;
 use rrb_kernels::{random_eembc_workload, AccessKind, AutobenchKernel};
 use rrb_sim::{ArbiterKind, CoreId, MachineConfig, McQueueConfig};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// A top-level CLI failure.
 #[derive(Debug)]
@@ -31,6 +33,9 @@ pub enum CliError {
         /// Allowed values.
         allowed: &'static str,
     },
+    /// A usage mistake that is not a single bad flag value (conflicting
+    /// switches, a missing subcommand, …).
+    Usage(String),
     /// A toolkit operation failed.
     Tool(Box<dyn Error>),
 }
@@ -45,6 +50,7 @@ impl fmt::Display for CliError {
             CliError::UnknownChoice { flag, value, allowed } => {
                 write!(f, "--{flag}: unknown value `{value}` (expected one of: {allowed})")
             }
+            CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Tool(e) => write!(f, "{e}"),
         }
     }
@@ -65,9 +71,9 @@ impl From<ParseArgsError> for CliError {
 /// Returns [`CliError`] for malformed input or failed derivations.
 pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let parsed = Parsed::parse(argv)?;
-    // Only `run` takes a positional (the spec file); everywhere else a
-    // stray argument is a mistake.
-    if parsed.command != "run" {
+    // Only `run` (the spec file) and `cache` (the action) take a
+    // positional; everywhere else a stray argument is a mistake.
+    if parsed.command != "run" && parsed.command != "cache" {
         parsed.require_no_positionals()?;
     }
     match parsed.command.as_str() {
@@ -79,6 +85,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "campaign" => cmd_campaign(&parsed),
         "run" => cmd_run(&parsed),
         "export-spec" => cmd_export_spec(&parsed),
+        "cache" => cmd_cache(&parsed),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -397,7 +404,9 @@ fn render_result(
 
 fn write_or_return(parsed: &Parsed, rendered: String) -> Result<String, CliError> {
     if let Some(path) = parsed.get("out") {
-        std::fs::write(path, &rendered).map_err(|e| CliError::Tool(Box::new(e)))?;
+        // Atomic (temp file + rename), so an interrupted run never
+        // leaves a half-written results file at the requested path.
+        write_file_atomic(path, &rendered).map_err(|e| CliError::Tool(Box::new(e)))?;
         return Ok(format!("wrote {} bytes to {path}\n", rendered.len()));
     }
     Ok(rendered)
@@ -408,13 +417,65 @@ fn jobs_from(parsed: &Parsed) -> Result<usize, CliError> {
     Ok(parsed.get_u64("jobs", default_jobs as u64)?.max(1) as usize)
 }
 
+/// Resolves the persistent result store from `--cache-dir` /
+/// `RRB_CACHE_DIR` / `.rrb-cache`. Caching is on by default for the
+/// campaign-shaped commands — results are pure functions of their
+/// specs, so reuse is always sound and the output stays byte-identical.
+/// `--no-cache` opts out; `--resume` makes an unopenable store a hard
+/// error instead of a degraded cold run.
+fn store_from(parsed: &Parsed) -> Result<Option<Arc<ResultStore>>, CliError> {
+    let resume = parsed.get_switch("resume");
+    if parsed.get_switch("no-cache") {
+        if resume {
+            return Err(CliError::Usage(String::from(
+                "--resume and --no-cache contradict each other",
+            )));
+        }
+        return Ok(None);
+    }
+    let dir = ResultStore::resolve_dir(parsed.get("cache-dir"));
+    match ResultStore::open(&dir) {
+        Ok(store) => Ok(Some(Arc::new(store))),
+        Err(e) if resume => Err(CliError::Tool(Box::new(e))),
+        Err(e) => {
+            eprintln!("rrb: warning: result cache disabled: {e}");
+            Ok(None)
+        }
+    }
+}
+
+/// Reports store activity on stderr (never stdout: the rendered result
+/// must stay byte-identical across cold and warm runs).
+fn report_store_use(result: &rrb::campaign::CampaignResult, store: &ResultStore) {
+    for warning in &result.warnings {
+        eprintln!("rrb: warning: {warning}");
+    }
+    let s = &result.stats;
+    eprintln!(
+        "rrb: cache {}: {} of {} unique run(s) resumed, {} simulated, {} recorded",
+        store.dir().display(),
+        s.store_hits,
+        s.store_hits + s.executed_runs,
+        s.executed_runs,
+        s.store_writes,
+    );
+}
+
 /// `rrb campaign`: expand a parameter grid into scenarios, execute the
 /// deduplicated run plan across `--jobs` worker threads, and print the
 /// results as text, JSON, or CSV. Output is byte-identical for every
-/// `--jobs` value.
+/// `--jobs` value and every cache state.
 fn cmd_campaign(parsed: &Parsed) -> Result<String, CliError> {
     let grid = grid_from(parsed)?;
-    let result = Campaign::builder().grid(&grid).jobs(jobs_from(parsed)?).build().run();
+    let store = store_from(parsed)?;
+    let mut builder = Campaign::builder().grid(&grid).jobs(jobs_from(parsed)?);
+    if let Some(store) = &store {
+        builder = builder.store(store.clone());
+    }
+    let result = builder.build().run();
+    if let Some(store) = &store {
+        report_store_use(&result, store);
+    }
     render_result(parsed, &result)
 }
 
@@ -445,8 +506,101 @@ fn cmd_run(parsed: &Parsed) -> Result<String, CliError> {
         }
     };
     let spec = ExperimentSpec::from_file(path).map_err(|e| CliError::Tool(Box::new(e)))?;
-    let result = spec.to_campaign(jobs_from(parsed)?).run();
+    let store = store_from(parsed)?;
+    let mut builder = spec.to_campaign_builder(jobs_from(parsed)?);
+    if let Some(store) = &store {
+        builder = builder.store(store.clone());
+    }
+    let result = builder.build().run();
+    if let Some(store) = &store {
+        report_store_use(&result, store);
+    }
     render_result(parsed, &result)
+}
+
+/// `rrb cache <stats|verify|gc|fingerprint>`: inspect and maintain the
+/// persistent result store.
+fn cmd_cache(parsed: &Parsed) -> Result<String, CliError> {
+    const ACTIONS: &str = "stats, verify, gc, fingerprint";
+    let action = match parsed.positionals() {
+        [action] => action.as_str(),
+        [] => {
+            return Err(CliError::Usage(format!("usage: rrb cache <action> (one of: {ACTIONS})")))
+        }
+        [_, extra, ..] => {
+            return Err(CliError::Args(ParseArgsError::UnexpectedPositional(extra.clone())))
+        }
+    };
+    if action == "fingerprint" {
+        // The CI cache key: no store is opened or created.
+        return Ok(format!("{:016x}\n", sim_fingerprint()));
+    }
+    if !matches!(action, "stats" | "verify" | "gc") {
+        // Reject before opening: an unknown action must not create a
+        // store directory as a side effect.
+        return Err(CliError::Usage(format!(
+            "unknown cache action `{action}` (expected one of: {ACTIONS})"
+        )));
+    }
+    let dir = ResultStore::resolve_dir(parsed.get("cache-dir"));
+    let store = ResultStore::open(&dir).map_err(|e| CliError::Tool(Box::new(e)))?;
+    match action {
+        "stats" => {
+            let s = store.stats();
+            Ok(format!(
+                "result store     : {}\n\
+                 format version   : {}\n\
+                 sim fingerprint  : {:016x}\n\
+                 entries          : {}\n\
+                 entry bytes      : {}\n\
+                 temp files       : {}\n",
+                s.dir.display(),
+                s.format,
+                s.fingerprint,
+                s.entries,
+                s.bytes,
+                s.temp_files,
+            ))
+        }
+        "verify" => {
+            let report = store.verify();
+            if report.problems.is_empty() {
+                Ok(format!("verified {} entr(y/ies): all valid\n", report.ok))
+            } else {
+                let mut msg = format!(
+                    "cache verification failed: {} valid, {} problem(s):\n",
+                    report.ok,
+                    report.problems.len()
+                );
+                for (file, problem) in &report.problems {
+                    msg.push_str(&format!("  {file}: {problem}\n"));
+                }
+                Err(CliError::Tool(msg.into()))
+            }
+        }
+        "gc" => {
+            let max_age = opt_u64_flag(parsed, "max-age")?;
+            let max_size = opt_u64_flag(parsed, "max-size")?;
+            let report = store.gc(max_age, max_size);
+            Ok(format!(
+                "examined {} entr(y/ies): removed {} ({} bytes), kept {} ({} bytes)\n",
+                report.examined,
+                report.removed,
+                report.removed_bytes,
+                report.kept,
+                report.kept_bytes,
+            ))
+        }
+        _ => unreachable!("action validated before the store was opened"),
+    }
+}
+
+/// An optional integer flag: `None` when absent, parsed when present.
+fn opt_u64_flag(parsed: &Parsed, flag: &'static str) -> Result<Option<u64>, CliError> {
+    match parsed.get(flag) {
+        None => Ok(None),
+        Some(_) => Ok(Some(parsed.get_u64(flag, 0)?)),
+    }
 }
 
 fn help_text() -> String {
@@ -485,7 +639,18 @@ fn help_text() -> String {
                      [--jobs N] [--format text|json|csv] [--out FILE]\n\
                      (json/csv output is byte-identical to the\n\
                      flag-driven campaign the spec was exported from)\n\
-           help      this text\n",
+           cache     inspect/maintain the persistent result store:\n\
+                     rrb cache stats | verify | fingerprint\n\
+                     rrb cache gc [--max-age SECS] [--max-size BYTES]\n\
+           help      this text\n\n\
+         result cache (campaign, run):\n\
+           runs are deterministic, so campaign/run results persist in a\n\
+           content-addressed store and warm re-runs simulate nothing;\n\
+           output is byte-identical either way. Default dir .rrb-cache\n\
+           (override: --cache-dir DIR or RRB_CACHE_DIR). --no-cache\n\
+           disables it; --resume makes an unusable cache a hard error\n\
+           instead of a silent cold run. Resume statistics and any\n\
+           corrupt-entry warnings go to stderr, never into results.\n",
     )
 }
 
@@ -509,7 +674,7 @@ mod tests {
     #[test]
     fn campaign_text_summarises_grid_cells() {
         let out = run("campaign --arch toy --cores 4 --l-bus 2 --scenario derive \
-             --arbiters rr,fifo --iterations 60 --max-k 14 --jobs 2")
+             --arbiters rr,fifo --iterations 60 --max-k 14 --jobs 2 --no-cache")
         .expect("campaign");
         assert!(out.contains("derive/rr/c4/load-vs-load/i60"), "{out}");
         assert!(out.contains("derive/fifo/c4/load-vs-load/i60"), "{out}");
@@ -520,7 +685,7 @@ mod tests {
     #[test]
     fn campaign_json_is_identical_across_jobs() {
         let line = "campaign --arch toy --cores 4 --l-bus 2 --scenario naive \
-                    --contenders load,store --iterations 80 --format json";
+                    --contenders load,store --iterations 80 --format json --no-cache";
         let serial = run(&format!("{line} --jobs 1")).expect("serial");
         let parallel = run(&format!("{line} --jobs 8")).expect("parallel");
         assert_eq!(serial, parallel, "campaign output must not depend on --jobs");
@@ -531,7 +696,7 @@ mod tests {
     #[test]
     fn campaign_csv_has_run_rows() {
         let out = run("campaign --arch toy --cores 4 --l-bus 2 --scenario sweep \
-             --max-k 13 --iterations 60 --format csv")
+             --max-k 13 --iterations 60 --format csv --no-cache")
         .expect("campaign");
         let lines: Vec<&str> = out.lines().collect();
         assert!(lines[0].starts_with("scenario,label,status"));
@@ -541,10 +706,13 @@ mod tests {
     #[test]
     fn campaign_rejects_bad_scenario_format_and_arbiter() {
         for (line, needle) in [
-            ("campaign --scenario warp", "derive, naive, sweep, validate"),
-            ("campaign --format yaml", "text, json, csv"),
-            ("campaign --arbiters cdma", "tdma:<slot>"),
-            ("campaign --accesses rmw", "load, store"),
+            ("campaign --scenario warp --no-cache", "derive, naive, sweep, validate"),
+            (
+                "campaign --arch toy --format yaml --max-k 12 --iterations 50 --no-cache",
+                "text, json, csv",
+            ),
+            ("campaign --arbiters cdma --no-cache", "tdma:<slot>"),
+            ("campaign --accesses rmw --no-cache", "load, store"),
         ] {
             let e = run(line).expect_err("must fail");
             assert!(e.to_string().contains(needle), "{line}: {e}");
@@ -584,23 +752,133 @@ mod tests {
         }
     }
 
+    /// A scratch directory for cache tests, removed on drop.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(name: &str) -> Self {
+            let path =
+                std::env::temp_dir().join(format!("rrb-cli-test-{}-{name}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+
+        fn as_str(&self) -> &str {
+            self.0.to_str().expect("utf-8 temp path")
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn warm_cached_campaign_output_is_byte_identical_to_cold() {
+        let cache = TempDir::new("warm-campaign");
+        let line = format!(
+            "campaign --arch toy --cores 4 --l-bus 2 --scenario naive --iterations 60 \
+             --format json --cache-dir {}",
+            cache.as_str()
+        );
+        let cold = run(&line).expect("cold run");
+        let warm = run(&line).expect("warm run");
+        assert_eq!(cold, warm, "cache state must never change the rendered output");
+        let stats = run(&format!("cache stats --cache-dir {}", cache.as_str())).expect("stats");
+        assert!(!stats.contains("entries          : 0"), "{stats}");
+    }
+
+    #[test]
+    fn cache_stats_verify_gc_and_fingerprint() {
+        let cache = TempDir::new("verbs");
+        run(&format!(
+            "campaign --arch toy --cores 4 --l-bus 2 --scenario naive --iterations 60 \
+             --cache-dir {}",
+            cache.as_str()
+        ))
+        .expect("populate");
+
+        let fp = run("cache fingerprint").expect("fingerprint");
+        assert_eq!(fp.trim().len(), 16, "{fp}");
+        assert!(u64::from_str_radix(fp.trim(), 16).is_ok(), "{fp}");
+
+        let verify = run(&format!("cache verify --cache-dir {}", cache.as_str())).expect("verify");
+        assert!(verify.contains("all valid"), "{verify}");
+
+        // Corrupt one entry: verify must fail and name the file.
+        let entries = cache.0.join("entries");
+        let entry = std::fs::read_dir(&entries)
+            .expect("entries dir")
+            .flatten()
+            .next()
+            .expect("an entry")
+            .path();
+        std::fs::write(&entry, "{ truncated").expect("corrupt");
+        let e =
+            run(&format!("cache verify --cache-dir {}", cache.as_str())).expect_err("must fail");
+        assert!(e.to_string().contains("problem(s)"), "{e}");
+
+        // gc with no limits removes only the corrupt entry…
+        let gc = run(&format!("cache gc --cache-dir {}", cache.as_str())).expect("gc");
+        assert!(gc.contains("removed 1"), "{gc}");
+        // …and --max-age 0 expires the rest.
+        let gc = run(&format!("cache gc --max-age 0 --cache-dir {}", cache.as_str())).expect("gc");
+        assert!(gc.contains("kept 0 (0 bytes)"), "{gc}");
+    }
+
+    #[test]
+    fn cache_usage_errors_are_reported() {
+        let e = run("campaign --resume --no-cache").expect_err("must fail");
+        assert!(e.to_string().contains("contradict"), "{e}");
+        let e = run("cache").expect_err("must fail");
+        assert!(e.to_string().contains("stats, verify, gc, fingerprint"), "{e}");
+        let e = run("cache defrag").expect_err("must fail");
+        assert!(e.to_string().contains("defrag"), "{e}");
+        let e = run("cache stats extra").expect_err("must fail");
+        assert!(e.to_string().contains("extra"), "{e}");
+    }
+
+    #[test]
+    fn run_resumes_a_spec_from_the_cache() {
+        let cache = TempDir::new("resume-spec");
+        let spec_file = TempFile::new("resume.json");
+        run(&format!(
+            "export-spec --arch toy --cores 4 --l-bus 2 --scenario sweep --max-k 8 \
+             --iterations 50 --out {}",
+            spec_file.as_str()
+        ))
+        .expect("export");
+        let line = |extra: &str| {
+            format!(
+                "run {} --format csv --cache-dir {} {extra}",
+                spec_file.as_str(),
+                cache.as_str()
+            )
+        };
+        let cold = run(&line("")).expect("cold");
+        let resumed = run(&line("--resume")).expect("resumed");
+        assert_eq!(cold, resumed);
+    }
+
     #[test]
     fn export_spec_then_run_reproduces_the_flag_driven_campaign() {
         let flags = "--arch toy --cores 4 --l-bus 2 --scenario derive \
                      --arbiters rr,fifo --iterations 60 --max-k 14";
+        let cache = "--no-cache";
         let spec_file = TempFile::new("roundtrip.json");
         let exported =
             run(&format!("export-spec {flags} --out {}", spec_file.as_str())).expect("export");
         assert!(exported.contains("wrote"), "{exported}");
 
-        // The serialised formats must match across differing --jobs; the
-        // text format appends the execution-stats line (which reports the
-        // job count), so it is compared at equal --jobs.
-        for (format, spec_jobs) in [("json", 1), ("csv", 1), ("text", 2)] {
-            let direct = run(&format!("campaign {flags} --format {format} --jobs 2"))
+        // Every rendered format must match across differing --jobs —
+        // including text, whose trailing stats line only reports
+        // plan-determined numbers (execution stats go to stderr).
+        for format in ["json", "csv", "text"] {
+            let direct = run(&format!("campaign {flags} {cache} --format {format} --jobs 2"))
                 .expect("flag campaign");
             let via_spec =
-                run(&format!("run {} --format {format} --jobs {spec_jobs}", spec_file.as_str()))
+                run(&format!("run {} {cache} --format {format} --jobs 1", spec_file.as_str()))
                     .expect("spec campaign");
             assert_eq!(via_spec, direct, "--format {format} must match byte for byte");
         }
@@ -712,7 +990,7 @@ mod tests {
     #[test]
     fn campaign_on_two_level_topology_emits_per_resource_metrics() {
         let out = run("campaign --arch toy --cores 4 --l-bus 2 --topology bus+mc \
-             --mc-occupancy 2 --scenario derive --iterations 60 --max-k 14 --jobs 2")
+             --mc-occupancy 2 --scenario derive --iterations 60 --max-k 14 --jobs 2 --no-cache")
         .expect("campaign");
         assert!(out.contains("/bus+mc"), "scenario names carry the topology: {out}");
         assert!(out.contains("ubd_bus"), "{out}");

@@ -10,8 +10,12 @@
 //! rrb campaign [--scenario derive|naive|sweep|validate]
 //!             [--arbiters rr,fp,...] [--grid-cores 2,3,4]
 //!             [--jobs N] [--format text|json|csv] [--out FILE]
+//!             [--cache-dir DIR] [--no-cache] [--resume]
 //! rrb export-spec [same flags as campaign] [--name NAME] [--out FILE]
 //! rrb run <spec.json> [--jobs N] [--format text|json|csv] [--out FILE]
+//!             [--cache-dir DIR] [--no-cache] [--resume]
+//! rrb cache   stats | verify | fingerprint | gc [--max-age SECS]
+//!             [--max-size BYTES]   [--cache-dir DIR]
 //! ```
 //!
 //! Run `rrb help` for details.

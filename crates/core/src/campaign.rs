@@ -27,6 +27,7 @@ use crate::json::{csv_field, Fnv64Hasher, Json};
 use crate::methodology::{MethodologyConfig, UbdScenario};
 use crate::naive::NaiveScenario;
 use crate::scenario::{RunOutcome, Scenario, ScenarioReport, SweepScenario};
+use crate::store::{ResultStore, StoreLookup};
 use crate::validation::GammaValidationScenario;
 use rrb_analysis::Histogram;
 use rrb_kernels::{rsk_nop, AccessKind, KernelSpec};
@@ -36,7 +37,7 @@ use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------
 // Run specification and measurement
@@ -272,6 +273,64 @@ pub fn execute_run(spec: &RunSpec) -> Result<RunMeasurement, RunError> {
     })
 }
 
+/// Where one run's measurement came from, when executing against an
+/// optional persistent [`ResultStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSource {
+    /// Executed on a fresh machine. `recorded` says whether the result
+    /// was written to the store (false with no store, on failed runs,
+    /// and for non-finite measurements the JSON round trip cannot keep
+    /// bit-exact).
+    Simulated {
+        /// Whether the measurement was persisted.
+        recorded: bool,
+    },
+    /// Answered by the persistent store — no machine was built.
+    Store,
+}
+
+/// Persistent-store activity during one plan execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreUsage {
+    /// Runs answered from the store without simulating.
+    pub hits: usize,
+    /// Entries written after simulating.
+    pub writes: usize,
+    /// Non-fatal store problems, in plan order. Every warning caused a
+    /// re-execution or a skipped write — never a wrong or missing
+    /// result — so campaign output is identical with or without them.
+    pub warnings: Vec<String>,
+}
+
+/// [`execute_run`] behind an optional persistent store: a valid,
+/// structurally confirmed entry skips simulation entirely; a missing,
+/// corrupt, stale, or colliding entry simulates (recording a warning
+/// when the entry existed but could not be trusted) and persists the
+/// fresh measurement on success.
+pub fn execute_run_stored(
+    spec: &RunSpec,
+    store: Option<&ResultStore>,
+) -> (Result<RunMeasurement, RunError>, RunSource, Vec<String>) {
+    let mut warnings = Vec::new();
+    if let Some(store) = store {
+        match store.lookup(spec) {
+            StoreLookup::Hit(m) => return (Ok(m), RunSource::Store, warnings),
+            StoreLookup::Miss => {}
+            StoreLookup::Rejected(reason) => warnings
+                .push(format!("cache entry rejected, re-executing `{}`: {reason}", spec.label)),
+        }
+    }
+    let result = execute_run(spec);
+    let mut recorded = false;
+    if let (Some(store), Ok(m)) = (store, &result) {
+        match store.insert(spec, m) {
+            Ok(written) => recorded = written,
+            Err(e) => warnings.push(format!("failed to cache `{}`: {e}", spec.label)),
+        }
+    }
+    (result, RunSource::Simulated { recorded }, warnings)
+}
+
 /// Executes a plan, spreading runs over `jobs` scoped worker threads.
 ///
 /// Results come back **indexed by plan position**, so the output is
@@ -279,27 +338,58 @@ pub fn execute_run(spec: &RunSpec) -> Result<RunMeasurement, RunError> {
 /// what `execute_plan(specs, 1)` returns. Each run owns its machine;
 /// workers pull the next index from a shared atomic counter.
 pub fn execute_plan(specs: &[RunSpec], jobs: usize) -> Vec<Result<RunMeasurement, RunError>> {
+    execute_plan_stored(specs, jobs, None).0
+}
+
+type StoredOutcome = (Result<RunMeasurement, RunError>, RunSource, Vec<String>);
+
+/// [`execute_plan`] against an optional persistent store: every run
+/// goes through [`execute_run_stored`], and the returned [`StoreUsage`]
+/// aggregates hits, writes, and warnings **in plan order** (independent
+/// of worker scheduling).
+pub fn execute_plan_stored(
+    specs: &[RunSpec],
+    jobs: usize,
+    store: Option<&ResultStore>,
+) -> (Vec<Result<RunMeasurement, RunError>>, StoreUsage) {
     let jobs = jobs.max(1).min(specs.len().max(1));
-    if jobs == 1 {
-        return specs.iter().map(execute_run).collect();
-    }
-    let slots: Vec<Mutex<Option<Result<RunMeasurement, RunError>>>> =
-        specs.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(i) else { break };
-                let result = execute_run(spec);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
+    let outcomes: Vec<StoredOutcome> = if jobs == 1 {
+        specs.iter().map(|spec| execute_run_stored(spec, store)).collect()
+    } else {
+        let slots: Vec<Mutex<Option<StoredOutcome>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let outcome = execute_run_stored(spec, store);
+                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("result slot poisoned").expect("every run executed")
+            })
+            .collect()
+    };
+    let mut usage = StoreUsage::default();
+    let results = outcomes
         .into_iter()
-        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("every run executed"))
-        .collect()
+        .map(|(result, source, warnings)| {
+            match source {
+                RunSource::Store => usage.hits += 1,
+                RunSource::Simulated { recorded: true } => usage.writes += 1,
+                RunSource::Simulated { recorded: false } => {}
+            }
+            usage.warnings.extend(warnings);
+            result
+        })
+        .collect();
+    (results, usage)
 }
 
 /// [`execute_plan`] with identical specs deduplicated first: each
@@ -412,10 +502,17 @@ pub struct CampaignStats {
     pub scenarios: usize,
     /// Runs across all scenario plans, before deduplication.
     pub planned_runs: usize,
-    /// Distinct runs actually executed.
+    /// Runs actually **simulated** on a fresh machine — what the
+    /// campaign cost. A fully warm persistent store drives this to 0.
     pub executed_runs: usize,
-    /// Runs answered from the deduplication cache.
+    /// Runs answered from the in-memory deduplication cache (shared
+    /// baselines within this campaign).
     pub cache_hits: usize,
+    /// Distinct runs answered from the persistent result store without
+    /// simulating (0 when the campaign has no store).
+    pub store_hits: usize,
+    /// Distinct run results written to the persistent store.
+    pub store_writes: usize,
     /// Runs that ended in an error record.
     pub failed_runs: usize,
     /// Worker threads used.
@@ -432,6 +529,10 @@ pub struct CampaignResult {
     pub reports: Vec<ScenarioReport>,
     /// Execution statistics (excluded from serialised output).
     pub stats: CampaignStats,
+    /// Persistent-store warnings, in plan order (excluded from
+    /// serialised output: every warning only caused a re-execution or a
+    /// skipped cache write, never a different result).
+    pub warnings: Vec<String>,
 }
 
 impl CampaignResult {
@@ -481,11 +582,15 @@ impl CampaignResult {
                 let _ = writeln!(out, "    {:<24} {}", metric.name, metric.value);
             }
         }
+        // Only plan-determined numbers appear here: the text format is
+        // byte-identical across --jobs and across cold/warm caches, so
+        // execution statistics (simulated runs, cache hits, workers) go
+        // to [`CampaignStats`] and, in the CLI, to stderr.
         let s = &self.stats;
         let _ = writeln!(
             out,
-            "campaign: {} scenario(s), {} run(s) planned, {} executed ({} cache hit(s)), {} failed, {} job(s)",
-            s.scenarios, s.planned_runs, s.executed_runs, s.cache_hits, s.failed_runs, s.jobs
+            "campaign: {} scenario(s), {} run(s) planned, {} failed",
+            s.scenarios, s.planned_runs, s.failed_runs
         );
         out
     }
@@ -500,6 +605,7 @@ pub struct CampaignBuilder {
     scenarios: Vec<Box<dyn Scenario + Send + Sync>>,
     jobs: usize,
     dedup: bool,
+    store: Option<Arc<ResultStore>>,
 }
 
 impl Default for CampaignBuilder {
@@ -509,9 +615,10 @@ impl Default for CampaignBuilder {
 }
 
 impl CampaignBuilder {
-    /// An empty builder (serial execution, deduplication on).
+    /// An empty builder (serial execution, deduplication on, no
+    /// persistent store).
     pub fn new() -> Self {
-        CampaignBuilder { scenarios: Vec::new(), jobs: 1, dedup: true }
+        CampaignBuilder { scenarios: Vec::new(), jobs: 1, dedup: true, store: None }
     }
 
     /// Adds one scenario.
@@ -552,9 +659,23 @@ impl CampaignBuilder {
         self
     }
 
+    /// Attaches a persistent [`ResultStore`]: warm entries skip
+    /// simulation entirely, fresh results are recorded for the next
+    /// campaign. Output is byte-identical with or without a store.
+    #[must_use]
+    pub fn store(mut self, store: Arc<ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Finalises the campaign.
     pub fn build(self) -> Campaign {
-        Campaign { scenarios: self.scenarios, jobs: self.jobs, dedup: self.dedup }
+        Campaign {
+            scenarios: self.scenarios,
+            jobs: self.jobs,
+            dedup: self.dedup,
+            store: self.store,
+        }
     }
 }
 
@@ -563,6 +684,7 @@ pub struct Campaign {
     scenarios: Vec<Box<dyn Scenario + Send + Sync>>,
     jobs: usize,
     dedup: bool,
+    store: Option<Arc<ResultStore>>,
 }
 
 impl Campaign {
@@ -618,8 +740,9 @@ impl Campaign {
             mapping.push(indices);
         }
 
-        // Phase 3: execute the unique runs (parallel, order-free).
-        let results = execute_plan(&unique, self.jobs);
+        // Phase 3: execute the unique runs (parallel, order-free),
+        // answering from the persistent store where possible.
+        let (results, usage) = execute_plan_stored(&unique, self.jobs, self.store.as_deref());
 
         // Phase 4: scatter outcomes back in plan order and analyse.
         let mut records = Vec::with_capacity(planned_runs);
@@ -663,11 +786,14 @@ impl Campaign {
             stats: CampaignStats {
                 scenarios: self.scenarios.len(),
                 planned_runs,
-                executed_runs: unique.len(),
+                executed_runs: unique.len() - usage.hits,
                 cache_hits: planned_runs - unique.len(),
+                store_hits: usage.hits,
+                store_writes: usage.writes,
                 failed_runs,
                 jobs: self.jobs,
             },
+            warnings: usage.warnings,
         }
     }
 }

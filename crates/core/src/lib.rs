@@ -31,7 +31,12 @@
 //! * **experiments as data** ([`spec`]): an [`ExperimentSpec`] is a
 //!   fully declarative, JSON-serialisable description of a campaign —
 //!   machine, grid axes, per-core kernels — that round-trips losslessly
-//!   through [`json`] and runs via `rrb run <spec.json>`.
+//!   through [`json`] and runs via `rrb run <spec.json>`;
+//! * the **persistent result store** ([`store`]): a content-addressed
+//!   on-disk cache keyed by [`RunSpec::spec_hash`] and invalidated by a
+//!   simulator fingerprint, so re-running a campaign — after a crash,
+//!   in the next CI job, with one more grid axis — only simulates what
+//!   changed, with byte-identical output.
 //!
 //! ## Quick start: one derivation
 //!
@@ -85,6 +90,7 @@ pub mod naive;
 pub mod report;
 pub mod scenario;
 pub mod spec;
+pub mod store;
 pub mod validation;
 
 /// Re-export of the simulator substrate.
@@ -95,9 +101,9 @@ pub use rrb_kernels as kernels;
 pub use rrb_sim as sim;
 
 pub use campaign::{
-    execute_plan, execute_run, Campaign, CampaignBuilder, CampaignGrid, CampaignResult,
-    CampaignStats, GridScenario, ParseGridScenarioError, RunError, RunMeasurement, RunRecord,
-    RunSpec,
+    execute_plan, execute_plan_stored, execute_run, execute_run_stored, Campaign, CampaignBuilder,
+    CampaignGrid, CampaignResult, CampaignStats, GridScenario, ParseGridScenarioError, RunError,
+    RunMeasurement, RunRecord, RunSource, RunSpec, StoreUsage,
 };
 pub use experiment::{ContendedRun, IsolatedRun, SlowdownMeasurement};
 pub use json::{fnv1a_64, Fnv64Hasher, Json, JsonParseError};
@@ -113,6 +119,10 @@ pub use scenario::{
 };
 pub use spec::{
     ExperimentSpec, GridSpec, MachineSpec, SpecError, WorkloadCase, WorkloadScenario, SPEC_VERSION,
+};
+pub use store::{
+    sim_fingerprint, write_file_atomic, GcReport, ResultStore, StoreError, StoreLookup, StoreStats,
+    VerifyReport, STORE_FORMAT_VERSION,
 };
 pub use validation::{
     validate_gamma_model, GammaComparison, GammaValidationScenario, ValidationReport,

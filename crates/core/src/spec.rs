@@ -861,14 +861,22 @@ impl ExperimentSpec {
         out
     }
 
-    /// Builds the runnable campaign over `jobs` worker threads. The
-    /// output is byte-identical for every `jobs` value.
-    pub fn to_campaign(&self, jobs: usize) -> Campaign {
+    /// A campaign builder pre-loaded with every scenario of this spec,
+    /// over `jobs` worker threads — the single expansion path shared by
+    /// [`ExperimentSpec::to_campaign`] and callers that still need to
+    /// attach a result store or other builder options.
+    pub fn to_campaign_builder(&self, jobs: usize) -> crate::campaign::CampaignBuilder {
         let mut builder = Campaign::builder().jobs(jobs);
         for scenario in self.scenarios() {
             builder = builder.boxed(scenario);
         }
-        builder.build()
+        builder
+    }
+
+    /// Builds the runnable campaign over `jobs` worker threads. The
+    /// output is byte-identical for every `jobs` value.
+    pub fn to_campaign(&self, jobs: usize) -> Campaign {
+        self.to_campaign_builder(jobs).build()
     }
 
     /// Checks that the spec describes a runnable experiment: the machine

@@ -1,0 +1,221 @@
+//! End-to-end validation of the persistent result store: the
+//! acceptance contract (a warm re-run of the shipped
+//! `ngmp_sweep.json` experiment simulates *nothing* and renders
+//! byte-identical output) and the robustness contract (damaged or
+//! concurrently written entries cause re-execution with a warning —
+//! never a panic, never silent wrong reuse).
+
+use rrb::campaign::{Campaign, CampaignGrid, CampaignResult, GridScenario};
+use rrb::spec::ExperimentSpec;
+use rrb::store::{ResultStore, StoreLookup};
+use rrb_kernels::AccessKind;
+use rrb_sim::MachineConfig;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A scratch store directory, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(name: &str) -> Self {
+        let path = std::env::temp_dir()
+            .join(format!("rrb-integration-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        ScratchDir(path)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn open(dir: &ScratchDir) -> Arc<ResultStore> {
+    Arc::new(ResultStore::open(&dir.0).expect("open store"))
+}
+
+fn small_grid() -> CampaignGrid {
+    CampaignGrid::new(GridScenario::Sweep, MachineConfig::toy(4, 2))
+        .contender_accesses(vec![AccessKind::Load, AccessKind::Store])
+        .iterations(vec![60])
+        .max_k(10)
+}
+
+fn run_with(store: &Arc<ResultStore>, jobs: usize) -> CampaignResult {
+    Campaign::builder().grid(&small_grid()).jobs(jobs).store(store.clone()).build().run()
+}
+
+/// Every entry file currently in the store, newest path order not
+/// guaranteed — used by the damage tests.
+fn entry_files(dir: &ScratchDir) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir.0.join("entries"))
+        .expect("entries dir")
+        .flatten()
+        .map(|f| f.path())
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn warm_rerun_of_the_shipped_ngmp_sweep_simulates_nothing() {
+    // The acceptance pin: the checked-in experiment file, run cold then
+    // warm against one store. The warm pass must answer every unique
+    // run from the store (zero simulations, per the campaign's run
+    // counters) and render byte-identical json/csv/text.
+    let spec_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/experiments/ngmp_sweep.json");
+    let spec = ExperimentSpec::from_file(&spec_path).expect("shipped spec parses");
+    let dir = ScratchDir::new("ngmp-sweep");
+    let store = open(&dir);
+
+    let campaign =
+        |store: &Arc<ResultStore>| spec.to_campaign_builder(2).store(store.clone()).build().run();
+
+    let cold = campaign(&store);
+    assert!(cold.stats.executed_runs > 0, "cold run must simulate: {:?}", cold.stats);
+    assert_eq!(cold.stats.store_hits, 0, "{:?}", cold.stats);
+    assert_eq!(cold.stats.failed_runs, 0, "the shipped spec runs clean: {:?}", cold.stats);
+    assert_eq!(
+        cold.stats.store_writes, cold.stats.executed_runs,
+        "every unique run is recorded: {:?}",
+        cold.stats
+    );
+
+    let warm = campaign(&store);
+    assert_eq!(warm.stats.executed_runs, 0, "warm run must simulate nothing: {:?}", warm.stats);
+    assert_eq!(
+        warm.stats.store_hits, cold.stats.executed_runs,
+        "every unique run resumes from the store: {:?}",
+        warm.stats
+    );
+    assert!(warm.warnings.is_empty(), "{:?}", warm.warnings);
+
+    assert_eq!(cold.to_json(), warm.to_json(), "json must be byte-identical");
+    assert_eq!(cold.to_csv(), warm.to_csv(), "csv must be byte-identical");
+    assert_eq!(cold.render_text(), warm.render_text(), "text must be byte-identical");
+}
+
+#[test]
+fn reopened_store_resumes_across_processes_boundaries() {
+    // Drop and reopen the store between runs: entries are durable, not
+    // tied to the process-lifetime dedup cache.
+    let dir = ScratchDir::new("reopen");
+    let cold = run_with(&open(&dir), 2);
+    let warm = run_with(&open(&dir), 1);
+    assert_eq!(warm.stats.executed_runs, 0, "{:?}", warm.stats);
+    assert_eq!(cold.to_json(), warm.to_json());
+    assert_eq!(cold.to_csv(), warm.to_csv());
+    assert_eq!(cold.render_text(), warm.render_text());
+}
+
+#[test]
+fn damaged_entries_reexecute_with_a_warning_and_heal() {
+    let dir = ScratchDir::new("damage");
+    let store = open(&dir);
+    let cold = run_with(&store, 1);
+    let files = entry_files(&dir);
+    assert_eq!(files.len(), cold.stats.store_writes, "one entry per recorded run");
+    assert!(files.len() >= 4, "need at least four entries to damage");
+
+    // Four kinds of damage, one entry each: truncation, a bit flip in
+    // the payload, a wrong format version, and a half-written torn file
+    // (what a concurrent writer without atomic rename would leave).
+    let rewrite = |path: &Path, f: &dyn Fn(String) -> String| {
+        let text = std::fs::read_to_string(path).expect("read entry");
+        std::fs::write(path, f(text)).expect("write damage");
+    };
+    rewrite(&files[0], &|t| t[..t.len() / 3].to_string());
+    rewrite(&files[1], &|t| t.replace("\"execution_time\": ", "\"execution_time\": 4"));
+    rewrite(&files[2], &|t| t.replace("\"format\": 1", "\"format\": 77"));
+    rewrite(&files[3], &|t| format!("{{\"format\": 1, \"torn\": true{}", &t[..40]));
+
+    let healed = run_with(&store, 4);
+    assert_eq!(healed.stats.executed_runs, 4, "all four damaged runs re-execute");
+    assert_eq!(healed.warnings.len(), 4, "one warning per rejected entry: {:?}", healed.warnings);
+    for warning in &healed.warnings {
+        assert!(warning.contains("re-executing"), "{warning}");
+    }
+    assert_eq!(healed.to_json(), cold.to_json(), "damage never changes results");
+    assert_eq!(healed.to_csv(), cold.to_csv());
+
+    // The re-execution rewrote the damaged entries: a further run is
+    // fully warm and warning-free again.
+    let warm = run_with(&store, 1);
+    assert_eq!(warm.stats.executed_runs, 0, "{:?}", warm.stats);
+    assert!(warm.warnings.is_empty(), "{:?}", warm.warnings);
+    assert_eq!(warm.to_json(), cold.to_json());
+}
+
+#[test]
+fn concurrent_campaigns_share_a_store_without_panics_or_drift() {
+    // Several parallel campaigns race on one store: lookups, inserts,
+    // and atomic renames interleave freely. Every campaign must finish
+    // with byte-identical output, and afterwards the store must be
+    // fully valid and fully warm.
+    let dir = ScratchDir::new("concurrent");
+    let store = open(&dir);
+    let reference = Campaign::builder().grid(&small_grid()).jobs(1).build().run();
+    let outputs: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let store = store.clone();
+                scope.spawn(move || run_with(&store, 1 + i % 3).to_json())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("campaign thread")).collect()
+    });
+    for output in &outputs {
+        assert_eq!(output, &reference.to_json(), "racing campaigns must agree");
+    }
+    let report = open(&dir).verify();
+    assert!(report.problems.is_empty(), "{report:?}");
+    assert!(report.ok > 0);
+    let warm = run_with(&store, 2);
+    assert_eq!(warm.stats.executed_runs, 0, "{:?}", warm.stats);
+}
+
+#[test]
+fn failed_runs_are_never_cached() {
+    // A scenario whose runs fail at execution time (starved cycle
+    // budget): the campaign records errors, the store stays empty, and
+    // a re-run re-executes — failures must not be resumed.
+    let mut starved = MachineConfig::toy(4, 2);
+    starved.max_cycles = 40;
+    let dir = ScratchDir::new("failures");
+    let store = open(&dir);
+    let run = || {
+        Campaign::builder()
+            .grid(&CampaignGrid::new(GridScenario::Naive, starved.clone()))
+            .store(store.clone())
+            .build()
+            .run()
+    };
+    let first = run();
+    assert!(first.stats.failed_runs > 0, "{:?}", first.stats);
+    assert_eq!(store.stats().entries, 0, "failed runs must not be recorded");
+    let second = run();
+    assert!(second.stats.executed_runs > 0, "failures re-execute: {:?}", second.stats);
+    assert_eq!(first.to_json(), second.to_json());
+}
+
+#[test]
+fn store_lookup_respects_label_independence_like_dedup() {
+    // The store keys on the measurement (config + programs), not the
+    // label — the same identity the in-memory dedup table uses — so a
+    // renamed scenario still resumes.
+    let dir = ScratchDir::new("labels");
+    let store = open(&dir);
+    let cfg = MachineConfig::toy(4, 2);
+    let scua = rrb_kernels::rsk_nop(AccessKind::Load, 1, &cfg, rrb_sim::CoreId::new(0), 40);
+    let spec = rrb::campaign::RunSpec::isolated("original", cfg, scua);
+    let (result, _, _) = rrb::campaign::execute_run_stored(&spec, Some(&store));
+    let measurement = result.expect("run succeeds");
+    let mut renamed = spec.clone();
+    renamed.label = String::from("renamed");
+    match store.lookup(&renamed) {
+        StoreLookup::Hit(cached) => assert_eq!(cached, measurement),
+        other => panic!("expected a hit for the renamed spec, got {other:?}"),
+    }
+}
