@@ -93,8 +93,10 @@ where
     if total == 0 {
         return Consensus::Inconclusive { tally: Vec::new() };
     }
-    let (&winner, &votes) =
-        tally.iter().max_by_key(|&(p, n)| (*n, std::cmp::Reverse(*p))).expect("non-empty");
+    let Some((&winner, &votes)) = tally.iter().max_by_key(|&(p, n)| (*n, std::cmp::Reverse(*p)))
+    else {
+        return Consensus::Inconclusive { tally: Vec::new() };
+    };
     if votes == total {
         Consensus::Unanimous { period: winner, votes }
     } else if votes * 2 > total {

@@ -1,4 +1,4 @@
-//! Execution-time-bound padding (§4.3, "Using ubd_m").
+//! Execution-time-bound padding (§4.3, "Using `ubd_m`").
 //!
 //! With measurement-based timing analysis, the analyst determines an
 //! upper bound `nr` on the number of bus requests the software component

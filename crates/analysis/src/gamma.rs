@@ -59,7 +59,7 @@ impl GammaModel {
 
     /// The saw-tooth period of `γ(δ)` — exactly `ubd`, for any δ offset
     /// (§4.1: "the period of the saw-tooth is exactly the ubd value
-    /// regardless of δ_rsk").
+    /// regardless of `δ_rsk`").
     pub fn period(&self) -> u64 {
         self.ubd
     }

@@ -6,8 +6,8 @@
 //! * [`gamma`] — the paper's Eq. 2 model of per-request contention
 //!   `γ(δ)` under the synchrony effect, and Eq. 1 (`ubd = (Nc-1)·l_bus`);
 //! * [`sawtooth`] — recovery of the saw-tooth period (and hence `ubd`)
-//!   from a measured slowdown series `d_bus(k)`, including the δ_nop > 1
-//!   sampled case of §4.2;
+//!   from a measured slowdown series `d_bus(k)`, including the
+//!   `δ_nop > 1` sampled case of §4.2;
 //! * [`histogram`] — integer histograms for the Fig. 6 plots;
 //! * [`stats`] — small summary-statistics helpers;
 //! * [`etb`] — execution-time-bound padding (`pad = nr × ubd_m`, §4.3).
@@ -26,6 +26,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// CI runs `clippy -W clippy::pedantic -D warnings` on this crate; the
+// allowlist below names the pedantic lints we deliberately accept.
+// must_use_candidate: pervasive on a read-only analytics API whose every
+// getter "could be" #[must_use] — the annotation noise outweighs the
+// footgun. The cast lints: u64↔f64 conversions are inherent to the
+// statistics here (means, quantiles, confidences); counts stay far below
+// 2^53 and the truncating directions are all explicit rounding.
+#![allow(
+    clippy::must_use_candidate,
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
 
 pub mod consensus;
 pub mod etb;

@@ -150,7 +150,7 @@ pub fn detect_period(values: &[u64], tolerance: u64) -> Option<PeriodEstimate> {
     })
 }
 
-/// Inverts δ_nop sampling (§4.2): given an observed k-space period
+/// Inverts `δ_nop` sampling (§4.2): given an observed k-space period
 /// `k_period` and the calibrated per-nop latency `delta_nop`, returns
 /// every `ubd` consistent with the observation, in increasing order.
 ///
@@ -161,6 +161,11 @@ pub fn detect_period(values: &[u64], tolerance: u64) -> Option<PeriodEstimate> {
 ///
 /// The methodology disambiguates multiple candidates with the largest
 /// observed per-request contention (`ubd > γ_max`).
+///
+/// # Panics
+///
+/// Panics if `k_period < 2` (a saw-tooth period is at least 2) or
+/// `delta_nop == 0` (nops cannot be free).
 pub fn ubd_candidates(k_period: u64, delta_nop: u64) -> Vec<u64> {
     assert!(k_period >= 2, "a saw-tooth period is at least 2");
     assert!(delta_nop >= 1, "nops cannot be free");

@@ -1,0 +1,122 @@
+//! Source lint for the simulator's hot path: `unwrap()`, `expect(`, and
+//! `panic!` are denied in the modules every simulated cycle flows through
+//! (`machine.rs`, `resource.rs`, `core_model.rs`) outside `#[cfg(test)]`.
+//!
+//! A panic in the hot path aborts a whole campaign mid-run and poisons
+//! the shared thread pool, so recoverable conditions must surface as
+//! `Option`/`Result` (with `debug_assert!` pinning the invariant in
+//! debug builds). A deliberately panicking API — e.g. a documented
+//! `# Panics` convenience wrapper — is exempted by putting a
+//! `lint_sources: allow` marker on the line directly above the hit.
+//!
+//! CI runs this after the build; a hit is exit code 1 with a
+//! file:line diagnostic.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin lint_sources
+//! ```
+
+use std::process::ExitCode;
+
+const HOT_PATH: &[&str] =
+    &["crates/sim/src/machine.rs", "crates/sim/src/resource.rs", "crates/sim/src/core_model.rs"];
+
+const DENIED: &[&str] = &["unwrap()", "panic!", "expect("];
+
+const ALLOW_MARKER: &str = "lint_sources: allow";
+
+/// Byte offset where the non-test portion of `source` ends: the start of
+/// a top-level `#[cfg(test)]` module, or the whole file when there is
+/// none. Hot-path modules keep their unit tests in one trailing
+/// `mod tests`, which this locates without parsing Rust.
+fn non_test_end(source: &str) -> usize {
+    source.find("#[cfg(test)]").unwrap_or(source.len())
+}
+
+/// Lints one file; returns the diagnostics for its hits.
+fn lint_file(path: &str, source: &str) -> Vec<String> {
+    let mut hits = Vec::new();
+    let scope = &source[..non_test_end(source)];
+    let mut previous = "";
+    for (i, line) in scope.lines().enumerate() {
+        let code = line.split("//").next().unwrap_or(line);
+        let allowed = previous.contains(ALLOW_MARKER);
+        previous = line;
+        if allowed {
+            continue;
+        }
+        for needle in DENIED {
+            if code.contains(needle) {
+                hits.push(format!(
+                    "{path}:{}: `{needle}` in the simulator hot path (return an \
+                     Option/Result, debug_assert! the invariant, or mark the line \
+                     above with `{ALLOW_MARKER}`)",
+                    i + 1
+                ));
+            }
+        }
+    }
+    hits
+}
+
+fn main() -> ExitCode {
+    let mut failures = 0usize;
+    for path in HOT_PATH {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lint_sources: cannot read {path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        for hit in lint_file(path, &source) {
+            eprintln!("lint_sources: {hit}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("lint_sources: {failures} hit(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("lint_sources: clean ({} hot-path file(s))", HOT_PATH.len());
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denies_unwrap_outside_tests() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n";
+        let hits = lint_file("m.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("m.rs:1"), "{hits:?}");
+    }
+
+    #[test]
+    fn allow_marker_exempts_the_next_line() {
+        let src = "// lint_sources: allow (documented panic)\nfn f() { x.expect(\"boom\"); }\n";
+        assert!(lint_file("m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_trip_the_lint() {
+        let src = "fn f() {} // never unwrap() here\n";
+        assert!(lint_file("m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn the_workspace_hot_path_is_clean() {
+        // Mirrors main() so `cargo test` catches a regression before CI.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        for path in HOT_PATH {
+            let full = format!("{root}/{path}");
+            let source = std::fs::read_to_string(&full).expect("hot-path file readable");
+            let hits = lint_file(path, &source);
+            assert!(hits.is_empty(), "{hits:#?}");
+        }
+    }
+}

@@ -51,7 +51,8 @@ impl fmt::Display for ParseArgsError {
 impl std::error::Error for ParseArgsError {}
 
 /// Boolean flags that take no value.
-const SWITCHES: &[&str] = &["store-scua", "store-contenders", "verbose", "no-cache", "resume"];
+const SWITCHES: &[&str] =
+    &["store-scua", "store-contenders", "verbose", "no-cache", "resume", "check-runs"];
 
 impl Parsed {
     /// Parses `argv` (without the program name).

@@ -14,6 +14,9 @@
 //! rrb export-spec [same flags as campaign] [--name NAME] [--out FILE]
 //! rrb run <spec.json> [--jobs N] [--format text|json|csv] [--out FILE]
 //!             [--cache-dir DIR] [--no-cache] [--resume]
+//! rrb analyze <spec.json> [--format text|json] [--out FILE]
+//!             [--check-runs] [--jobs N] [--cache-dir DIR] [--no-cache]
+//! rrb lint <spec.json>
 //! rrb cache   stats | verify | fingerprint | gc [--max-age SECS]
 //!             [--max-size BYTES]   [--cache-dir DIR]
 //! ```

@@ -1,0 +1,321 @@
+//! Static bounds for experiment specs: the bridge between the
+//! [`rrb_static`] analyzer and the campaign layer.
+//!
+//! Expands a spec into exactly the cells the campaign would run —
+//! [`CampaignGrid::cells`] for grids, one cell per workload case — builds
+//! sound per-core demand profiles for each cell's programs, and computes a
+//! machine-wide [`StaticBound`] per cell. Every cell gets an answer: where
+//! the measurement methodology refuses an arbiter (no saw-tooth period to
+//! recover for `fp`/`fifo`), the static model still produces its analytic
+//! bound.
+//!
+//! Two soundness cross-checks hang off the result:
+//!
+//! * [`CellStaticBound::violation`] — the static bound fell below the
+//!   analytic truth `Σ (Nc-1)·l_r` (a bug in the static model);
+//! * [`check_measured`] — an observed per-request delay from an actual
+//!   campaign run exceeded the static bound (a bug in the static model or
+//!   the simulator).
+
+use crate::campaign::{CampaignGrid, CampaignResult, GridCell};
+use crate::json::Json;
+use crate::spec::{ExperimentSpec, WorkloadCase};
+use rrb_kernels::{rsk, rsk_nop, KernelSpec};
+use rrb_sim::{CoreId, MachineConfig, ResourceKind};
+pub use rrb_static::{profile_program, CoreProfile, ResourceBound, StaticBound};
+use std::fmt::Write as _;
+
+/// The static bound for one campaign cell, alongside the analytic truth
+/// it must dominate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStaticBound {
+    /// Cell (scenario) name, matching the campaign's record names.
+    pub cell: String,
+    /// Cores contending in this cell.
+    pub num_cores: usize,
+    /// Bus arbiter token (`rr`, `fp`, `fifo`, `tdma:<s>`, `grr:<g>`).
+    pub arbiter: String,
+    /// Analytic truth for the bus term, `(Nc-1)·l_bus` (Eq. 1).
+    pub truth_bus: u64,
+    /// Analytic truth for the MC term (0 for single-level topologies).
+    pub truth_mc: u64,
+    /// The composed machine-wide static bound.
+    pub bound: StaticBound,
+}
+
+impl CellStaticBound {
+    /// Sum of the per-resource truth terms ([`MachineConfig::ubd`]).
+    pub fn truth_total(&self) -> u64 {
+        self.truth_bus.saturating_add(self.truth_mc)
+    }
+
+    /// The composed static bound; `None` when some resource is unbounded.
+    pub fn static_total(&self) -> Option<u64> {
+        self.bound.total()
+    }
+
+    /// The static bus term.
+    pub fn static_bus(&self) -> Option<u64> {
+        self.bound.resource(ResourceKind::Bus).and_then(|r| r.bound)
+    }
+
+    /// The static MC term (`Some(0)` for single-level topologies).
+    pub fn static_mc(&self) -> Option<u64> {
+        match self.bound.resource(ResourceKind::MemoryController) {
+            Some(r) => r.bound,
+            None => Some(0),
+        }
+    }
+
+    /// A soundness violation: the static bound fell below the analytic
+    /// truth. `None` when the bound is sound (or honestly unbounded).
+    pub fn violation(&self) -> Option<String> {
+        let total = self.static_total()?;
+        if total < self.truth_total() {
+            Some(format!(
+                "static bound {total} < analytic truth {} on `{}`",
+                self.truth_total(),
+                self.cell
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// The row as a JSON object (used by `rrb analyze --json` and the
+    /// topology ablation's `BENCH_static.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cell", Json::str(self.cell.clone())),
+            ("num_cores", Json::U64(self.num_cores as u64)),
+            ("arbiter", Json::str(self.arbiter.clone())),
+            ("truth_bus", Json::U64(self.truth_bus)),
+            ("truth_mc", Json::U64(self.truth_mc)),
+            ("truth_total", Json::U64(self.truth_total())),
+            ("static_bus", Json::option(self.static_bus(), Json::U64)),
+            ("static_mc", Json::option(self.static_mc(), Json::U64)),
+            ("static_total", Json::option(self.static_total(), Json::U64)),
+            ("finite", Json::Bool(self.bound.is_finite())),
+            ("sound_vs_truth", Json::Bool(self.violation().is_none())),
+            ("reason", Json::option(self.bound.reason().map(String::from), Json::Str)),
+        ])
+    }
+}
+
+/// Truth terms of a config, as (bus, mc).
+fn truth_terms(cfg: &MachineConfig) -> (u64, u64) {
+    let mut bus = 0;
+    let mut mc = 0;
+    for term in cfg.ubd_breakdown() {
+        match term.resource {
+            ResourceKind::Bus => bus = term.ubd,
+            ResourceKind::MemoryController => mc = term.ubd,
+        }
+    }
+    (bus, mc)
+}
+
+/// Profile of a kernel spec on `cfg`; falls back to the saturating
+/// envelope if the kernel cannot be built for this machine.
+fn profile_kernel(kernel: &KernelSpec, cfg: &MachineConfig, core: CoreId) -> CoreProfile {
+    match kernel.try_build(cfg, core) {
+        Ok(program) => profile_program(&program, cfg),
+        Err(_) => CoreProfile::saturating(),
+    }
+}
+
+/// Per-core demand profiles for a grid cell: the scua sweeps
+/// `rsk-nop(t, k)` for `k = 0..=max_k` (joined over the endpoints — the
+/// count/makespan envelope is monotone in `k`), the other cores run
+/// endless resource-stressing kernels.
+fn grid_cell_profiles(cell: &GridCell) -> Vec<CoreProfile> {
+    let cfg = &cell.cfg;
+    let scua0 = rsk_nop(cell.access, 0, cfg, CoreId::new(0), cell.iterations);
+    let scua_k = rsk_nop(cell.access, cell.max_k, cfg, CoreId::new(0), cell.iterations);
+    let scua = profile_program(&scua0, cfg).join(&profile_program(&scua_k, cfg));
+    let mut profiles = vec![scua];
+    for core in 1..cfg.num_cores {
+        let contender = rsk(cell.contender_access, cfg, CoreId::new(core));
+        profiles.push(profile_program(&contender, cfg));
+    }
+    profiles
+}
+
+/// Statically bounds one expanded grid cell.
+pub fn analyze_grid_cell(cell: &GridCell) -> CellStaticBound {
+    let profiles = grid_cell_profiles(cell);
+    let bound = StaticBound::analyze(&cell.cfg, &profiles);
+    let (truth_bus, truth_mc) = truth_terms(&cell.cfg);
+    CellStaticBound {
+        cell: cell.name.clone(),
+        num_cores: cell.cfg.num_cores,
+        arbiter: cell.cfg.topology.bus.arbiter.to_string(),
+        truth_bus,
+        truth_mc,
+        bound,
+    }
+}
+
+/// Statically bounds one workload case on `machine`.
+pub fn analyze_workload(machine: &MachineConfig, case: &WorkloadCase) -> CellStaticBound {
+    let mut profiles = vec![profile_kernel(&case.scua, machine, CoreId::new(0))];
+    for (i, contender) in case.contenders.iter().enumerate() {
+        let core = CoreId::new((i + 1).min(machine.num_cores.saturating_sub(1)));
+        profiles.push(profile_kernel(contender, machine, core));
+    }
+    profiles.truncate(machine.num_cores);
+    let bound = StaticBound::analyze(machine, &profiles);
+    let (truth_bus, truth_mc) = truth_terms(machine);
+    CellStaticBound {
+        cell: case.name.clone(),
+        num_cores: machine.num_cores,
+        arbiter: machine.topology.bus.arbiter.to_string(),
+        truth_bus,
+        truth_mc,
+        bound,
+    }
+}
+
+/// Statically bounds every cell a spec would run: each grid cell (in the
+/// campaign's enumeration order), then each workload case.
+pub fn analyze_spec(spec: &ExperimentSpec) -> Vec<CellStaticBound> {
+    let mut rows = Vec::new();
+    if let Some(grid) = spec.to_grid() {
+        rows.extend(grid.cells().iter().map(analyze_grid_cell));
+    }
+    for case in &spec.workloads {
+        rows.push(analyze_workload(&spec.machine, case));
+    }
+    rows
+}
+
+/// Statically bounds every cell of a [`CampaignGrid`] directly.
+pub fn analyze_grid(grid: &CampaignGrid) -> Vec<CellStaticBound> {
+    grid.cells().iter().map(analyze_grid_cell).collect()
+}
+
+/// Cross-checks measured per-request delays from a campaign run against
+/// the static bounds: any observed `γ` above the cell's static bound is a
+/// soundness violation. Returns one message per violation.
+pub fn check_measured(rows: &[CellStaticBound], result: &CampaignResult) -> Vec<String> {
+    let mut violations = Vec::new();
+    for record in result.records.iter().filter(|r| r.is_ok()) {
+        let Some(row) = rows.iter().find(|row| row.cell == record.scenario) else {
+            continue;
+        };
+        let checks = [
+            ("bus", record.max_gamma, row.static_bus()),
+            ("mc", record.max_gamma_mc, row.static_mc()),
+        ];
+        for (what, observed, bound) in checks {
+            if let (Some(observed), Some(bound)) = (observed, bound) {
+                if observed > bound {
+                    violations.push(format!(
+                        "measured {what} γ {observed} exceeds static bound {bound} on `{}` ({})",
+                        record.scenario, record.label
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Renders the rows as an aligned text table with a one-line verdict.
+pub fn render_rows(rows: &[CellStaticBound]) -> String {
+    let mut out = String::new();
+    let name_width = rows.iter().map(|r| r.cell.len()).max().unwrap_or(4).max(4);
+    let _ = writeln!(
+        out,
+        "{:<name_width$}  {:>5}  {:>9}  {:>10}  {:>9}  {:>12}  status",
+        "cell", "truth", "stat(bus)", "stat(mc)", "stat(tot)", "arbiter"
+    );
+    for r in rows {
+        let fmt_opt = |v: Option<u64>| match v {
+            Some(v) => v.to_string(),
+            None => "unbounded".to_string(),
+        };
+        let status = if let Some(v) = r.violation() {
+            format!("UNSOUND: {v}")
+        } else if r.bound.is_finite() {
+            "sound".to_string()
+        } else {
+            format!("unbounded: {}", r.bound.reason().unwrap_or("unknown"))
+        };
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>5}  {:>9}  {:>10}  {:>9}  {:>12}  {}",
+            r.cell,
+            r.truth_total(),
+            fmt_opt(r.static_bus()),
+            fmt_opt(r.static_mc()),
+            fmt_opt(r.static_total()),
+            r.arbiter,
+            status,
+        );
+    }
+    let unsound = rows.iter().filter(|r| r.violation().is_some()).count();
+    let unbounded = rows.iter().filter(|r| !r.bound.is_finite()).count();
+    let _ = writeln!(
+        out,
+        "{} cells: {} sound, {} unbounded, {} UNSOUND",
+        rows.len(),
+        rows.len() - unsound - unbounded,
+        unbounded,
+        unsound,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignGrid, GridScenario};
+    use rrb_kernels::AccessKind;
+    use rrb_sim::ArbiterKind;
+
+    fn toy_grid() -> CampaignGrid {
+        CampaignGrid::new(GridScenario::Derive, MachineConfig::toy(4, 2))
+            .arbiters(vec![ArbiterKind::RoundRobin, ArbiterKind::FixedPriority, ArbiterKind::Fifo])
+            .cores(vec![2, 4])
+            .accesses(vec![AccessKind::Load])
+            .contender_accesses(vec![AccessKind::Load])
+            .iterations(vec![40])
+            .max_k(8)
+    }
+
+    #[test]
+    fn every_grid_cell_gets_a_finite_sound_bound() {
+        let rows = analyze_grid(&toy_grid());
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.bound.is_finite(), "cell `{}` must not be refused", row.cell);
+            assert_eq!(row.violation(), None, "cell `{}` must dominate truth", row.cell);
+        }
+    }
+
+    #[test]
+    fn round_robin_cells_match_eq1_exactly() {
+        let rows = analyze_grid(&toy_grid());
+        let rr4 = rows.iter().find(|r| r.cell.contains("/rr/c4/")).expect("rr c4 cell");
+        assert_eq!(rr4.static_total(), Some(6));
+        assert_eq!(rr4.truth_total(), 6);
+    }
+
+    #[test]
+    fn fixed_priority_cells_use_the_window_bound() {
+        let rows = analyze_grid(&toy_grid());
+        let fp4 = rows.iter().find(|r| r.cell.contains("/fp/c4/")).expect("fp c4 cell");
+        let total = fp4.static_total().expect("finite via run window");
+        assert!(total >= fp4.truth_total());
+    }
+
+    #[test]
+    fn analyze_spec_covers_grid_and_workloads() {
+        let spec = ExperimentSpec::from_grid("toy", &toy_grid());
+        let rows = analyze_spec(&spec);
+        assert_eq!(rows.len(), 6);
+        let text = render_rows(&rows);
+        assert!(text.contains("6 cells: 6 sound, 0 unbounded, 0 UNSOUND"), "summary: {text}");
+    }
+}

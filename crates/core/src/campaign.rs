@@ -887,6 +887,25 @@ pub fn access_slug(kind: AccessKind) -> &'static str {
     }
 }
 
+/// One expanded grid cell: the concrete machine configuration and
+/// workload axes a single scenario is instantiated from. The static
+/// analyzer bounds these directly, without building the scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// The scenario name the campaign would report for this cell.
+    pub name: String,
+    /// The per-cell machine configuration (arbiter and core count applied).
+    pub cfg: MachineConfig,
+    /// Scua access kind.
+    pub access: AccessKind,
+    /// Contender access kind.
+    pub contender_access: AccessKind,
+    /// Scua iteration count.
+    pub iterations: u64,
+    /// Largest nop-injection count the sweep will try.
+    pub max_k: usize,
+}
+
 /// A parameter grid over a base machine: the cartesian product of
 /// arbiter × core count × scua access × contender access × iterations,
 /// each cell instantiating one [`GridScenario`]. Shared runs between
@@ -994,10 +1013,12 @@ impl CampaignGrid {
             * self.iteration_counts.len()
     }
 
-    /// Expands the grid into one scenario per cell, in a deterministic
-    /// (row-major) order.
-    pub fn scenarios(&self) -> Vec<Box<dyn Scenario + Send + Sync>> {
-        let mut out: Vec<Box<dyn Scenario + Send + Sync>> = Vec::with_capacity(self.cell_count());
+    /// Expands the grid into its concrete cells — the same enumeration
+    /// (and the same cell names) [`scenarios`](Self::scenarios) builds its
+    /// scenario list from, exposed so the static analyzer can bound
+    /// exactly the cells the campaign would run.
+    pub fn cells(&self) -> Vec<GridCell> {
+        let mut out = Vec::with_capacity(self.cell_count());
         for &arbiter in &self.arbiters {
             for &cores in &self.cores {
                 for &access in &self.accesses {
@@ -1023,13 +1044,29 @@ impl CampaignGrid {
                                     None => String::new(),
                                 },
                             );
-                            out.push(self.cell(name, cfg, access, contender_access, iterations));
+                            out.push(GridCell {
+                                name,
+                                cfg,
+                                access,
+                                contender_access,
+                                iterations,
+                                max_k: self.max_k,
+                            });
                         }
                     }
                 }
             }
         }
         out
+    }
+
+    /// Expands the grid into one scenario per cell, in a deterministic
+    /// (row-major) order.
+    pub fn scenarios(&self) -> Vec<Box<dyn Scenario + Send + Sync>> {
+        self.cells()
+            .into_iter()
+            .map(|c| self.cell(c.name, c.cfg, c.access, c.contender_access, c.iterations))
+            .collect()
     }
 
     fn cell(

@@ -36,7 +36,15 @@
 //!   on-disk cache keyed by [`RunSpec::spec_hash`] and invalidated by a
 //!   simulator fingerprint, so re-running a campaign — after a crash,
 //!   in the next CI job, with one more grid axis — only simulates what
-//!   changed, with byte-identical output.
+//!   changed, with byte-identical output;
+//! * the **static contention analyzer** ([`analyze`], backed by the
+//!   `rrb-static` crate): analytic worst-case per-request delay bounds
+//!   for *every* arbiter — including the `fp`/`fifo` policies the
+//!   measurement methodology refuses — composed across the topology and
+//!   cross-checked against both the analytic truth and measured delays
+//!   (`rrb analyze`), plus a spec lint pass ([`lint`], `rrb lint`) that
+//!   catches semantically dead experiments before any cycle is
+//!   simulated.
 //!
 //! ## Quick start: one derivation
 //!
@@ -67,10 +75,14 @@
 //!     .arbiters(vec![ArbiterKind::RoundRobin, ArbiterKind::Fifo]);
 //! let result = Campaign::builder().grid(&grid).jobs(4).build().run();
 //!
-//! // Round-robin recovers the hidden ubd = 6; FIFO is refused — and the
-//! // failure is a per-scenario record, not a poisoned campaign.
+//! // Round-robin recovers the hidden ubd = 6. FIFO has no saw-tooth
+//! // period to recover, so the *measurement* is refused — a per-scenario
+//! // record, not a poisoned campaign — while the static analyzer
+//! // ([`analyze`]) still produces FIFO's analytic bound for the cell.
 //! assert_eq!(result.reports[0].metric_u64("ubd_m"), Some(6));
 //! assert!(!result.reports[1].is_ok());
+//! let static_rows = rrb::analyze::analyze_grid(&grid);
+//! assert_eq!(static_rows[1].static_total(), Some(6)); // the fifo cell
 //! let json = result.to_json(); // bit-identical for any --jobs value
 //! assert!(json.contains("\"ubd_m\": 6"));
 //! ```
@@ -81,9 +93,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod campaign;
 pub mod experiment;
 pub mod json;
+pub mod lint;
 pub mod mbta;
 pub mod methodology;
 pub mod naive;
@@ -99,14 +113,21 @@ pub use rrb_analysis as analysis;
 pub use rrb_kernels as kernels;
 /// Re-export of the analytic layer.
 pub use rrb_sim as sim;
+/// Re-export of the static contention analyzer.
+pub use rrb_static as statics;
 
+pub use analyze::{
+    analyze_grid, analyze_grid_cell, analyze_spec, analyze_workload, check_measured,
+    CellStaticBound,
+};
 pub use campaign::{
     execute_plan, execute_plan_stored, execute_run, execute_run_stored, Campaign, CampaignBuilder,
-    CampaignGrid, CampaignResult, CampaignStats, GridScenario, ParseGridScenarioError, RunError,
-    RunMeasurement, RunRecord, RunSource, RunSpec, StoreUsage,
+    CampaignGrid, CampaignResult, CampaignStats, GridCell, GridScenario, ParseGridScenarioError,
+    RunError, RunMeasurement, RunRecord, RunSource, RunSpec, StoreUsage,
 };
 pub use experiment::{ContendedRun, IsolatedRun, SlowdownMeasurement};
 pub use json::{fnv1a_64, Fnv64Hasher, Json, JsonParseError};
+pub use lint::{has_errors, lint_spec, LintFinding, LintSeverity};
 pub use mbta::{BoundValidation, MbtaAnalysis, TaskBound, TaskSpec};
 pub use methodology::{
     derive_ubd, derive_ubd_repeated, derive_ubd_repeated_jobs, store_tooth_check,

@@ -1,0 +1,416 @@
+//! Static semantic checks on experiment specs (`rrb lint`).
+//!
+//! A spec can parse and validate yet still describe an experiment that
+//! silently measures nothing: a TDMA slot the worst bus transaction never
+//! fits (every request starves), a grid axis left empty (zero cells), a
+//! nop sweep too short to cover two saw-tooth periods, a finite contender
+//! that falls silent halfway through the scua. This pass catches those
+//! before any cycle is simulated; CI runs it over every checked-in spec.
+//!
+//! Findings carry the same dotted field paths as [`SpecError::Field`]
+//! diagnostics (e.g. `grid.cores`, `workloads[0].contenders[2]`), so a
+//! finding always points at the exact field to fix.
+//!
+//! [`SpecError::Field`]: crate::spec::SpecError
+
+use crate::spec::ExperimentSpec;
+use rrb_kernels::KernelSpec;
+use rrb_sim::{ArbiterKind, CoreId, MachineConfig};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// How bad a lint finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintSeverity {
+    /// The experiment cannot produce a meaningful result.
+    Error,
+    /// The experiment runs but likely does not measure what was intended.
+    Warning,
+}
+
+impl fmt::Display for LintSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintSeverity::Error => write!(f, "error"),
+            LintSeverity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One lint finding: a severity, the dotted path of the offending field,
+/// and what is wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Error or warning.
+    pub severity: LintSeverity,
+    /// Dotted field path (e.g. `grid.methodology.max_k`).
+    pub path: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: spec field `{}`: {}", self.severity, self.path, self.message)
+    }
+}
+
+/// Whether any finding is an error (the CLI's exit criterion).
+pub fn has_errors(findings: &[LintFinding]) -> bool {
+    findings.iter().any(|f| f.severity == LintSeverity::Error)
+}
+
+/// Renders findings one per line, with a closing summary line.
+pub fn render_findings(findings: &[LintFinding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{f}");
+    }
+    let errors = findings.iter().filter(|f| f.severity == LintSeverity::Error).count();
+    let _ = writeln!(
+        out,
+        "{} findings ({} errors, {} warnings)",
+        findings.len(),
+        errors,
+        findings.len() - errors
+    );
+    out
+}
+
+struct Linter {
+    findings: Vec<LintFinding>,
+}
+
+impl Linter {
+    fn error(&mut self, path: impl Into<String>, message: impl Into<String>) {
+        self.findings.push(LintFinding {
+            severity: LintSeverity::Error,
+            path: path.into(),
+            message: message.into(),
+        });
+    }
+
+    fn warning(&mut self, path: impl Into<String>, message: impl Into<String>) {
+        self.findings.push(LintFinding {
+            severity: LintSeverity::Warning,
+            path: path.into(),
+            message: message.into(),
+        });
+    }
+}
+
+fn worst_bus_occupancy(machine: &MachineConfig) -> u64 {
+    let bus = &machine.topology.bus;
+    bus.l2_hit_occupancy.max(bus.transfer_occupancy).max(bus.store_occupancy)
+}
+
+/// Checks one arbiter's compatibility with the machine and the largest
+/// swept core count.
+fn lint_arbiter(
+    lint: &mut Linter,
+    path: &str,
+    arbiter: ArbiterKind,
+    machine: &MachineConfig,
+    max_cores: usize,
+) {
+    match arbiter {
+        ArbiterKind::Tdma { slot_cycles } => {
+            let worst = worst_bus_occupancy(machine);
+            if slot_cycles < worst {
+                lint.error(
+                    path,
+                    format!(
+                        "tdma slot {slot_cycles} is shorter than the worst bus occupancy \
+                         {worst}; the arbiter only grants requests that fit the remaining \
+                         slot, so those transactions starve forever"
+                    ),
+                );
+            }
+        }
+        ArbiterKind::GroupedRoundRobin { group_size } => {
+            if group_size == 0 {
+                lint.error(path, "grouped round-robin group size must be at least 1");
+            } else if group_size >= max_cores && max_cores > 0 {
+                lint.warning(
+                    path,
+                    format!(
+                        "group size {group_size} covers every swept core count (max \
+                         {max_cores}); the arbiter degenerates to plain round-robin"
+                    ),
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+fn lint_kernel(lint: &mut Linter, path: &str, kernel: &KernelSpec, machine: &MachineConfig) {
+    if let Err(e) = kernel.try_build(machine, CoreId::new(0)) {
+        lint.error(path, format!("kernel cannot be built for this machine: {e}"));
+    }
+}
+
+/// Runs every lint check over `spec`. An empty result means the spec is
+/// clean; [`has_errors`] decides pass/fail.
+pub fn lint_spec(spec: &ExperimentSpec) -> Vec<LintFinding> {
+    let mut lint = Linter { findings: Vec::new() };
+    let machine = &spec.machine;
+
+    if spec.name.trim().is_empty() {
+        lint.error("name", "experiment name is empty");
+    }
+
+    // ---- machine ------------------------------------------------------
+    if machine.num_cores < 2 && spec.grid.is_none() {
+        lint.warning(
+            "machine.num_cores",
+            "a single core has no contenders; every measured delay will be zero",
+        );
+    }
+    lint_arbiter(
+        &mut lint,
+        "machine.topology.bus.arbiter",
+        machine.topology.bus.arbiter,
+        machine,
+        machine.num_cores,
+    );
+    if let Some(mc) = &machine.topology.mc {
+        if let ArbiterKind::Tdma { slot_cycles } = mc.arbiter {
+            if slot_cycles < mc.service_occupancy {
+                lint.error(
+                    "machine.topology.mc.arbiter",
+                    format!(
+                        "tdma slot {slot_cycles} is shorter than the controller service \
+                         occupancy {}; admissions starve forever",
+                        mc.service_occupancy
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- grid ---------------------------------------------------------
+    if let Some(grid) = &spec.grid {
+        let axes: [(&str, usize); 5] = [
+            ("grid.arbiters", grid.arbiters.len()),
+            ("grid.cores", grid.cores.len()),
+            ("grid.accesses", grid.accesses.len()),
+            ("grid.contender_accesses", grid.contender_accesses.len()),
+            ("grid.iterations", grid.iterations.len()),
+        ];
+        for (path, len) in axes {
+            if len == 0 {
+                lint.error(path, "dangling grid axis: an empty list expands to zero cells");
+            }
+        }
+        let max_cores = grid.cores.iter().copied().max().unwrap_or(0);
+        for (i, &cores) in grid.cores.iter().enumerate() {
+            if cores == 0 {
+                lint.error(format!("grid.cores[{i}]"), "a zero-core machine cannot run");
+            } else if cores == 1 {
+                lint.warning(
+                    format!("grid.cores[{i}]"),
+                    "a single core has no contenders; the cell measures nothing",
+                );
+            }
+        }
+        for (i, &arbiter) in grid.arbiters.iter().enumerate() {
+            lint_arbiter(&mut lint, &format!("grid.arbiters[{i}]"), arbiter, machine, max_cores);
+        }
+        for (i, &iters) in grid.iterations.iter().enumerate() {
+            if iters == 0 {
+                lint.error(
+                    format!("grid.iterations[{i}]"),
+                    "zero iterations: the scua never requests",
+                );
+            }
+        }
+
+        // Measurement-window sanity: the nop sweep must cover at least two
+        // saw-tooth periods (the period equals the bus term of the bound)
+        // for the period matcher to have two anchor points (§4.1).
+        let worst = worst_bus_occupancy(machine);
+        let period = (max_cores.saturating_sub(1) as u64).saturating_mul(worst);
+        if period > 0 && (grid.max_k as u64) < 2 * period {
+            lint.warning(
+                "grid.max_k",
+                format!(
+                    "nop sweep tops out at {} but one saw-tooth period can reach {period} \
+                     cycles; cover at least two periods ({}) for the matcher to lock on",
+                    grid.max_k,
+                    2 * period
+                ),
+            );
+        }
+        let m = &grid.methodology;
+        if m.iterations == 0 {
+            lint.error("grid.methodology.iterations", "zero iterations: the scua never requests");
+        }
+        if m.calibration_iterations == 0 {
+            lint.error(
+                "grid.methodology.calibration_iterations",
+                "zero calibration iterations: δ_nop cannot be measured",
+            );
+        }
+        if !(m.min_bus_utilization > 0.0 && m.min_bus_utilization <= 1.0) {
+            lint.error(
+                "grid.methodology.min_bus_utilization",
+                format!(
+                    "{} is outside (0, 1]; the §4.3 confidence check is meaningless",
+                    m.min_bus_utilization
+                ),
+            );
+        }
+        if period > 0 && m.tolerance >= period {
+            lint.warning(
+                "grid.methodology.tolerance",
+                format!(
+                    "tolerance {} is at least one saw-tooth period ({period}); the period \
+                     matcher will accept any candidate",
+                    m.tolerance
+                ),
+            );
+        }
+    }
+
+    // ---- workloads ----------------------------------------------------
+    for (i, case) in spec.workloads.iter().enumerate() {
+        let base = format!("workloads[{i}]");
+        if case.name.trim().is_empty() {
+            lint.error(format!("{base}.name"), "workload name is empty");
+        }
+        if !case.scua.is_finite() {
+            lint.error(
+                format!("{base}.scua"),
+                "the observed kernel must be finite for its execution time to exist",
+            );
+        }
+        lint_kernel(&mut lint, &format!("{base}.scua"), &case.scua, machine);
+        let contender_slots = machine.num_cores.saturating_sub(1);
+        if case.contenders.len() > contender_slots {
+            lint.error(
+                format!("{base}.contenders"),
+                format!(
+                    "{} contenders but only {contender_slots} non-scua cores",
+                    case.contenders.len()
+                ),
+            );
+        } else if case.contenders.len() < contender_slots {
+            lint.warning(
+                format!("{base}.contenders"),
+                format!(
+                    "{} contenders leave {} cores idle; contention is below the \
+                     machine's worst case",
+                    case.contenders.len(),
+                    contender_slots - case.contenders.len()
+                ),
+            );
+        }
+        for (j, contender) in case.contenders.iter().enumerate() {
+            let cpath = format!("{base}.contenders[{j}]");
+            if contender.is_finite() {
+                lint.warning(
+                    &cpath,
+                    "finite contender can complete before the scua and fall silent; \
+                     endless kernels keep pressure constant (§3.1)",
+                );
+            }
+            lint_kernel(&mut lint, &cpath, contender, machine);
+        }
+    }
+    for (i, a) in spec.workloads.iter().enumerate() {
+        if let Some(j) = spec.workloads.iter().skip(i + 1).position(|b| b.name == a.name) {
+            lint.error(
+                format!("workloads[{}].name", i + 1 + j),
+                format!("duplicate workload name `{}`; campaign records would collide", a.name),
+            );
+        }
+    }
+
+    lint.findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignGrid, GridScenario};
+    use rrb_kernels::AccessKind;
+
+    fn clean_spec() -> ExperimentSpec {
+        let grid = CampaignGrid::new(GridScenario::Derive, MachineConfig::toy(4, 2))
+            .arbiters(vec![ArbiterKind::RoundRobin])
+            .cores(vec![2, 4])
+            .accesses(vec![AccessKind::Load])
+            .contender_accesses(vec![AccessKind::Load])
+            .iterations(vec![40])
+            .max_k(16)
+            .methodology(crate::MethodologyConfig::fast());
+        ExperimentSpec::from_grid("toy", &grid)
+    }
+
+    #[test]
+    fn clean_spec_has_no_errors() {
+        let findings = lint_spec(&clean_spec());
+        assert!(!has_errors(&findings), "{findings:?}");
+    }
+
+    #[test]
+    fn empty_axis_is_a_dangling_grid_error() {
+        let mut spec = clean_spec();
+        spec.grid.as_mut().expect("grid").cores.clear();
+        let findings = lint_spec(&spec);
+        assert!(findings
+            .iter()
+            .any(|f| f.severity == LintSeverity::Error && f.path == "grid.cores"));
+    }
+
+    #[test]
+    fn starving_tdma_slot_is_an_error_with_a_dotted_path() {
+        let mut spec = clean_spec();
+        // Worst occupancy on the toy bus is 2; a 1-cycle slot never fits.
+        spec.grid.as_mut().expect("grid").arbiters = vec![ArbiterKind::Tdma { slot_cycles: 1 }];
+        let findings = lint_spec(&spec);
+        let hit = findings.iter().find(|f| f.path == "grid.arbiters[0]").expect("tdma finding");
+        assert_eq!(hit.severity, LintSeverity::Error);
+        assert!(hit.message.contains("starve"), "{}", hit.message);
+    }
+
+    #[test]
+    fn short_nop_sweep_is_flagged() {
+        let mut spec = clean_spec();
+        spec.grid.as_mut().expect("grid").max_k = 3;
+        let findings = lint_spec(&spec);
+        assert!(findings.iter().any(|f| f.path == "grid.max_k"), "{findings:?}");
+    }
+
+    #[test]
+    fn finite_contender_is_a_warning() {
+        let mut spec = clean_spec();
+        spec.workloads.push(crate::spec::WorkloadCase {
+            name: "case".into(),
+            scua: KernelSpec::Rsk { access: AccessKind::Load },
+            contenders: vec![KernelSpec::RskNop {
+                access: AccessKind::Load,
+                nops: 0,
+                iterations: 10,
+            }],
+        });
+        let findings = lint_spec(&spec);
+        // The endless rsk scua is an error; the finite contender a warning.
+        assert!(findings.iter().any(|f| f.path == "workloads[0].scua"));
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.path == "workloads[0].contenders[0]"
+                    && f.severity == LintSeverity::Warning)
+        );
+    }
+
+    #[test]
+    fn findings_render_with_dotted_paths() {
+        let mut spec = clean_spec();
+        spec.grid.as_mut().expect("grid").cores.clear();
+        let text = render_findings(&lint_spec(&spec));
+        assert!(text.contains("spec field `grid.cores`"), "{text}");
+    }
+}

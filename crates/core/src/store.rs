@@ -370,69 +370,20 @@ impl ResultStore {
         if !m.bus_utilization.is_finite() || m.mc_utilization.is_some_and(|u| !u.is_finite()) {
             return Ok(false);
         }
-        let payload =
-            Json::obj(vec![("spec", spec_to_json(spec)), ("measurement", measurement_to_json(m))]);
-        let payload_hash = fnv1a_64(payload.render_compact().as_bytes());
-        let entry = Json::obj(vec![
-            ("format", Json::U64(STORE_FORMAT_VERSION)),
-            ("fingerprint", Json::U64(self.fingerprint)),
-            ("spec_hash", Json::U64(spec.spec_hash())),
-            ("payload_hash", Json::U64(payload_hash)),
-            ("payload", payload),
-        ]);
+        let entry = encode_entry(self.fingerprint, spec, m);
         self.write_atomic_in_dir(&self.entry_path(spec.spec_hash()), &entry.render_pretty())?;
         Ok(true)
     }
 
-    /// Decodes and fully validates one entry. `expect_hash` pins the
-    /// content address (from the file name or the querying spec);
-    /// `confirm` is the queried spec for structural confirmation.
+    /// Decodes and fully validates one entry against this store's
+    /// fingerprint (see the free [`decode_entry`] for the pure logic).
     fn decode_entry(
         &self,
         text: &str,
         expect_hash: Option<u64>,
         confirm: Option<&RunSpec>,
     ) -> Result<RunMeasurement, String> {
-        let v = Json::parse(text).map_err(|e| format!("corrupt entry (not valid JSON): {e}"))?;
-        let field = |key: &str| {
-            v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("corrupt entry: no `{key}`"))
-        };
-        let format = field("format")?;
-        if format != STORE_FORMAT_VERSION {
-            return Err(format!(
-                "entry format {format} but this build writes {STORE_FORMAT_VERSION}"
-            ));
-        }
-        let fingerprint = field("fingerprint")?;
-        if fingerprint != self.fingerprint {
-            return Err(format!(
-                "stale simulator fingerprint {fingerprint:016x} (current {:016x})",
-                self.fingerprint
-            ));
-        }
-        let spec_hash = field("spec_hash")?;
-        if let Some(expected) = expect_hash {
-            if spec_hash != expected {
-                return Err(format!(
-                    "content address mismatch: entry claims {spec_hash:016x}, expected \
-                     {expected:016x}"
-                ));
-            }
-        }
-        let payload = v.get("payload").ok_or("corrupt entry: no `payload`")?;
-        if fnv1a_64(payload.render_compact().as_bytes()) != field("payload_hash")? {
-            return Err(String::from("integrity hash mismatch (truncated or bit-flipped entry)"));
-        }
-        if let Some(spec) = confirm {
-            let stored = payload.get("spec").ok_or("corrupt entry: no `payload.spec`")?;
-            if stored.render_compact() != spec_to_json(spec).render_compact() {
-                return Err(String::from(
-                    "spec-hash collision: stored spec differs structurally from the queried one",
-                ));
-            }
-        }
-        let m = payload.get("measurement").ok_or("corrupt entry: no `payload.measurement`")?;
-        measurement_from_json(m)
+        decode_entry(text, self.fingerprint, expect_hash, confirm)
     }
 
     /// Facts for `rrb cache stats`.
@@ -590,6 +541,74 @@ pub fn write_file_atomic(path: impl AsRef<Path>, contents: &str) -> Result<(), S
 }
 
 // ---------------------------------------------------------------------
+// Entry codec: pure functions (no filesystem), unit-testable under Miri
+// ---------------------------------------------------------------------
+
+/// Encodes one complete entry document: format version, simulator
+/// fingerprint, content address, integrity hash, and the full payload.
+fn encode_entry(fingerprint: u64, spec: &RunSpec, m: &RunMeasurement) -> Json {
+    let payload =
+        Json::obj(vec![("spec", spec_to_json(spec)), ("measurement", measurement_to_json(m))]);
+    let payload_hash = fnv1a_64(payload.render_compact().as_bytes());
+    Json::obj(vec![
+        ("format", Json::U64(STORE_FORMAT_VERSION)),
+        ("fingerprint", Json::U64(fingerprint)),
+        ("spec_hash", Json::U64(spec.spec_hash())),
+        ("payload_hash", Json::U64(payload_hash)),
+        ("payload", payload),
+    ])
+}
+
+/// Decodes and fully validates one entry. `fingerprint` is the current
+/// build's simulator fingerprint; `expect_hash` pins the content address
+/// (from the file name or the querying spec); `confirm` is the queried
+/// spec for structural confirmation.
+fn decode_entry(
+    text: &str,
+    fingerprint: u64,
+    expect_hash: Option<u64>,
+    confirm: Option<&RunSpec>,
+) -> Result<RunMeasurement, String> {
+    let v = Json::parse(text).map_err(|e| format!("corrupt entry (not valid JSON): {e}"))?;
+    let field = |key: &str| {
+        v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("corrupt entry: no `{key}`"))
+    };
+    let format = field("format")?;
+    if format != STORE_FORMAT_VERSION {
+        return Err(format!("entry format {format} but this build writes {STORE_FORMAT_VERSION}"));
+    }
+    let entry_fingerprint = field("fingerprint")?;
+    if entry_fingerprint != fingerprint {
+        return Err(format!(
+            "stale simulator fingerprint {entry_fingerprint:016x} (current {fingerprint:016x})"
+        ));
+    }
+    let spec_hash = field("spec_hash")?;
+    if let Some(expected) = expect_hash {
+        if spec_hash != expected {
+            return Err(format!(
+                "content address mismatch: entry claims {spec_hash:016x}, expected \
+                 {expected:016x}"
+            ));
+        }
+    }
+    let payload = v.get("payload").ok_or("corrupt entry: no `payload`")?;
+    if fnv1a_64(payload.render_compact().as_bytes()) != field("payload_hash")? {
+        return Err(String::from("integrity hash mismatch (truncated or bit-flipped entry)"));
+    }
+    if let Some(spec) = confirm {
+        let stored = payload.get("spec").ok_or("corrupt entry: no `payload.spec`")?;
+        if stored.render_compact() != spec_to_json(spec).render_compact() {
+            return Err(String::from(
+                "spec-hash collision: stored spec differs structurally from the queried one",
+            ));
+        }
+    }
+    let m = payload.get("measurement").ok_or("corrupt entry: no `payload.measurement`")?;
+    measurement_from_json(m)
+}
+
+// ---------------------------------------------------------------------
 // Canonical serialisation: RunSpec (confirmation) and RunMeasurement
 // ---------------------------------------------------------------------
 
@@ -695,6 +714,63 @@ mod tests {
         let cfg = MachineConfig::toy(4, 2);
         let scua = rsk_nop(AccessKind::Load, k, &cfg, CoreId::new(0), 30);
         RunSpec::contended_rsk(format!("k={k}"), cfg, scua, AccessKind::Load)
+    }
+
+    /// A hand-built measurement (no simulation) for the pure codec tests.
+    fn toy_measurement() -> RunMeasurement {
+        RunMeasurement {
+            execution_time: 1234,
+            bus_requests: 56,
+            instructions: 789,
+            gamma_histogram: [0u64, 2, 2, 6].into_iter().collect(),
+            mc_gamma_histogram: Histogram::new(),
+            contender_histogram: [3u64, 3, 3].into_iter().collect(),
+            bus_utilization: 0.625,
+            mc_utilization: None,
+        }
+    }
+
+    // The `entry_*` tests exercise the pure encode/decode codec with no
+    // filesystem or simulation — CI runs them (plus the `json` module)
+    // under Miri, where a full machine run would be prohibitively slow.
+
+    #[test]
+    fn entry_codec_round_trips_without_touching_disk() {
+        let spec = toy_spec(1);
+        let m = toy_measurement();
+        let text = encode_entry(0xfeed, &spec, &m).render_pretty();
+        let back =
+            decode_entry(&text, 0xfeed, Some(spec.spec_hash()), Some(&spec)).expect("valid entry");
+        assert_eq!(back, m);
+        assert_eq!(back.bus_utilization.to_bits(), m.bus_utilization.to_bits());
+    }
+
+    #[test]
+    fn entry_decode_rejects_stale_fingerprint_and_wrong_address() {
+        let spec = toy_spec(1);
+        let text = encode_entry(0xfeed, &spec, &toy_measurement()).render_pretty();
+        let e = decode_entry(&text, 0xbeef, None, None).expect_err("stale fingerprint");
+        assert!(e.contains("fingerprint"), "{e}");
+        let e = decode_entry(&text, 0xfeed, Some(spec.spec_hash() ^ 1), None)
+            .expect_err("wrong content address");
+        assert!(e.contains("content address"), "{e}");
+    }
+
+    #[test]
+    fn entry_decode_rejects_corruption_and_collisions() {
+        let spec = toy_spec(1);
+        let text = encode_entry(0xfeed, &spec, &toy_measurement()).render_pretty();
+        // Bit-flip inside the payload: integrity hash must catch it.
+        let flipped = text.replacen("1234", "1235", 1);
+        let e = decode_entry(&flipped, 0xfeed, None, None).expect_err("bit flip");
+        assert!(e.contains("integrity"), "{e}");
+        // Structural confirmation against a different queried spec.
+        let other = toy_spec(2);
+        let e = decode_entry(&text, 0xfeed, None, Some(&other)).expect_err("collision");
+        assert!(e.contains("collision"), "{e}");
+        // Truncation is not even valid JSON.
+        let e = decode_entry(&text[..text.len() / 2], 0xfeed, None, None).expect_err("truncated");
+        assert!(e.contains("JSON"), "{e}");
     }
 
     #[test]

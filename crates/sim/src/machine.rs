@@ -265,6 +265,7 @@ impl Machine {
     /// Panics if `core` is out of range; use [`Machine::try_load_program`]
     /// for fallible loading.
     pub fn load_program(&mut self, core: CoreId, program: Program) {
+        // lint_sources: allow (the documented-panicking convenience wrapper)
         self.try_load_program(core, program).expect("core index out of range");
     }
 

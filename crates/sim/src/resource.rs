@@ -284,7 +284,8 @@ impl SharedResource {
                 .map(|p| p.map(|p| RequestView { ready: p.ready, occupancy: worst })),
         );
         let chosen = self.arbiter.select(&self.view_buf, now)?;
-        let pending = self.pending[chosen].take().expect("arbiter chose an empty slot");
+        debug_assert!(self.pending[chosen].is_some(), "arbiter chose an empty slot");
+        let pending = self.pending[chosen].take()?;
         debug_assert!(pending.ready <= now, "arbiter granted a not-yet-ready request");
         let core = CoreId::new(chosen);
         let (occupancy, l2_hit) = occupancy_of(core, &pending);

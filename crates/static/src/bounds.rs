@@ -1,0 +1,467 @@
+//! Per-arbiter worst-case per-request delay models, composed across the
+//! topology into a [`StaticBound`].
+//!
+//! Every model bounds the simulator's observable `γ = granted - ready` for
+//! one request at one resource. The load-bearing structural invariant is
+//! that each core keeps **at most one outstanding request per resource**
+//! (the resource's pending array has one slot per core), so at most
+//! `Nc - 1` foreign grants — each at most the resource's worst occupancy
+//! `L` — can precede a waiting request under any order-fair policy.
+//!
+//! * **Round-robin** (Eq. 1): the rotating pointer grants every other core
+//!   at most once before coming back: `(Nc-1)·L`.
+//! * **FIFO**: at most `Nc - 1` older-or-in-flight foreign requests exist
+//!   (one slot per core, and the in-flight core's slot is empty), and a
+//!   later arrival never overtakes an earlier one: `(Nc-1)·L`.
+//! * **Grouped round-robin** (`grr:g`): the outer pointer rotates over
+//!   `⌈Nc/g⌉` groups and the inner pointer over `g` members, so
+//!   `g·⌈Nc/g⌉ - 1` grants can separate two grants of one core:
+//!   `(g·⌈Nc/g⌉ - 1)·L`.
+//! * **TDMA** (`tdma:s`): non-work-conserving; the arbiter only grants when
+//!   the *worst* occupancy fits the owner's remaining slot. Worst case: the
+//!   request becomes ready just as its slot stops fitting (`L - 1` cycles
+//!   left), then waits out the other `Nc - 1` slots: `(Nc-1)·s + L - 1`.
+//!   If `s < L` the request never fits and the bound is unbounded.
+//! * **Fixed priority** (`fp`, lowest core index wins): per-core
+//!   response-time analysis. The top-priority requester only suffers
+//!   blocking by an in-flight transaction (`≤ L`). A lower-priority core's
+//!   wait `D` must absorb every higher-priority arrival in `D`, bounded per
+//!   higher core by the *smaller* of its total request count and a rate
+//!   curve `⌊D/(min_occ + gap)⌋ + 1`. When the fixed point diverges (a
+//!   saturating higher-priority core), the fall-back is the whole-run
+//!   window `W`: the machine stops once every finite program completes, so
+//!   no grant — hence no delay — can exceed `W`. Only when `W` itself is
+//!   unbounded (no finite program, or a finite program stuck behind a
+//!   saturating higher-priority core) is the cell reported unbounded.
+
+use crate::profile::CoreProfile;
+use rrb_sim::{ArbiterKind, MachineConfig, ResourceKind};
+
+/// Outcome of one per-core, per-resource bound computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bound {
+    /// A finite worst-case per-request delay in cycles.
+    Finite(u64),
+    /// The fixed point diverged; a whole-run window bound may still apply.
+    NeedsWindow,
+    /// No finite bound exists for this configuration.
+    Unbounded(String),
+}
+
+/// Static worst-case per-request delay at one shared resource, taken over
+/// all requesting cores (machine-wide).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceBound {
+    /// Which contention point this bound covers.
+    pub resource: ResourceKind,
+    /// The arbiter policy the bound was derived for.
+    pub arbiter: ArbiterKind,
+    /// Worst-case `granted - ready` in cycles; `None` if unbounded.
+    pub bound: Option<u64>,
+    /// Human-readable reason when `bound` is `None`.
+    pub reason: Option<String>,
+}
+
+/// The composed static bound for one machine configuration: one term per
+/// contention point in the topology, summed into a total comparable to
+/// [`MachineConfig::ubd`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticBound {
+    /// Number of cores the bound was computed for.
+    pub num_cores: usize,
+    /// Per-resource worst-case delays, in topology order (bus, then MC).
+    pub resources: Vec<ResourceBound>,
+}
+
+impl StaticBound {
+    /// Computes the machine-wide static bound for `cfg` given one demand
+    /// profile per core (missing trailing cores are treated as idle).
+    pub fn analyze(cfg: &MachineConfig, profiles: &[CoreProfile]) -> StaticBound {
+        analyze(cfg, profiles)
+    }
+
+    /// Worst-case envelope: every core runs an endless, back-to-back
+    /// request stream. Matches Eq. 1 for round-robin; unbounded for `fp`.
+    pub fn saturating(cfg: &MachineConfig) -> StaticBound {
+        let profiles = vec![CoreProfile::saturating(); cfg.num_cores];
+        analyze(cfg, &profiles)
+    }
+
+    /// Sum of all per-resource bounds; `None` if any term is unbounded.
+    pub fn total(&self) -> Option<u64> {
+        let mut total = 0u64;
+        for r in &self.resources {
+            total = total.saturating_add(r.bound?);
+        }
+        Some(total)
+    }
+
+    /// Whether every contention point has a finite bound.
+    pub fn is_finite(&self) -> bool {
+        self.resources.iter().all(|r| r.bound.is_some())
+    }
+
+    /// The bound for a specific resource kind, if that resource exists.
+    pub fn resource(&self, kind: ResourceKind) -> Option<&ResourceBound> {
+        self.resources.iter().find(|r| r.resource == kind)
+    }
+
+    /// First unboundedness reason, if any.
+    pub fn reason(&self) -> Option<&str> {
+        self.resources.iter().find_map(|r| r.reason.as_deref())
+    }
+}
+
+/// Arbitrated-resource parameters the per-arbiter models need.
+struct ResourceModel {
+    kind: ResourceKind,
+    arbiter: ArbiterKind,
+    /// Worst single-transaction occupancy (the simulator arbitrates on
+    /// this uniform worst-case view).
+    max_occ: u64,
+    /// Smallest occupancy any transaction can hold the resource for.
+    min_occ: u64,
+}
+
+fn resource_models(cfg: &MachineConfig) -> Vec<ResourceModel> {
+    let bus = &cfg.topology.bus;
+    let mut models = vec![ResourceModel {
+        kind: ResourceKind::Bus,
+        arbiter: bus.arbiter,
+        max_occ: bus.l2_hit_occupancy.max(bus.transfer_occupancy).max(bus.store_occupancy),
+        min_occ: bus.l2_hit_occupancy.min(bus.transfer_occupancy).min(bus.store_occupancy).max(1),
+    }];
+    if let Some(mc) = &cfg.topology.mc {
+        models.push(ResourceModel {
+            kind: ResourceKind::MemoryController,
+            arbiter: mc.arbiter,
+            max_occ: mc.service_occupancy,
+            min_occ: mc.service_occupancy.max(1),
+        });
+    }
+    models
+}
+
+/// Request count of `profile` at the resource `kind` (bus vs MC demand).
+fn requests_at(profile: &CoreProfile, kind: ResourceKind) -> Option<u64> {
+    match kind {
+        ResourceKind::Bus => profile.bus_requests,
+        ResourceKind::MemoryController => profile.mc_requests,
+    }
+}
+
+fn can_request(profile: &CoreProfile, kind: ResourceKind) -> bool {
+    requests_at(profile, kind) != Some(0)
+}
+
+/// Per-core, per-resource bound before window resolution.
+fn core_bound(
+    model: &ResourceModel,
+    core: usize,
+    num_cores: usize,
+    profiles: &[CoreProfile],
+) -> Bound {
+    let nc = num_cores as u64;
+    let l = model.max_occ;
+    match model.arbiter {
+        ArbiterKind::RoundRobin | ArbiterKind::Fifo => {
+            Bound::Finite(nc.saturating_sub(1).saturating_mul(l))
+        }
+        ArbiterKind::GroupedRoundRobin { group_size } => {
+            let g = group_size.max(1) as u64;
+            let groups = nc.div_ceil(g);
+            Bound::Finite(g.saturating_mul(groups).saturating_sub(1).saturating_mul(l))
+        }
+        ArbiterKind::Tdma { slot_cycles } => {
+            if slot_cycles < l {
+                Bound::Unbounded(format!(
+                    "tdma slot {slot_cycles} cannot fit the worst {} occupancy {l}; requests starve",
+                    model.kind.slug()
+                ))
+            } else {
+                Bound::Finite(
+                    nc.saturating_sub(1)
+                        .saturating_mul(slot_cycles)
+                        .saturating_add(l.saturating_sub(1)),
+                )
+            }
+        }
+        ArbiterKind::FixedPriority => fp_response_time(model, core, profiles),
+    }
+}
+
+/// Response-time analysis for fixed priority (lowest core index wins).
+fn fp_response_time(model: &ResourceModel, core: usize, profiles: &[CoreProfile]) -> Bound {
+    // Non-preemptive blocking by whatever transaction is in flight.
+    let blocking = model.max_occ;
+    let higher: Vec<&CoreProfile> =
+        profiles[..core].iter().filter(|p| can_request(p, model.kind)).collect();
+    if higher.is_empty() {
+        return Bound::Finite(blocking);
+    }
+    // Iterate D = B + Σ_h min(count_h, rate_h(D)) · L to a fixed point.
+    let mut d = blocking;
+    for _ in 0..256 {
+        let mut next = blocking;
+        for h in &higher {
+            let step = model.min_occ.saturating_add(h.min_gap).max(1);
+            let by_rate = (d / step).saturating_add(1);
+            let arrivals = match requests_at(h, model.kind) {
+                Some(count) => count.min(by_rate),
+                None => by_rate,
+            };
+            next = next.saturating_add(arrivals.saturating_mul(model.max_occ));
+        }
+        if next == d {
+            return Bound::Finite(d);
+        }
+        if next > 1 << 40 {
+            // Saturating higher-priority demand: no convergence.
+            return Bound::NeedsWindow;
+        }
+        d = next;
+    }
+    Bound::NeedsWindow
+}
+
+/// Whole-run window: the machine stops once every finite program has
+/// completed, so `W = max_c (isolated_c + requests_c · per-request delay)`
+/// over the finite cores bounds the length of any run — and therefore any
+/// single delay within it. Requires every finite core to have a
+/// convergent (non-window) bound at every resource.
+fn run_window(
+    models: &[ResourceModel],
+    bounds: &[Vec<Bound>],
+    profiles: &[CoreProfile],
+) -> Result<Option<u64>, String> {
+    let mut window: Option<u64> = None;
+    for (c, p) in profiles.iter().enumerate() {
+        if !p.is_finite() {
+            continue;
+        }
+        let mut completion = p.isolated_cycles.unwrap_or(0);
+        for (r, model) in models.iter().enumerate() {
+            let requests = requests_at(p, model.kind).unwrap_or(0);
+            if requests == 0 {
+                continue;
+            }
+            match &bounds[r][c] {
+                Bound::Finite(b) => {
+                    completion = completion.saturating_add(requests.saturating_mul(*b));
+                }
+                Bound::NeedsWindow => {
+                    return Err(format!(
+                        "finite program on core {c} is starved at the {} by a saturating \
+                         higher-priority core; the run never terminates",
+                        model.kind.slug()
+                    ));
+                }
+                Bound::Unbounded(reason) => return Err(reason.clone()),
+            }
+        }
+        window = Some(window.unwrap_or(0).max(completion));
+    }
+    Ok(window)
+}
+
+/// Computes the machine-wide [`StaticBound`] for `cfg` from per-core
+/// demand profiles. Cores beyond `profiles.len()` are treated as idle.
+pub fn analyze(cfg: &MachineConfig, profiles: &[CoreProfile]) -> StaticBound {
+    let num_cores = cfg.num_cores;
+    let mut padded: Vec<CoreProfile> = profiles.to_vec();
+    padded.resize(num_cores, CoreProfile::idle());
+    let models = resource_models(cfg);
+
+    // Pass 1: per-core bounds without the window fallback.
+    let per_core: Vec<Vec<Bound>> = models
+        .iter()
+        .map(|m| (0..num_cores).map(|c| core_bound(m, c, num_cores, &padded)).collect())
+        .collect();
+
+    // Pass 2: the whole-run window, for divergent fixed-priority cores.
+    let window = run_window(&models, &per_core, &padded);
+
+    // Pass 3: machine-wide bound per resource over the requesting cores.
+    let resources = models
+        .iter()
+        .enumerate()
+        .map(|(r, model)| {
+            let mut worst: Option<u64> = Some(0);
+            let mut reason: Option<String> = None;
+            for (c, p) in padded.iter().enumerate() {
+                if !can_request(p, model.kind) {
+                    continue;
+                }
+                let resolved = match &per_core[r][c] {
+                    Bound::Finite(b) => Some(*b),
+                    Bound::NeedsWindow => match &window {
+                        Ok(Some(w)) => Some(*w),
+                        Ok(None) => {
+                            reason.get_or_insert_with(|| {
+                                format!(
+                                    "core {c} can starve at the {} behind saturating \
+                                     higher-priority cores and no finite program bounds the run",
+                                    model.kind.slug()
+                                )
+                            });
+                            None
+                        }
+                        Err(e) => {
+                            reason.get_or_insert_with(|| e.clone());
+                            None
+                        }
+                    },
+                    Bound::Unbounded(e) => {
+                        reason.get_or_insert_with(|| e.clone());
+                        None
+                    }
+                };
+                worst = match (worst, resolved) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+            }
+            ResourceBound {
+                resource: model.kind,
+                arbiter: model.arbiter,
+                bound: worst,
+                reason: if worst.is_none() { reason } else { None },
+            }
+        })
+        .collect();
+
+    StaticBound { num_cores, resources }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_program;
+    use rrb_sim::{McQueueConfig, ProgramBuilder};
+
+    fn toy(nc: usize, l: u64) -> MachineConfig {
+        MachineConfig::toy(nc, l)
+    }
+
+    fn finite_scua(cfg: &MachineConfig) -> CoreProfile {
+        let prog = ProgramBuilder::new().load(0x100).nops(2).branch().iterations(50).build();
+        profile_program(&prog, cfg)
+    }
+
+    #[test]
+    fn round_robin_matches_eq1() {
+        for (nc, l) in [(2usize, 1u64), (4, 2), (6, 9)] {
+            let cfg = toy(nc, l);
+            let b = StaticBound::saturating(&cfg);
+            assert_eq!(b.total(), Some((nc as u64 - 1) * l), "nc={nc} l={l}");
+            assert_eq!(b.total(), Some(cfg.ubd()), "matches the analytic truth");
+        }
+    }
+
+    #[test]
+    fn fifo_matches_round_robin_envelope() {
+        let mut cfg = toy(4, 2);
+        cfg.topology.bus.arbiter = ArbiterKind::Fifo;
+        assert_eq!(StaticBound::saturating(&cfg).total(), Some(6));
+    }
+
+    #[test]
+    fn grouped_rr_counts_group_rotation() {
+        let mut cfg = toy(4, 2);
+        cfg.topology.bus.arbiter = ArbiterKind::GroupedRoundRobin { group_size: 2 };
+        // 2 groups * 2 members - 1 = 3 grants ahead.
+        assert_eq!(StaticBound::saturating(&cfg).total(), Some(6));
+        let mut cfg5 = toy(5, 2);
+        cfg5.topology.bus.arbiter = ArbiterKind::GroupedRoundRobin { group_size: 2 };
+        // ceil(5/2)=3 groups * 2 - 1 = 5 grants ahead.
+        assert_eq!(StaticBound::saturating(&cfg5).total(), Some(10));
+    }
+
+    #[test]
+    fn tdma_uses_slot_geometry() {
+        let mut cfg = toy(4, 2);
+        cfg.topology.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 5 };
+        // (4-1)*5 + 2-1 = 16.
+        assert_eq!(StaticBound::saturating(&cfg).total(), Some(16));
+    }
+
+    #[test]
+    fn tdma_slot_too_short_is_unbounded() {
+        let mut cfg = toy(4, 4);
+        cfg.topology.bus.arbiter = ArbiterKind::Tdma { slot_cycles: 3 };
+        let b = StaticBound::saturating(&cfg);
+        assert_eq!(b.total(), None);
+        assert!(b.reason().unwrap_or("").contains("tdma slot"));
+    }
+
+    #[test]
+    fn fp_saturating_everywhere_is_unbounded() {
+        let mut cfg = toy(4, 2);
+        cfg.topology.bus.arbiter = ArbiterKind::FixedPriority;
+        let b = StaticBound::saturating(&cfg);
+        assert_eq!(b.total(), None, "no finite program bounds the run");
+    }
+
+    #[test]
+    fn fp_with_finite_top_priority_scua_is_finite() {
+        let mut cfg = toy(4, 2);
+        cfg.topology.bus.arbiter = ArbiterKind::FixedPriority;
+        let mut profiles = vec![finite_scua(&cfg)];
+        profiles.resize(4, CoreProfile::saturating());
+        let b = StaticBound::analyze(&cfg, &profiles);
+        let total = b.total().expect("window bound applies");
+        // The window dwarfs the round-robin bound but must dominate truth.
+        assert!(total >= cfg.ubd(), "window {total} covers truth {}", cfg.ubd());
+    }
+
+    #[test]
+    fn fp_top_priority_core_only_suffers_blocking() {
+        let mut cfg = toy(4, 2);
+        cfg.topology.bus.arbiter = ArbiterKind::FixedPriority;
+        let models = resource_models(&cfg);
+        let profiles = vec![CoreProfile::saturating(); 4];
+        assert_eq!(core_bound(&models[0], 0, 4, &profiles), Bound::Finite(2));
+    }
+
+    #[test]
+    fn fp_counts_finite_higher_priority_demand() {
+        let mut cfg = toy(3, 2);
+        cfg.topology.bus.arbiter = ArbiterKind::FixedPriority;
+        let models = resource_models(&cfg);
+        // Two finite higher-priority cores with tiny request counts.
+        let small = CoreProfile {
+            bus_requests: Some(3),
+            mc_requests: Some(0),
+            min_gap: 0,
+            isolated_cycles: Some(100),
+        };
+        let profiles = vec![small.clone(), small, CoreProfile::saturating()];
+        match core_bound(&models[0], 2, 3, &profiles) {
+            // B + 2 cores * 3 requests * L = 2 + 12.
+            Bound::Finite(b) => assert_eq!(b, 14),
+            other => panic!("expected finite count-curve bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_level_topology_adds_mc_term() {
+        let mut cfg = toy(4, 2);
+        cfg.topology.mc = Some(McQueueConfig { service_occupancy: 3, arbiter: ArbiterKind::Fifo });
+        let b = StaticBound::saturating(&cfg);
+        assert_eq!(b.resources.len(), 2);
+        assert_eq!(b.resource(ResourceKind::Bus).and_then(|r| r.bound), Some(6));
+        assert_eq!(b.resource(ResourceKind::MemoryController).and_then(|r| r.bound), Some(9));
+        assert_eq!(b.total(), Some(15));
+        assert_eq!(b.total(), Some(cfg.ubd()), "matches ubd_breakdown composition");
+    }
+
+    #[test]
+    fn idle_cores_do_not_drag_bounds() {
+        let cfg = toy(4, 2);
+        let profiles = vec![finite_scua(&cfg), CoreProfile::idle()];
+        let b = StaticBound::analyze(&cfg, &profiles);
+        // Idle cores still count as contenders (Nc is fixed by the config),
+        // but they contribute no unboundedness.
+        assert_eq!(b.total(), Some(6));
+    }
+}
