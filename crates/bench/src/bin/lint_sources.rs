@@ -1,12 +1,16 @@
 //! Source lint for the simulator's hot path: `unwrap()`, `expect(`, and
 //! `panic!` are denied in the modules every simulated cycle flows through
-//! (`machine.rs`, `resource.rs`, `core_model.rs`) outside `#[cfg(test)]`.
+//! (`machine.rs`, `resource.rs`, `core_model.rs`) and in the daemon's
+//! request path (`serve`'s parser, router, and worker dispatch) outside
+//! `#[cfg(test)]`.
 //!
 //! A panic in the hot path aborts a whole campaign mid-run and poisons
-//! the shared thread pool, so recoverable conditions must surface as
-//! `Option`/`Result` (with `debug_assert!` pinning the invariant in
-//! debug builds). A deliberately panicking API — e.g. a documented
-//! `# Panics` convenience wrapper — is exempted by putting a
+//! the shared thread pool; a panic in the daemon's request path kills a
+//! connection or worker thread a long-running service cannot afford to
+//! lose. Recoverable conditions must surface as `Option`/`Result`
+//! (with `debug_assert!` pinning the invariant in debug builds). A
+//! deliberately panicking API — e.g. a documented `# Panics`
+//! convenience wrapper — is exempted by putting a
 //! `lint_sources: allow` marker on the line directly above the hit.
 //!
 //! CI runs this after the build; a hit is exit code 1 with a
@@ -18,8 +22,14 @@
 
 use std::process::ExitCode;
 
-const HOT_PATH: &[&str] =
-    &["crates/sim/src/machine.rs", "crates/sim/src/resource.rs", "crates/sim/src/core_model.rs"];
+const HOT_PATH: &[&str] = &[
+    "crates/sim/src/machine.rs",
+    "crates/sim/src/resource.rs",
+    "crates/sim/src/core_model.rs",
+    "crates/serve/src/http.rs",
+    "crates/serve/src/router.rs",
+    "crates/serve/src/pool.rs",
+];
 
 const DENIED: &[&str] = &["unwrap()", "panic!", "expect("];
 
@@ -48,8 +58,8 @@ fn lint_file(path: &str, source: &str) -> Vec<String> {
         for needle in DENIED {
             if code.contains(needle) {
                 hits.push(format!(
-                    "{path}:{}: `{needle}` in the simulator hot path (return an \
-                     Option/Result, debug_assert! the invariant, or mark the line \
+                    "{path}:{}: `{needle}` on a lint-enforced no-panic path (return \
+                     an Option/Result, debug_assert! the invariant, or mark the line \
                      above with `{ALLOW_MARKER}`)",
                     i + 1
                 ));

@@ -1,0 +1,156 @@
+//! Daemon throughput benchmark: boots an in-process `rrb serve` on an
+//! ephemeral port against a scratch store, replays the checked-in
+//! `examples/experiments/ngmp_sweep.json` cold then warm, and times
+//! point queries, writing the figures to `BENCH_serve.json`.
+//!
+//! ```sh
+//! cargo run --release -p rrb-bench --bin serve_throughput
+//! ```
+//!
+//! Like `cache_throughput`, the bin doubles as an end-to-end smoke
+//! test: it asserts the service contracts — a warm replay simulates
+//! **nothing**, and every line of the campaign stream except the
+//! `stats` trailer is byte-identical across cold and warm — and a
+//! violated contract fails the benchmark outright.
+
+use rrb::json::Json;
+use rrb::store::ResultStore;
+use rrb_serve::{client, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SPEC_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/experiments/ngmp_sweep.json");
+
+/// Warm campaign replays to time (the best is reported: the daemon is
+/// deterministic, so the minimum is the least-noisy estimate).
+const WARM_PASSES: usize = 5;
+
+fn campaign(addr: SocketAddr, spec: &str) -> (f64, client::Response) {
+    let start = Instant::now();
+    let resp = client::post(addr, "/v1/campaigns", spec).expect("campaign request");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(resp.status, 200, "campaign failed: {}", resp.body);
+    (elapsed, resp)
+}
+
+/// The parsed `stats` trailer of a campaign stream.
+fn stats_line(body: &str) -> Json {
+    let line = body
+        .lines()
+        .find(|l| l.contains("\"type\":\"stats\""))
+        .expect("campaign stream has a stats line");
+    Json::parse(line).expect("stats line is JSON")
+}
+
+fn u64_field(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or_else(|| panic!("no u64 `{key}` in {v:?}"))
+}
+
+/// Everything except the non-deterministic `stats` trailer.
+fn deterministic_lines(body: &str) -> Vec<&str> {
+    body.lines().filter(|l| !l.is_empty() && !l.contains("\"type\":\"stats\"")).collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let spec = std::fs::read_to_string(SPEC_PATH).expect("read ngmp_sweep.json");
+    let dir = std::env::temp_dir().join(format!("rrb-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(ResultStore::open(dir.join("cache")).expect("open scratch store"));
+    let config = ServeConfig { addr: String::from("127.0.0.1:0"), ..ServeConfig::default() };
+    let server = Server::bind(config, store).expect("bind daemon");
+    let addr = server.local_addr().expect("daemon addr");
+    let workers = server.workers();
+    let handle = server.handle();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // Warm up the connection path before timing anything.
+    for _ in 0..10 {
+        assert_eq!(client::get(addr, "/healthz").expect("healthz").status, 200);
+    }
+
+    let (cold_s, cold) = campaign(addr, &spec);
+    let cold_stats = stats_line(&cold.body);
+    let unique = u64_field(&cold_stats, "executed_runs") + u64_field(&cold_stats, "store_hits");
+
+    let mut warm_s = f64::INFINITY;
+    let mut warm_executed = u64::MAX;
+    let mut byte_identical = true;
+    for _ in 0..WARM_PASSES {
+        let (t, warm) = campaign(addr, &spec);
+        warm_s = warm_s.min(t);
+        warm_executed = warm_executed.min(u64_field(&stats_line(&warm.body), "executed_runs"));
+        byte_identical &= deterministic_lines(&cold.body) == deterministic_lines(&warm.body);
+    }
+
+    // Point-query latency over every content address the cold stream
+    // reported (one GET each, measured individually).
+    let hashes: Vec<&str> = cold
+        .body
+        .lines()
+        .filter(|l| l.contains("\"type\":\"run\""))
+        .filter_map(|l| {
+            let tail = l.split("\"spec_hash\":\"").nth(1)?;
+            tail.split('"').next()
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(hashes.len());
+    for hash in &hashes {
+        let start = Instant::now();
+        let resp = client::get(addr, &format!("/v1/runs/{hash}")).expect("point query");
+        latencies.push(start.elapsed().as_secs_f64());
+        assert_eq!(resp.status, 200, "point query {hash} failed: {}", resp.body);
+    }
+    latencies.sort_by(f64::total_cmp);
+    let point_p50_ms = percentile(&latencies, 0.50) * 1e3;
+    let point_p99_ms = percentile(&latencies, 0.99) * 1e3;
+
+    handle.shutdown();
+    let final_stats = daemon.join().expect("join daemon").expect("daemon exit");
+    let speedup = cold_s / warm_s;
+
+    println!("serve throughput: {unique} unique run(s), {workers} worker(s), daemon at {addr}");
+    println!("  cold campaign (simulate + record) : {cold_s:.3} s");
+    println!("  warm campaign (best of {WARM_PASSES})         : {warm_s:.3} s ({speedup:.1}x)");
+    println!("  warm runs simulated               : {warm_executed}");
+    println!("  byte-identical stream             : {byte_identical}");
+    println!("  point queries                     : {} (p50 {point_p50_ms:.2} ms, p99 {point_p99_ms:.2} ms)", latencies.len());
+    println!("  daemon counters                   : {final_stats:?}");
+
+    let artifact = Json::obj(vec![
+        ("bench", Json::str("serve_throughput")),
+        ("workers", Json::U64(workers as u64)),
+        ("unique_runs", Json::U64(unique)),
+        ("cold_seconds", Json::F64(cold_s)),
+        ("warm_seconds", Json::F64(warm_s)),
+        ("warm_speedup", Json::F64(speedup)),
+        ("warm_executed_runs", Json::U64(warm_executed)),
+        ("byte_identical_stream", Json::Bool(byte_identical)),
+        ("point_queries", Json::U64(latencies.len() as u64)),
+        ("point_p50_ms", Json::F64(point_p50_ms)),
+        ("point_p99_ms", Json::F64(point_p99_ms)),
+        ("campaigns_served", Json::U64(final_stats.campaigns)),
+        ("runs_streamed", Json::U64(final_stats.runs_streamed)),
+        ("runs_executed", Json::U64(final_stats.runs_executed)),
+    ]);
+    let path = "BENCH_serve.json";
+    match rrb::store::write_file_atomic(path, &artifact.render_pretty()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(warm_executed, 0, "a warm daemon must answer every run from the store");
+    assert!(byte_identical, "the deterministic stream must not depend on cache state");
+    assert_eq!(final_stats.campaigns, 1 + WARM_PASSES as u64);
+    assert_eq!(final_stats.runs_executed, unique, "only the cold pass simulates");
+}

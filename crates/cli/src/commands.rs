@@ -3,7 +3,7 @@
 //! stdout.
 
 use crate::args::{ParseArgsError, Parsed};
-use rrb::campaign::{Campaign, CampaignGrid, GridScenario, ParseGridScenarioError};
+use rrb::campaign::{clamped_jobs, Campaign, CampaignGrid, GridScenario, ParseGridScenarioError};
 use rrb::methodology::{derive_ubd, derive_ubd_repeated, store_tooth_check, MethodologyConfig};
 use rrb::naive::naive_rsk_vs_rsk;
 use rrb::report;
@@ -89,6 +89,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "lint" => cmd_lint(&parsed),
         "export-spec" => cmd_export_spec(&parsed),
         "cache" => cmd_cache(&parsed),
+        "serve" => cmd_serve(&parsed),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -415,9 +416,19 @@ fn write_or_return(parsed: &Parsed, rendered: String) -> Result<String, CliError
     Ok(rendered)
 }
 
+/// Resolves `--jobs` through [`clamped_jobs`]: absent means every
+/// available CPU, and over-requests are clamped (with a stderr warning)
+/// rather than oversubscribing a pure-CPU simulator pool.
 fn jobs_from(parsed: &Parsed) -> Result<usize, CliError> {
-    let default_jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
-    Ok(parsed.get_u64("jobs", default_jobs as u64)?.max(1) as usize)
+    let requested = match parsed.get("jobs") {
+        None => None,
+        Some(_) => Some(parsed.get_u64("jobs", 0)?.max(1) as usize),
+    };
+    let (jobs, warning) = clamped_jobs(requested);
+    if let Some(warning) = warning {
+        eprintln!("rrb: warning: {warning}");
+    }
+    Ok(jobs)
 }
 
 /// Resolves the persistent result store from `--cache-dir` /
@@ -672,6 +683,35 @@ fn cmd_cache(parsed: &Parsed) -> Result<String, CliError> {
     }
 }
 
+/// `rrb serve`: run the derivation daemon — a sharded scheduler over
+/// the persistent result store. Blocks until SIGTERM/SIGINT or
+/// `POST /v1/shutdown`, then drains gracefully and reports its
+/// counters. The store is mandatory here (the service *is* the store);
+/// `--cache-dir` / `RRB_CACHE_DIR` resolve it exactly like the batch
+/// commands.
+fn cmd_serve(parsed: &Parsed) -> Result<String, CliError> {
+    let dir = ResultStore::resolve_dir(parsed.get("cache-dir"));
+    let store = Arc::new(ResultStore::open(&dir).map_err(|e| CliError::Tool(Box::new(e)))?);
+    let config = rrb_serve::ServeConfig {
+        addr: parsed.get("addr").unwrap_or("127.0.0.1:7077").to_string(),
+        workers: parsed.get_u64("workers", 0)? as usize,
+        ..rrb_serve::ServeConfig::default()
+    };
+    let server = rrb_serve::Server::bind(config, store).map_err(|e| CliError::Tool(Box::new(e)))?;
+    rrb_serve::trap_termination_signals();
+    let addr = server.local_addr().map_err(|e| CliError::Tool(Box::new(e)))?;
+    eprintln!(
+        "rrb: serving {} on http://{addr} with {} worker(s) (SIGTERM or POST /v1/shutdown to drain)",
+        dir.display(),
+        server.workers(),
+    );
+    let stats = server.run().map_err(|e| CliError::Tool(Box::new(e)))?;
+    Ok(format!(
+        "served {} campaign(s), {} point quer(y/ies); streamed {} run record(s), simulated {}\n",
+        stats.campaigns, stats.point_queries, stats.runs_streamed, stats.runs_executed,
+    ))
+}
+
 /// An optional integer flag: `None` when absent, parsed when present.
 fn opt_u64_flag(parsed: &Parsed, flag: &'static str) -> Result<Option<u64>, CliError> {
     match parsed.get(flag) {
@@ -727,6 +767,11 @@ fn help_text() -> String {
            cache     inspect/maintain the persistent result store:\n\
                      rrb cache stats | verify | fingerprint\n\
                      rrb cache gc [--max-age SECS] [--max-size BYTES]\n\
+           serve     run the derivation daemon over the result store:\n\
+                     rrb serve [--addr HOST:PORT] [--workers N]\n\
+                     [--cache-dir DIR]  (POST /v1/campaigns streams\n\
+                     NDJSON run records; GET /v1/runs/<hash> answers\n\
+                     point queries; SIGTERM drains gracefully)\n\
            help      this text\n\n\
          result cache (campaign, run):\n\
            runs are deterministic, so campaign/run results persist in a\n\
@@ -751,7 +796,7 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let h = run("help").expect("help");
-        for cmd in ["derive", "naive", "gamma", "audit", "simulate", "campaign"] {
+        for cmd in ["derive", "naive", "gamma", "audit", "simulate", "campaign", "cache", "serve"] {
             assert!(h.contains(cmd), "help must mention {cmd}");
         }
     }
@@ -922,6 +967,98 @@ mod tests {
         assert!(e.to_string().contains("defrag"), "{e}");
         let e = run("cache stats extra").expect_err("must fail");
         assert!(e.to_string().contains("extra"), "{e}");
+    }
+
+    #[test]
+    fn cache_gc_max_size_prunes_to_budget_and_the_store_stays_valid() {
+        let cache = TempDir::new("gc-size");
+        run(&format!(
+            "campaign --arch toy --cores 4 --l-bus 2 --scenario sweep --max-k 10 \
+             --iterations 60 --cache-dir {}",
+            cache.as_str()
+        ))
+        .expect("populate");
+        let stats = run(&format!("cache stats --cache-dir {}", cache.as_str())).expect("stats");
+        let bytes: u64 = stats
+            .lines()
+            .find(|l| l.starts_with("entry bytes"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("entry bytes in stats");
+        assert!(bytes > 0, "{stats}");
+
+        // A budget of half the store forces a partial prune…
+        let gc = run(&format!("cache gc --max-size {} --cache-dir {}", bytes / 2, cache.as_str()))
+            .expect("gc");
+        // "examined E: removed R (RB bytes), kept K (KB bytes)"
+        let nums: Vec<u64> =
+            gc.split(|c: char| !c.is_ascii_digit()).filter_map(|t| t.parse().ok()).collect();
+        assert_eq!(nums.len(), 5, "{gc}");
+        let (removed, kept, kept_bytes) = (nums[1], nums[3], nums[4]);
+        assert!(removed >= 1, "{gc}");
+        assert!(kept >= 1, "{gc}");
+        assert!(kept_bytes <= bytes / 2, "{gc}");
+        // …and what survives is still a fully valid store.
+        let verify = run(&format!("cache verify --cache-dir {}", cache.as_str())).expect("verify");
+        assert!(verify.contains("all valid"), "{verify}");
+    }
+
+    #[test]
+    fn cache_gc_max_age_zero_empties_the_store_and_it_verifies_clean() {
+        let cache = TempDir::new("gc-age");
+        let campaign = format!(
+            "campaign --arch toy --cores 4 --l-bus 2 --scenario naive --iterations 60 \
+             --cache-dir {}",
+            cache.as_str()
+        );
+        run(&campaign).expect("populate");
+        let gc = run(&format!("cache gc --max-age 0 --cache-dir {}", cache.as_str())).expect("gc");
+        assert!(gc.contains("kept 0 (0 bytes)"), "{gc}");
+        let verify = run(&format!("cache verify --cache-dir {}", cache.as_str())).expect("verify");
+        assert!(verify.contains("verified 0"), "{verify}");
+        let stats = run(&format!("cache stats --cache-dir {}", cache.as_str())).expect("stats");
+        assert!(stats.contains("entries          : 0"), "{stats}");
+        // An emptied store repopulates transparently on the next run.
+        run(&campaign).expect("repopulate");
+        let stats = run(&format!("cache stats --cache-dir {}", cache.as_str())).expect("stats");
+        assert!(!stats.contains("entries          : 0"), "{stats}");
+    }
+
+    #[test]
+    fn serve_boots_answers_and_drains_via_the_cli() {
+        let cache = TempDir::new("serve-cli");
+        // Probe for a free port; serve needs a literal --addr up front.
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+            probe.local_addr().expect("probe addr").port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let line = format!("serve --addr {addr} --workers 1 --cache-dir {}", cache.as_str());
+        let daemon = std::thread::spawn(move || run(&line).map_err(|e| e.to_string()));
+        let sock: std::net::SocketAddr = addr.parse().expect("socket addr");
+        let mut ready = false;
+        for _ in 0..500 {
+            if rrb_serve::client::get(sock, "/healthz").map(|r| r.status == 200).unwrap_or(false) {
+                ready = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(ready, "daemon did not come up on {sock}");
+        let resp = rrb_serve::client::post(sock, "/v1/shutdown", "").expect("shutdown");
+        assert_eq!(resp.status, 200);
+        let out = daemon.join().expect("join").expect("serve");
+        assert!(out.contains("served 0 campaign(s)"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_addresses_and_stray_arguments() {
+        let cache = TempDir::new("serve-errors");
+        run(&format!("serve not-a-flag --cache-dir {}", cache.as_str()))
+            .expect_err("stray positionals must fail");
+        let e = run(&format!("serve --addr not-an-address --cache-dir {}", cache.as_str()))
+            .expect_err("must fail");
+        assert!(!e.to_string().is_empty());
     }
 
     #[test]

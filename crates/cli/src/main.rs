@@ -19,6 +19,7 @@
 //! rrb lint <spec.json>
 //! rrb cache   stats | verify | fingerprint | gc [--max-age SECS]
 //!             [--max-size BYTES]   [--cache-dir DIR]
+//! rrb serve   [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
 //! ```
 //!
 //! Run `rrb help` for details.

@@ -26,7 +26,7 @@
 use crate::json::{csv_field, Fnv64Hasher, Json};
 use crate::methodology::{MethodologyConfig, UbdScenario};
 use crate::naive::NaiveScenario;
-use crate::scenario::{RunOutcome, Scenario, ScenarioReport, SweepScenario};
+use crate::scenario::{RunOutcome, Scenario, ScenarioError, ScenarioReport, SweepScenario};
 use crate::store::{ResultStore, StoreLookup};
 use crate::validation::GammaValidationScenario;
 use rrb_analysis::Histogram;
@@ -441,7 +441,10 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
-    fn ok(scenario: &str, label: &str, m: &RunMeasurement) -> Self {
+    /// A success record for one measured run. Public so external
+    /// schedulers (the `rrb-serve` daemon) can emit the exact records a
+    /// whole-campaign [`Campaign::run`] would have produced.
+    pub fn ok(scenario: &str, label: &str, m: &RunMeasurement) -> Self {
         RunRecord {
             scenario: scenario.to_string(),
             label: label.to_string(),
@@ -456,7 +459,8 @@ impl RunRecord {
         }
     }
 
-    fn failed(scenario: &str, label: &str, error: impl fmt::Display) -> Self {
+    /// An error record for a run (or plan) that failed.
+    pub fn failed(scenario: &str, label: &str, error: impl fmt::Display) -> Self {
         RunRecord {
             scenario: scenario.to_string(),
             label: label.to_string(),
@@ -710,21 +714,33 @@ impl Campaign {
     /// fails yields an error outcome for its scenario's analysis. The
     /// campaign itself always completes.
     pub fn run(&self) -> CampaignResult {
-        // Phase 1: plan every scenario (pure, serial).
-        let plans: Vec<_> = self.scenarios.iter().map(|s| (s.name(), s.plan())).collect();
+        let plan = self.plan();
+        let (results, usage) =
+            execute_plan_stored(plan.unique_specs(), self.jobs, self.store.as_deref());
+        plan.finish(&results, usage, self.jobs)
+    }
 
-        // Phase 2: build the deduplicated execution plan. `mapping`
-        // records, for every planned run, its index in `unique`. Runs
-        // are keyed by their stable FNV spec hash (label excluded), so
-        // identical (configuration, workload) pairs — shared isolated
-        // baselines in particular — execute once.
+    /// Phases 1–2 of [`Campaign::run`] as a standalone step: plans every
+    /// scenario (pure, serial) and builds the deduplicated execution
+    /// plan. Runs are keyed by their stable FNV spec hash (label
+    /// excluded) with a structural confirm, so identical (configuration,
+    /// workload) pairs — shared isolated baselines in particular —
+    /// appear once in [`CampaignPlan::unique_specs`].
+    ///
+    /// An external scheduler (the `rrb-serve` worker pool, a remote
+    /// queue) can execute the unique specs in any order and at any pace,
+    /// then reassemble the exact whole-campaign output with
+    /// [`CampaignPlan::outcomes`], [`CampaignPlan::analyze`], and
+    /// [`CampaignPlan::finish`].
+    pub fn plan(&self) -> CampaignPlan<'_> {
         let mut unique: Vec<RunSpec> = Vec::new();
         let mut seen = DedupTable::default();
-        let mut mapping: Vec<Vec<usize>> = Vec::with_capacity(plans.len());
+        let mut scenarios = Vec::with_capacity(self.scenarios.len());
         let mut planned_runs = 0usize;
-        for (_, plan) in &plans {
+        for scenario in &self.scenarios {
+            let runs = scenario.plan();
             let mut indices = Vec::new();
-            if let Ok(specs) = plan {
+            if let Ok(specs) = &runs {
                 planned_runs += specs.len();
                 for spec in specs {
                     let idx = if self.dedup {
@@ -737,64 +753,179 @@ impl Campaign {
                     indices.push(idx);
                 }
             }
-            mapping.push(indices);
+            scenarios.push(PlannedScenario { name: scenario.name(), runs, indices });
         }
+        CampaignPlan { campaign: self, scenarios, unique, planned_runs }
+    }
+}
 
-        // Phase 3: execute the unique runs (parallel, order-free),
-        // answering from the persistent store where possible.
-        let (results, usage) = execute_plan_stored(&unique, self.jobs, self.store.as_deref());
+// ---------------------------------------------------------------------
+// Incremental plans
+// ---------------------------------------------------------------------
 
-        // Phase 4: scatter outcomes back in plan order and analyse.
-        let mut records = Vec::with_capacity(planned_runs);
-        let mut reports = Vec::with_capacity(plans.len());
+/// One scenario's slice of a [`CampaignPlan`]: its name, its planned
+/// runs (or the planning error), and — for every planned run — the
+/// index of its deduplicated entry in [`CampaignPlan::unique_specs`].
+pub struct PlannedScenario {
+    /// Scenario name, stable across planning and analysis.
+    pub name: String,
+    /// The planned runs in scenario plan order, or why planning failed.
+    pub runs: Result<Vec<RunSpec>, ScenarioError>,
+    /// For each planned run, its index into the campaign-wide unique
+    /// list (empty when planning failed).
+    pub indices: Vec<usize>,
+}
+
+/// The deduplicated execution plan of a [`Campaign`]: phases 1–2 of
+/// [`Campaign::run`] split from phases 3–4 so a scheduler can drive the
+/// unique runs *incrementally* — out of order, across its own worker
+/// pool, streaming per-run records as they land — instead of only
+/// whole-campaign. [`Campaign::run`] itself is now a thin
+/// `plan → execute → finish` composition, so both paths produce
+/// byte-identical output by construction.
+pub struct CampaignPlan<'a> {
+    campaign: &'a Campaign,
+    scenarios: Vec<PlannedScenario>,
+    unique: Vec<RunSpec>,
+    planned_runs: usize,
+}
+
+impl CampaignPlan<'_> {
+    /// The deduplicated runs to execute, in first-appearance order.
+    /// Result vectors handed back to [`CampaignPlan::outcomes`] and
+    /// [`CampaignPlan::finish`] must be indexed like this slice.
+    pub fn unique_specs(&self) -> &[RunSpec] {
+        &self.unique
+    }
+
+    /// Per-scenario plan slices, in campaign order.
+    pub fn scenarios(&self) -> &[PlannedScenario] {
+        &self.scenarios
+    }
+
+    /// Total runs across all scenario plans, before deduplication.
+    pub fn planned_runs(&self) -> usize {
+        self.planned_runs
+    }
+
+    /// Builds scenario `index`'s [`RunOutcome`]s by scattering
+    /// per-unique-run `results` back into that scenario's plan order.
+    /// A result the scheduler never delivered surfaces as a failed
+    /// outcome, never a panic; an out-of-range `index` or a failed plan
+    /// yields no outcomes.
+    pub fn outcomes(
+        &self,
+        index: usize,
+        results: &[Result<RunMeasurement, RunError>],
+    ) -> Vec<RunOutcome> {
+        let Some(scenario) = self.scenarios.get(index) else { return Vec::new() };
+        let Ok(specs) = &scenario.runs else { return Vec::new() };
+        specs
+            .iter()
+            .zip(&scenario.indices)
+            .map(|(spec, &idx)| RunOutcome {
+                label: spec.label.clone(),
+                result: results.get(idx).cloned().unwrap_or_else(|| {
+                    Err(RunError::Analysis(String::from(
+                        "scheduler delivered no result for this run",
+                    )))
+                }),
+            })
+            .collect()
+    }
+
+    /// Runs scenario `index`'s analysis over `outcomes` (usually the
+    /// vector [`CampaignPlan::outcomes`] built once that scenario's runs
+    /// all completed). A scenario whose *plan* failed reports that
+    /// failure regardless of `outcomes`.
+    pub fn analyze(&self, index: usize, outcomes: &[RunOutcome]) -> ScenarioReport {
+        match (self.campaign.scenarios.get(index), self.scenarios.get(index)) {
+            (Some(scenario), Some(planned)) => match &planned.runs {
+                Err(e) => ScenarioReport::failure(planned.name.clone(), e),
+                Ok(_) => scenario.analyze(outcomes),
+            },
+            _ => ScenarioReport::failure(
+                String::from("<campaign>"),
+                format!("scenario index {index} out of range"),
+            ),
+        }
+    }
+
+    /// Phase 4 of [`Campaign::run`]: scatters per-unique-run `results`
+    /// back into plan order and analyses every scenario, producing the
+    /// same records, reports, and statistics that a whole-campaign
+    /// [`Campaign::run`] would have. `results` must be indexed like
+    /// [`CampaignPlan::unique_specs`]; `usage` and `jobs` only feed the
+    /// (non-serialised) statistics.
+    pub fn finish(
+        &self,
+        results: &[Result<RunMeasurement, RunError>],
+        usage: StoreUsage,
+        jobs: usize,
+    ) -> CampaignResult {
+        let mut records = Vec::with_capacity(self.planned_runs);
+        let mut reports = Vec::with_capacity(self.scenarios.len());
         let mut failed_runs = 0usize;
-        for (scenario, ((name, plan), indices)) in
-            self.scenarios.iter().zip(plans.iter().zip(&mapping))
-        {
-            match plan {
+        for (index, planned) in self.scenarios.iter().enumerate() {
+            match &planned.runs {
                 Err(e) => {
                     failed_runs += 1;
-                    records.push(RunRecord::failed(name, "<plan>", e));
-                    reports.push(ScenarioReport::failure(name.clone(), e));
+                    records.push(RunRecord::failed(&planned.name, "<plan>", e));
+                    reports.push(ScenarioReport::failure(planned.name.clone(), e));
                 }
-                Ok(specs) => {
-                    let outcomes: Vec<RunOutcome> = specs
-                        .iter()
-                        .zip(indices)
-                        .map(|(spec, &idx)| RunOutcome {
-                            label: spec.label.clone(),
-                            result: results[idx].clone(),
-                        })
-                        .collect();
+                Ok(_) => {
+                    let outcomes = self.outcomes(index, results);
                     for outcome in &outcomes {
                         records.push(match &outcome.result {
-                            Ok(m) => RunRecord::ok(name, &outcome.label, m),
+                            Ok(m) => RunRecord::ok(&planned.name, &outcome.label, m),
                             Err(e) => {
                                 failed_runs += 1;
-                                RunRecord::failed(name, &outcome.label, e)
+                                RunRecord::failed(&planned.name, &outcome.label, e)
                             }
                         });
                     }
-                    reports.push(scenario.analyze(&outcomes));
+                    reports.push(self.analyze(index, &outcomes));
                 }
             }
         }
-
         CampaignResult {
             records,
             reports,
             stats: CampaignStats {
                 scenarios: self.scenarios.len(),
-                planned_runs,
-                executed_runs: unique.len() - usage.hits,
-                cache_hits: planned_runs - unique.len(),
+                planned_runs: self.planned_runs,
+                executed_runs: self.unique.len().saturating_sub(usage.hits),
+                cache_hits: self.planned_runs - self.unique.len(),
                 store_hits: usage.hits,
                 store_writes: usage.writes,
                 failed_runs,
-                jobs: self.jobs,
+                jobs,
             },
             warnings: usage.warnings,
         }
+    }
+}
+
+/// Clamps a requested worker count to the machine's available
+/// parallelism, returning the effective count and — when the request
+/// was lowered — a human-readable warning for stderr. On a 1-CPU
+/// container, oversubscription is pure scheduling overhead
+/// (`BENCH_campaign.json` records a 0.88× parallel "speedup" for 2 jobs
+/// there), so both the CLI `--jobs` flag and the `rrb serve` worker
+/// pool route through this. `None` (and `Some(0)`) mean "use every
+/// available CPU".
+pub fn clamped_jobs(requested: Option<usize>) -> (usize, Option<String>) {
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    match requested {
+        None | Some(0) => (available, None),
+        Some(n) if n <= available => (n, None),
+        Some(n) => (
+            available,
+            Some(format!(
+                "{n} jobs requested but only {available} CPU(s) available; \
+                 clamping to {available} (oversubscription only adds scheduling overhead)"
+            )),
+        ),
     }
 }
 

@@ -121,9 +121,10 @@ pub use analyze::{
     CellStaticBound,
 };
 pub use campaign::{
-    execute_plan, execute_plan_stored, execute_run, execute_run_stored, Campaign, CampaignBuilder,
-    CampaignGrid, CampaignResult, CampaignStats, GridCell, GridScenario, ParseGridScenarioError,
-    RunError, RunMeasurement, RunRecord, RunSource, RunSpec, StoreUsage,
+    clamped_jobs, execute_plan, execute_plan_stored, execute_run, execute_run_stored, Campaign,
+    CampaignBuilder, CampaignGrid, CampaignPlan, CampaignResult, CampaignStats, GridCell,
+    GridScenario, ParseGridScenarioError, PlannedScenario, RunError, RunMeasurement, RunRecord,
+    RunSource, RunSpec, StoreUsage,
 };
 pub use experiment::{ContendedRun, IsolatedRun, SlowdownMeasurement};
 pub use json::{fnv1a_64, Fnv64Hasher, Json, JsonParseError};

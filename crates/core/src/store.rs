@@ -355,6 +355,37 @@ impl ResultStore {
         }
     }
 
+    /// Answers a point query by content address: reads and fully
+    /// validates the entry stored under `spec_hash` (format version,
+    /// simulator fingerprint, content address, integrity hash) and
+    /// returns its payload — the canonical spec plus the measurement —
+    /// as JSON. This is the `rrb serve` `GET /v1/runs/{hash}` backend.
+    ///
+    /// Returns `Ok(None)` when no entry exists under that address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the human-readable reason when an entry exists but
+    /// cannot be trusted (unreadable, corrupt, stale fingerprint, or
+    /// mis-addressed).
+    pub fn entry_payload(&self, spec_hash: u64) -> Result<Option<Json>, String> {
+        let path = self.entry_path(spec_hash);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("unreadable entry: {e}")),
+        };
+        self.decode_entry(&text, Some(spec_hash), None)
+            .map_err(|reason| format!("{}: {reason}", file_name(&path)))?;
+        match Json::parse(&text) {
+            Ok(v) => match v.get("payload") {
+                Some(payload) => Ok(Some(payload.clone())),
+                None => Err(String::from("corrupt entry: no `payload`")),
+            },
+            Err(e) => Err(format!("corrupt entry (not valid JSON): {e}")),
+        }
+    }
+
     /// Records a successful run. Failed runs are never inserted.
     ///
     /// Returns `false` (without writing) when the measurement contains a

@@ -1,0 +1,184 @@
+//! A minimal std-only HTTP/1.1 client for the daemon's own tests,
+//! benchmarks, and smoke tooling. One request per connection
+//! (`Connection: close`), fixed-length or chunked responses.
+//!
+//! This is test-support code, not a general HTTP client: it assumes the
+//! well-formed responses `rrb serve` itself produces.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A decoded response: status code and (de-chunked) body text.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The full body, chunked framing removed.
+    pub body: String,
+}
+
+impl Response {
+    /// The body's non-empty lines — an NDJSON stream's records.
+    pub fn lines(&self) -> Vec<&str> {
+        self.body.lines().filter(|l| !l.is_empty()).collect()
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/read/write failure.
+    Io(std::io::Error),
+    /// The response could not be decoded.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(why) => write!(f, "protocol error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Sends one request and reads the full response (no timeout on the
+/// body: campaign streams legitimately take as long as the simulations
+/// they trigger).
+///
+/// # Errors
+///
+/// [`ClientError::Io`] on socket failures, [`ClientError::Protocol`]
+/// when the response cannot be decoded.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<Response, ClientError> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    let body = body.unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: \
+         {}\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    decode(&raw)
+}
+
+/// Convenience: `GET path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> Result<Response, ClientError> {
+    request(addr, "GET", path, None)
+}
+
+/// Convenience: `POST path` with a body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<Response, ClientError> {
+    request(addr, "POST", path, Some(body))
+}
+
+fn decode(raw: &[u8]) -> Result<Response, ClientError> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError::Protocol(String::from("no header terminator")))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| ClientError::Protocol(String::from("headers are not UTF-8")))?;
+    let mut lines = head.split("\r\n");
+    let status_line =
+        lines.next().ok_or_else(|| ClientError::Protocol(String::from("empty response")))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line `{status_line}`")))?;
+    let chunked = lines
+        .any(|l| l.to_ascii_lowercase().starts_with("transfer-encoding:") && l.contains("chunked"));
+    let payload = &raw[header_end + 4..];
+    let body_bytes =
+        if chunked { dechunk(payload).map_err(ClientError::Protocol)? } else { payload.to_vec() };
+    let body = String::from_utf8(body_bytes)
+        .map_err(|_| ClientError::Protocol(String::from("body is not UTF-8")))?;
+    Ok(Response { status, body })
+}
+
+/// Removes `Transfer-Encoding: chunked` framing.
+fn dechunk(raw: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut pos = 0usize;
+    loop {
+        let line_end = raw[pos..]
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .map(|p| pos + p)
+            .ok_or("truncated chunk size line")?;
+        let size_text =
+            std::str::from_utf8(&raw[pos..line_end]).map_err(|_| "chunk size line is not UTF-8")?;
+        let size_token = size_text.split(';').next().unwrap_or_default().trim();
+        let size =
+            usize::from_str_radix(size_token, 16).map_err(|_| "bad chunk size".to_string())?;
+        if size == 0 {
+            return Ok(out);
+        }
+        let start = line_end + 2;
+        let end = start + size;
+        if end > raw.len() {
+            return Err(String::from("truncated chunk body"));
+        }
+        out.extend_from_slice(&raw[start..end]);
+        pos = end + 2; // skip the chunk's trailing CRLF
+        if pos > raw.len() {
+            return Err(String::from("truncated chunk trailer"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_fixed_length_responses() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+        let resp = decode(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ok");
+    }
+
+    #[test]
+    fn decodes_chunked_responses() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nab\n\r\n2\r\ncd\r\n0\r\n\r\n";
+        let resp = decode(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ab\ncd");
+        assert_eq!(resp.lines(), vec!["ab", "cd"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(decode(b"not http"), Err(ClientError::Protocol(_))));
+    }
+}

@@ -1,0 +1,288 @@
+//! # rrb-serve — a sharded derivation service over the run store
+//!
+//! The paper's methodology is embarrassingly memoizable: every grid
+//! cell is a pure function of its `RunSpec`, and the content-addressed
+//! [`ResultStore`] already answers warm queries ~30× faster than the
+//! cold simulation path. This crate turns that store into a *service*:
+//! a long-running daemon where the store is a shared, ever-growing memo
+//! table and derivation is a thin scheduler over it.
+//!
+//! The daemon is std-only, like the rest of the workspace: a hand-rolled
+//! HTTP/1.1 subset ([`http`]), a fixed worker pool draining one
+//! process-wide job queue ([`pool`]), and a router ([`router`]) exposing:
+//!
+//! | endpoint | what it does |
+//! |----------|--------------|
+//! | `POST /v1/campaigns` | validate + lint an [`ExperimentSpec`](rrb::spec::ExperimentSpec), shard its deduplicated runs across the pool, stream NDJSON records |
+//! | `GET /v1/runs/{spec_hash}` | point query straight from the store (16-hex-digit content address) |
+//! | `GET /v1/store/stats` | store facts plus server counters |
+//! | `POST /v1/analyze` | static per-cell bounds via `rrb-static`, no simulation |
+//! | `GET /healthz` | liveness |
+//! | `POST /v1/shutdown` | graceful drain (same as SIGTERM) |
+//!
+//! Campaign responses stream one JSON object per line, in deterministic
+//! plan order: a `campaign` header, one `run` line per planned run
+//! (emitted as soon as its result — and every earlier plan position —
+//! has landed), one `scenario` line per analysed scenario, a `summary`
+//! line, and a final `stats` line. Everything *except* the `stats` line
+//! is byte-identical across worker counts, cache states, and racing
+//! clients, exactly like `Campaign::run` output.
+//!
+//! ```no_run
+//! use rrb::store::ResultStore;
+//! use rrb_serve::{ServeConfig, Server};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let store = Arc::new(ResultStore::open(".rrb-cache").map_err(std::io::Error::other)?);
+//! let server = Server::bind(ServeConfig::default(), store)?;
+//! rrb_serve::trap_termination_signals();
+//! let stats = server.run()?; // blocks until SIGTERM or POST /v1/shutdown
+//! eprintln!("served {} campaigns", stats.campaigns);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod pool;
+pub mod router;
+
+use pool::WorkerPool;
+use rrb::campaign::clamped_jobs;
+use rrb::store::ResultStore;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration. [`ServeConfig::default`] matches the CLI
+/// defaults (`rrb serve` with no flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7077` (port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads; 0 means every available CPU. Either way the
+    /// count is clamped to the machine's available parallelism —
+    /// oversubscribing a pure-CPU simulator pool only adds scheduling
+    /// overhead.
+    pub workers: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Socket read timeout (bounds idle keep-alive connections and the
+    /// shutdown drain).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: String::from("127.0.0.1:7077"),
+            workers: 0,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Counters the daemon reports on exit and under `/v1/store/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Campaign requests accepted.
+    pub campaigns: u64,
+    /// Point queries answered.
+    pub point_queries: u64,
+    /// Run records streamed to clients.
+    pub runs_streamed: u64,
+    /// Runs actually simulated (the rest were store hits).
+    pub runs_executed: u64,
+}
+
+/// Shared server state: the store, the limits, and the counters.
+pub(crate) struct ServerState {
+    pub(crate) store: Arc<ResultStore>,
+    pub(crate) workers: usize,
+    pub(crate) limits: http::Limits,
+    pub(crate) read_timeout: Duration,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) campaigns: AtomicU64,
+    pub(crate) point_queries: AtomicU64,
+    pub(crate) runs_streamed: AtomicU64,
+    pub(crate) runs_executed: AtomicU64,
+}
+
+impl ServerState {
+    pub(crate) fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal::terminated()
+    }
+}
+
+/// A handle for stopping a running [`Server`] from another thread —
+/// what `POST /v1/shutdown` and the signal handler do, made available
+/// to embedding code (tests, benches).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain: stop accepting connections, finish
+    /// in-flight requests, drain queued runs, then return from
+    /// [`Server::run`].
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The daemon: a bound listener, its worker pool, and shared state.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    pool: WorkerPool,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, ...).
+    pub fn bind(config: ServeConfig, store: Arc<ResultStore>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let requested = if config.workers == 0 { None } else { Some(config.workers) };
+        let (workers, _) = clamped_jobs(requested);
+        let state = Arc::new(ServerState {
+            store,
+            workers,
+            limits: http::Limits { max_body_bytes: config.max_body_bytes },
+            read_timeout: config.read_timeout,
+            shutdown: AtomicBool::new(false),
+            campaigns: AtomicU64::new(0),
+            point_queries: AtomicU64::new(0),
+            runs_streamed: AtomicU64::new(0),
+            runs_executed: AtomicU64::new(0),
+        });
+        Ok(Server { listener, state, pool: WorkerPool::new(workers) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Worker threads in the pool (after clamping).
+    pub fn workers(&self) -> usize {
+        self.state.workers
+    }
+
+    /// A shutdown handle for embedding code.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { state: Arc::clone(&self.state) }
+    }
+
+    /// Accepts connections until a graceful-shutdown request arrives
+    /// (SIGTERM/SIGINT via [`trap_termination_signals`], or
+    /// `POST /v1/shutdown`), then drains: every in-flight connection is
+    /// joined — streaming campaigns run to completion — and the worker
+    /// pool finishes everything already queued before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures; per-connection errors only drop
+    /// that connection.
+    pub fn run(self) -> std::io::Result<ServeStats> {
+        self.listener.set_nonblocking(true)?;
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        while !self.state.draining() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    let submit = self.pool.handle();
+                    connections.push(std::thread::spawn(move || {
+                        router::handle_connection(stream, &state, &submit);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    // Short enough to keep connection pickup (and thus
+                    // point-query latency) in the low milliseconds.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            connections.retain(|c| !c.is_finished());
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        self.pool.shutdown();
+        Ok(ServeStats {
+            campaigns: self.state.campaigns.load(Ordering::Relaxed),
+            point_queries: self.state.point_queries.load(Ordering::Relaxed),
+            runs_streamed: self.state.runs_streamed.load(Ordering::Relaxed),
+            runs_executed: self.state.runs_executed.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers that request a graceful drain of
+/// every [`Server::run`] loop in the process (a no-op off Unix). Safe
+/// to call more than once.
+pub fn trap_termination_signals() {
+    signal::trap();
+}
+
+#[cfg(unix)]
+mod signal {
+    //! The one unsafe corner: registering C signal handlers without a
+    //! libc dependency. The handler only stores to an atomic, which is
+    //! async-signal-safe.
+    #![allow(unsafe_code)]
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn trap() {
+        // SAFETY: `signal` replaces the process disposition for
+        // SIGTERM/SIGINT with a handler that performs a single atomic
+        // store — async-signal-safe per POSIX.
+        unsafe {
+            signal(SIGTERM, on_terminate);
+            signal(SIGINT, on_terminate);
+        }
+    }
+
+    pub(crate) fn terminated() -> bool {
+        TERMINATED.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(unix))]
+mod signal {
+    pub(crate) fn trap() {}
+
+    pub(crate) fn terminated() -> bool {
+        false
+    }
+}

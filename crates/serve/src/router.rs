@@ -1,0 +1,378 @@
+//! Request routing and the streaming campaign handler.
+//!
+//! Connection model: one thread per connection, HTTP/1.1 keep-alive
+//! until the client closes, the read timeout fires, a request fails to
+//! parse, or the server starts draining. Campaign responses stream as
+//! `Transfer-Encoding: chunked` NDJSON — one whole line per chunk.
+//!
+//! This module is on the lint-enforced no-panic path (`lint_sources`):
+//! every request, however malformed, ends in a status code or a dropped
+//! connection, never a worker or connection-thread panic.
+
+use crate::http::{self, ChunkedWriter, HttpError, Request};
+use crate::pool::{Job, PoolHandle, RunDone};
+use crate::ServerState;
+use rrb::campaign::{RunError, RunMeasurement, RunRecord, RunSource};
+use rrb::json::Json;
+use rrb::lint::{has_errors, lint_spec, LintFinding};
+use rrb::scenario::RunOutcome;
+use rrb::spec::ExperimentSpec;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+/// Serves one accepted connection to completion. Never panics; errors
+/// drop the connection.
+pub(crate) fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, pool: &PoolHandle) {
+    let _ = serve_connection(stream, state, pool);
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &Arc<ServerState>,
+    pool: &PoolHandle,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(state.read_timeout))?;
+    loop {
+        match http::read_request(&mut stream, state.limits) {
+            Ok(Some(request)) => {
+                route(&mut stream, state, pool, &request)?;
+                if request.close || state.draining() {
+                    return Ok(());
+                }
+            }
+            Ok(None) | Err(HttpError::Timeout) | Err(HttpError::Io(_)) => return Ok(()),
+            Err(HttpError::BadRequest(why)) => {
+                let _ = http::respond_json(&mut stream, 400, &error_json(&why));
+                return Ok(());
+            }
+            Err(HttpError::PayloadTooLarge(limit)) => {
+                let why = format!("request body exceeds the {limit}-byte limit");
+                let _ = http::respond_json(&mut stream, 413, &error_json(&why));
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn route(
+    stream: &mut TcpStream,
+    state: &Arc<ServerState>,
+    pool: &PoolHandle,
+    request: &Request,
+) -> std::io::Result<()> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = Json::obj(vec![("status", Json::str("ok"))]).render_compact();
+            http::respond_json(stream, 200, &body)
+        }
+        ("GET", "/v1/store/stats") => store_stats(stream, state),
+        ("POST", "/v1/campaigns") => campaigns(stream, state, pool, &request.body),
+        ("POST", "/v1/analyze") => analyze(stream, &request.body),
+        ("POST", "/v1/shutdown") => {
+            state.shutdown.store(true, Ordering::Relaxed);
+            let body = Json::obj(vec![("status", Json::str("draining"))]).render_compact();
+            http::respond_json(stream, 200, &body)
+        }
+        ("GET", path) if path.starts_with("/v1/runs/") => point_query(stream, state, path),
+        (_, "/healthz" | "/v1/store/stats" | "/v1/campaigns" | "/v1/analyze" | "/v1/shutdown") => {
+            http::respond_json(stream, 405, &error_json("method not allowed"))
+        }
+        (_, path) if path.starts_with("/v1/runs/") => {
+            http::respond_json(stream, 405, &error_json("method not allowed"))
+        }
+        _ => http::respond_json(stream, 404, &error_json("no such endpoint")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simple endpoints
+// ---------------------------------------------------------------------
+
+fn store_stats(stream: &mut TcpStream, state: &Arc<ServerState>) -> std::io::Result<()> {
+    let stats = state.store.stats();
+    let body = Json::obj(vec![
+        ("dir", Json::str(stats.dir.display().to_string())),
+        ("format", Json::U64(stats.format)),
+        ("fingerprint", Json::str(format!("{:016x}", stats.fingerprint))),
+        ("entries", Json::U64(stats.entries)),
+        ("bytes", Json::U64(stats.bytes)),
+        ("temp_files", Json::U64(stats.temp_files)),
+        (
+            "server",
+            Json::obj(vec![
+                ("workers", Json::U64(state.workers as u64)),
+                ("campaigns", Json::U64(state.campaigns.load(Ordering::Relaxed))),
+                ("point_queries", Json::U64(state.point_queries.load(Ordering::Relaxed))),
+                ("runs_streamed", Json::U64(state.runs_streamed.load(Ordering::Relaxed))),
+                ("runs_executed", Json::U64(state.runs_executed.load(Ordering::Relaxed))),
+            ]),
+        ),
+    ])
+    .render_compact();
+    http::respond_json(stream, 200, &body)
+}
+
+fn point_query(
+    stream: &mut TcpStream,
+    state: &Arc<ServerState>,
+    path: &str,
+) -> std::io::Result<()> {
+    state.point_queries.fetch_add(1, Ordering::Relaxed);
+    let hex = path.trim_start_matches("/v1/runs/");
+    let Ok(hash) = u64::from_str_radix(hex, 16) else {
+        let why = format!("`{hex}` is not a 64-bit hex content address");
+        return http::respond_json(stream, 400, &error_json(&why));
+    };
+    match state.store.entry_payload(hash) {
+        Ok(Some(payload)) => {
+            let body = Json::obj(vec![
+                ("spec_hash", Json::str(format!("{hash:016x}"))),
+                ("payload", payload),
+            ])
+            .render_compact();
+            http::respond_json(stream, 200, &body)
+        }
+        Ok(None) => {
+            let why = format!("no entry for {hash:016x}");
+            http::respond_json(stream, 404, &error_json(&why))
+        }
+        Err(reason) => http::respond_json(stream, 500, &error_json(&reason)),
+    }
+}
+
+fn analyze(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
+    let spec = match parse_spec(body) {
+        Ok(spec) => spec,
+        Err((status, body)) => return http::respond_json(stream, status, &body),
+    };
+    let cells = rrb::analyze::analyze_spec(&spec);
+    let body = Json::obj(vec![
+        ("spec", Json::str(spec.name.clone())),
+        ("cells", Json::Arr(cells.iter().map(|c| c.to_json()).collect())),
+    ])
+    .render_compact();
+    http::respond_json(stream, 200, &body)
+}
+
+// ---------------------------------------------------------------------
+// The campaign handler
+// ---------------------------------------------------------------------
+
+fn parse_spec(body: &[u8]) -> Result<ExperimentSpec, (u16, String)> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| (400, error_json("request body is not valid UTF-8")))?;
+    let spec = ExperimentSpec::parse(text)
+        .map_err(|e| (422, error_json(&format!("spec rejected: {e}"))))?;
+    spec.validate().map_err(|e| (422, error_json(&format!("spec rejected: {e}"))))?;
+    Ok(spec)
+}
+
+fn findings_json(findings: &[LintFinding]) -> Json {
+    Json::Arr(
+        findings
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("severity", Json::str(f.severity.to_string())),
+                    ("path", Json::str(f.path.clone())),
+                    ("message", Json::str(f.message.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// `POST /v1/campaigns`: validate, lint, shard, stream.
+///
+/// Every deduplicated run becomes one pool job; the handler then emits
+/// NDJSON lines in deterministic plan order, each line as one HTTP
+/// chunk, waiting on the pool only when the next plan position is still
+/// in flight. A client that disconnects mid-stream aborts the emission
+/// loop, but already-queued runs still execute and land in the store.
+fn campaigns(
+    stream: &mut TcpStream,
+    state: &Arc<ServerState>,
+    pool: &PoolHandle,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let spec = match parse_spec(body) {
+        Ok(spec) => spec,
+        Err((status, body)) => return http::respond_json(stream, status, &body),
+    };
+    let findings = lint_spec(&spec);
+    if has_errors(&findings) {
+        let body = Json::obj(vec![
+            ("error", Json::str("spec failed lint")),
+            ("findings", findings_json(&findings)),
+        ])
+        .render_compact();
+        return http::respond_json(stream, 422, &body);
+    }
+    state.campaigns.fetch_add(1, Ordering::Relaxed);
+
+    // Shard: one job per deduplicated run, all into the shared queue.
+    let campaign = spec.to_campaign_builder(1).build();
+    let plan = campaign.plan();
+    let unique = plan.unique_specs();
+    let (reply, done) = channel::<RunDone>();
+    let mut submitted = 0usize;
+    for (index, run) in unique.iter().enumerate() {
+        let job = Job {
+            spec: run.clone(),
+            index,
+            store: Some(Arc::clone(&state.store)),
+            reply: reply.clone(),
+        };
+        if pool.submit(job).is_err() {
+            break; // pool already shut down; missing runs become error records
+        }
+        submitted += 1;
+    }
+    drop(reply);
+
+    // Stream: header, then per-run and per-scenario lines in plan order.
+    let mut writer = ChunkedWriter::begin(stream, 200, "application/x-ndjson")?;
+    writer.chunk(&line(Json::obj(vec![
+        ("type", Json::str("campaign")),
+        ("name", Json::str(spec.name.clone())),
+        ("spec_hash", Json::str(format!("{:016x}", spec.spec_hash()))),
+        ("scenarios", Json::U64(plan.scenarios().len() as u64)),
+        ("planned_runs", Json::U64(plan.planned_runs() as u64)),
+        ("unique_runs", Json::U64(unique.len() as u64)),
+    ])))?;
+
+    let mut results: Vec<Option<Result<RunMeasurement, RunError>>> = Vec::new();
+    results.resize_with(unique.len(), || None);
+    let mut executed = 0u64;
+    let mut store_hits = 0u64;
+    let mut store_writes = 0u64;
+    let mut warnings: Vec<String> = Vec::new();
+    let mut failed_runs = 0usize;
+
+    for (index, planned) in plan.scenarios().iter().enumerate() {
+        let specs = match &planned.runs {
+            Err(e) => {
+                failed_runs += 1;
+                let record = RunRecord::failed(&planned.name, "<plan>", e);
+                writer.chunk(&run_line(&record, None))?;
+                state.runs_streamed.fetch_add(1, Ordering::Relaxed);
+                writer.chunk(&scenario_line(&plan.analyze(index, &[])))?;
+                continue;
+            }
+            Ok(specs) => specs,
+        };
+        // Wait for this scenario's runs (earlier scenarios already
+        // resolved everything they share with this one).
+        for &idx in &planned.indices {
+            while idx < results.len() && results[idx].is_none() {
+                match done.recv() {
+                    Ok(done) => {
+                        if let Some(slot) = results.get_mut(done.index) {
+                            match done.source {
+                                RunSource::Store => store_hits += 1,
+                                RunSource::Simulated { recorded } => {
+                                    executed += 1;
+                                    if recorded {
+                                        store_writes += 1;
+                                    }
+                                }
+                            }
+                            warnings.extend(done.warnings);
+                            *slot = Some(done.result);
+                        }
+                    }
+                    // The pool died or refused jobs: whatever is still
+                    // unresolved becomes an error record below.
+                    Err(_) => break,
+                }
+            }
+            if results.get(idx).is_some_and(Option::is_none) {
+                break;
+            }
+        }
+        let outcomes: Vec<RunOutcome> = specs
+            .iter()
+            .zip(&planned.indices)
+            .map(|(run, &idx)| RunOutcome {
+                label: run.label.clone(),
+                result: results.get(idx).and_then(Clone::clone).unwrap_or_else(|| {
+                    Err(RunError::Analysis(String::from(
+                        "the worker pool delivered no result for this run",
+                    )))
+                }),
+            })
+            .collect();
+        for (position, outcome) in outcomes.iter().enumerate() {
+            let record = match &outcome.result {
+                Ok(m) => RunRecord::ok(&planned.name, &outcome.label, m),
+                Err(e) => {
+                    failed_runs += 1;
+                    RunRecord::failed(&planned.name, &outcome.label, e)
+                }
+            };
+            let hash = specs.get(position).map(rrb::campaign::RunSpec::spec_hash);
+            writer.chunk(&run_line(&record, hash))?;
+            state.runs_streamed.fetch_add(1, Ordering::Relaxed);
+        }
+        writer.chunk(&scenario_line(&plan.analyze(index, &outcomes)))?;
+    }
+
+    // Anything still in flight (a disconnect would have aborted above;
+    // here the plan is fully emitted) has already been accounted.
+    writer.chunk(&line(Json::obj(vec![
+        ("type", Json::str("summary")),
+        ("scenarios", Json::U64(plan.scenarios().len() as u64)),
+        ("planned_runs", Json::U64(plan.planned_runs() as u64)),
+        ("unique_runs", Json::U64(unique.len() as u64)),
+        ("failed_runs", Json::U64(failed_runs as u64)),
+    ])))?;
+    writer.chunk(&line(Json::obj(vec![
+        ("type", Json::str("stats")),
+        ("submitted_runs", Json::U64(submitted as u64)),
+        ("executed_runs", Json::U64(executed)),
+        ("store_hits", Json::U64(store_hits)),
+        ("store_writes", Json::U64(store_writes)),
+        ("warnings", Json::Arr(warnings.iter().map(Json::str).collect())),
+    ])))?;
+    state.runs_executed.fetch_add(executed, Ordering::Relaxed);
+    writer.finish()
+}
+
+// ---------------------------------------------------------------------
+// NDJSON line builders
+// ---------------------------------------------------------------------
+
+fn line(json: Json) -> Vec<u8> {
+    let mut text = json.render_compact();
+    text.push('\n');
+    text.into_bytes()
+}
+
+/// A `run` line: the record's own fields prefixed with the line type
+/// and the run's content address (absent for plan failures), so clients
+/// can follow up with `GET /v1/runs/{spec_hash}`.
+fn run_line(record: &RunRecord, spec_hash: Option<u64>) -> Vec<u8> {
+    let mut fields = vec![
+        (String::from("type"), Json::str("run")),
+        (String::from("spec_hash"), Json::option(spec_hash, |h| Json::str(format!("{h:016x}")))),
+    ];
+    if let Json::Obj(pairs) = record.to_json() {
+        fields.extend(pairs);
+    }
+    line(Json::Obj(fields))
+}
+
+fn scenario_line(report: &rrb::scenario::ScenarioReport) -> Vec<u8> {
+    let mut fields = vec![(String::from("type"), Json::str("scenario"))];
+    if let Json::Obj(pairs) = report.to_json() {
+        fields.extend(pairs);
+    }
+    line(Json::Obj(fields))
+}
+
+fn error_json(message: &str) -> String {
+    Json::obj(vec![("error", Json::str(message))]).render_compact()
+}
