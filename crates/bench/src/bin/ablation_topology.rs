@@ -14,9 +14,15 @@
 //! per-resource bounds, which stay finite for every arbiter — including
 //! the `fp`/`fifo` cells the measurement methodology refuses.
 //!
-//! Artifacts: `BENCH_topology.json` (per-row measurement vs truth) and
-//! `BENCH_static.json` (static-bound coverage: zero refused cells, all
-//! sound vs truth), both gated by `bench_gate`.
+//! The cells the methodology refuses are no longer holes: the bounded
+//! model checker derives each cell's *exact* worst-case delay and an
+//! adversarial witness, and this bench replays that witness on the full
+//! simulator — so fp and fifo rows carry a measured delay too
+//! (`witness_measured_*`), and no row is left with `refused: true`.
+//!
+//! Artifacts: `BENCH_topology.json` (per-row measurement vs truth vs
+//! exact) and `BENCH_static.json` (static-bound coverage: zero refused
+//! cells, all sound vs truth), both gated by `bench_gate`.
 //!
 //! ```sh
 //! cargo run --release -p rrb-bench --bin ablation_topology
@@ -25,6 +31,8 @@
 use rrb::analyze::{analyze_grid, CellStaticBound};
 use rrb::campaign::{Campaign, CampaignGrid, GridScenario};
 use rrb::json::Json;
+use rrb::statics::VerifyOptions;
+use rrb::verify::{replay_cell_witnesses, verify_grid};
 use rrb_sim::{ArbiterKind, MachineConfig, McQueueConfig, ResourceKind};
 
 const MC_OCCUPANCY: u64 = 2;
@@ -70,6 +78,7 @@ fn main() {
             .iterations(vec![80])
             .max_k(16);
         let statics = analyze_grid(&grid);
+        let verified = verify_grid(&grid, &VerifyOptions::default());
         let result = Campaign::builder().grid(&grid).jobs(rrb_bench::default_jobs()).build().run();
         let (truth_bus, truth_mc) = truth_terms(&base(two_level));
         let truth = truth_bus + truth_mc;
@@ -78,18 +87,42 @@ fn main() {
                 .iter()
                 .find(|c| c.cell == report.scenario)
                 .unwrap_or_else(|| panic!("no static row for `{}`", report.scenario));
+            let exact = verified
+                .iter()
+                .find(|v| v.statics.cell == report.scenario)
+                .unwrap_or_else(|| panic!("no verified row for `{}`", report.scenario));
             let measured = report.metric_u64("ubd_total");
             let tightness = measured.map(|d| d as f64 / truth as f64);
             let static_tightness = cell.static_total().map(|s| s as f64 / truth as f64);
-            if measured.is_some() {
+
+            // Replay the checker's adversarial witnesses on the full
+            // simulator: the measured delay these runs produce covers the
+            // fp/fifo cells the saw-tooth methodology refuses.
+            let replays = replay_cell_witnesses(exact, 80);
+            let replay_for = |kind: ResourceKind| replays.iter().find(|r| r.resource == kind);
+            let witness_bus = replay_for(ResourceKind::Bus).and_then(|r| r.measured);
+            let witness_mc = replay_for(ResourceKind::MemoryController).and_then(|r| r.measured);
+            // Bus-only ratio: mc witnesses arrive bus-serialised on the
+            // real machine, so their measured γ_mc sits near the queue's
+            // structural floor and would understate the certificate.
+            let witness_tightness = match (witness_bus, exact.exact_bus()) {
+                (Some(m), Some(e)) if e > 0 => Some(m as f64 / e as f64),
+                (Some(_), Some(_)) => Some(1.0),
+                _ => None,
+            };
+            let refused = report.error.is_some() && witness_bus.is_none();
+            if measured.is_some() || witness_bus.is_some() {
                 derived += 1;
-            } else {
+            }
+            if refused {
                 refused_measurement += 1;
             }
             println!(
-                "{:<36} measured = {:<8} static = {:<8} truth = {truth}",
+                "{:<36} measured = {:<8} witness = {:<8} exact = {:<8} static = {:<8} truth = {truth}",
                 report.scenario,
                 measured.map_or_else(|| String::from("refused"), |d| d.to_string()),
+                witness_bus.map_or_else(|| String::from("none"), |d| d.to_string()),
+                exact.exact_total().map_or_else(|| String::from("open"), |e| e.to_string()),
                 cell.static_total().map_or_else(|| String::from("unbounded"), |s| s.to_string()),
             );
             rows.push(Json::obj(vec![
@@ -105,18 +138,28 @@ fn main() {
                 ("static_mc", Json::option(cell.static_mc(), Json::U64)),
                 ("static_total", Json::option(cell.static_total(), Json::U64)),
                 ("static_sound", Json::Bool(cell.violation().is_none())),
+                ("exact_bus", Json::option(exact.exact_bus(), Json::U64)),
+                ("exact_mc", Json::option(exact.exact_mc(), Json::U64)),
+                ("exact_total", Json::option(exact.exact_total(), Json::U64)),
+                ("exact_tightness", Json::option(exact.tightness(), Json::F64)),
+                ("witness_measured_bus", Json::option(witness_bus, Json::U64)),
+                ("witness_measured_mc", Json::option(witness_mc, Json::U64)),
+                ("witness_tightness", Json::option(witness_tightness, Json::F64)),
                 ("tightness", Json::option(tightness, Json::F64)),
                 ("static_tightness", Json::option(static_tightness, Json::F64)),
-                ("refused", Json::Bool(report.error.is_some())),
+                ("refused", Json::Bool(refused)),
             ]));
         }
         static_rows.extend(statics);
     }
     println!(
-        "\nexpected: only round-robin derives a *measured* bound (the saw-tooth is\n\
-         RR-specific) and its measured mc share stays 0 — the L2-hitting sweep\n\
-         cannot provoke the queue, which is what truth_mc/static_mc record. The\n\
-         static analyzer bounds every cell, fp and fifo included."
+        "\nexpected: only round-robin derives a *saw-tooth* bound (the methodology\n\
+         is RR-specific), but no cell is refused outright any more: the model\n\
+         checker's witness replay measures every fp and fifo cell too, and the\n\
+         measured bus delay meets the exact bound. The measured mc share stays\n\
+         near zero either way — witness arrivals reach the queue bus-serialised,\n\
+         which is what truth_mc/static_mc record. The static analyzer bounds\n\
+         every cell, fp and fifo included."
     );
 
     let refused_static = static_rows.iter().filter(|c| !c.bound.is_finite()).count();

@@ -1,17 +1,24 @@
-//! Source lint for the simulator's hot path: `unwrap()`, `expect(`, and
-//! `panic!` are denied in the modules every simulated cycle flows through
-//! (`machine.rs`, `resource.rs`, `core_model.rs`) and in the daemon's
-//! request path (`serve`'s parser, router, and worker dispatch) outside
-//! `#[cfg(test)]`.
+//! Manifest-driven source lint for paths with reliability or determinism
+//! contracts, configured by `crates/bench/lint_manifest.json`.
 //!
-//! A panic in the hot path aborts a whole campaign mid-run and poisons
-//! the shared thread pool; a panic in the daemon's request path kills a
-//! connection or worker thread a long-running service cannot afford to
-//! lose. Recoverable conditions must surface as `Option`/`Result`
-//! (with `debug_assert!` pinning the invariant in debug builds). A
-//! deliberately panicking API — e.g. a documented `# Panics`
-//! convenience wrapper — is exempted by putting a
-//! `lint_sources: allow` marker on the line directly above the hit.
+//! The manifest maps repo-relative paths to named rule sets:
+//!
+//! * `no-panic` — `unwrap()`, `expect(`, and `panic!` are denied in the
+//!   modules every simulated cycle flows through and in the daemon's
+//!   request path. A panic there aborts a whole campaign mid-run,
+//!   poisons the shared thread pool, or kills a connection a
+//!   long-running service cannot afford to lose.
+//! * `no-wallclock` — `Instant::now`/`SystemTime::now` are denied in
+//!   deterministic-output paths: results must be a pure function of the
+//!   spec, never of when they were computed.
+//! * `no-unordered-iter` — `HashMap`/`HashSet` are denied in render and
+//!   router paths, where hash-ordered iteration would make the emitted
+//!   bytes differ run to run.
+//!
+//! Rules apply outside `#[cfg(test)]` only. A deliberate exception —
+//! e.g. a documented `# Panics` convenience wrapper — is exempted by
+//! putting a `lint_sources: allow` marker on the line directly above
+//! the hit.
 //!
 //! CI runs this after the build; a hit is exit code 1 with a
 //! file:line diagnostic.
@@ -20,31 +27,83 @@
 //! cargo run --release -p rrb-bench --bin lint_sources
 //! ```
 
+use rrb::json::Json;
+use std::path::Path;
 use std::process::ExitCode;
 
-const HOT_PATH: &[&str] = &[
-    "crates/sim/src/machine.rs",
-    "crates/sim/src/resource.rs",
-    "crates/sim/src/core_model.rs",
-    "crates/serve/src/http.rs",
-    "crates/serve/src/router.rs",
-    "crates/serve/src/pool.rs",
-];
-
-const DENIED: &[&str] = &["unwrap()", "panic!", "expect("];
+const MANIFEST: &str = "crates/bench/lint_manifest.json";
 
 const ALLOW_MARKER: &str = "lint_sources: allow";
 
+/// One named rule: the needles it denies and the fix it suggests.
+#[derive(Debug)]
+struct Rule {
+    name: String,
+    needles: Vec<String>,
+    advice: String,
+}
+
+/// One manifest entry: a repo-relative path and its resolved rules.
+#[derive(Debug)]
+struct Entry {
+    path: String,
+    rules: Vec<usize>,
+}
+
+/// Parses the manifest into rules and path entries, validating that
+/// every referenced rule exists.
+fn parse_manifest(text: &str) -> Result<(Vec<Rule>, Vec<Entry>), String> {
+    let doc = Json::parse(text).map_err(|e| format!("malformed manifest: {e}"))?;
+    let mut rules = Vec::new();
+    for (name, body) in doc.get("rules").and_then(Json::as_object).ok_or("missing `rules`")? {
+        let needles: Vec<String> = body
+            .get("needles")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("rule `{name}` has no `needles` array"))?
+            .iter()
+            .filter_map(|n| n.as_str().map(String::from))
+            .collect();
+        if needles.is_empty() {
+            return Err(format!("rule `{name}` has no needles"));
+        }
+        let advice = body.get("advice").and_then(Json::as_str).unwrap_or_default().to_string();
+        rules.push(Rule { name: name.clone(), needles, advice });
+    }
+    let mut entries = Vec::new();
+    for (path, names) in doc.get("paths").and_then(Json::as_object).ok_or("missing `paths`")? {
+        let names = names
+            .as_array()
+            .ok_or_else(|| format!("path `{path}` must map to an array of rule names"))?;
+        let mut resolved = Vec::new();
+        for name in names {
+            let name = name.as_str().unwrap_or("");
+            let idx = rules
+                .iter()
+                .position(|r| r.name == name)
+                .ok_or_else(|| format!("path `{path}` references unknown rule `{name}`"))?;
+            resolved.push(idx);
+        }
+        if resolved.is_empty() {
+            return Err(format!("path `{path}` has an empty rule set"));
+        }
+        entries.push(Entry { path: path.clone(), rules: resolved });
+    }
+    if entries.is_empty() {
+        return Err(String::from("manifest lists no paths"));
+    }
+    Ok((rules, entries))
+}
+
 /// Byte offset where the non-test portion of `source` ends: the start of
 /// a top-level `#[cfg(test)]` module, or the whole file when there is
-/// none. Hot-path modules keep their unit tests in one trailing
+/// none. Linted modules keep their unit tests in one trailing
 /// `mod tests`, which this locates without parsing Rust.
 fn non_test_end(source: &str) -> usize {
     source.find("#[cfg(test)]").unwrap_or(source.len())
 }
 
-/// Lints one file; returns the diagnostics for its hits.
-fn lint_file(path: &str, source: &str) -> Vec<String> {
+/// Lints one file against `active` rules; returns the diagnostics.
+fn lint_file(path: &str, source: &str, active: &[&Rule]) -> Vec<String> {
     let mut hits = Vec::new();
     let scope = &source[..non_test_end(source)];
     let mut previous = "";
@@ -55,32 +114,62 @@ fn lint_file(path: &str, source: &str) -> Vec<String> {
         if allowed {
             continue;
         }
-        for needle in DENIED {
-            if code.contains(needle) {
-                hits.push(format!(
-                    "{path}:{}: `{needle}` on a lint-enforced no-panic path (return \
-                     an Option/Result, debug_assert! the invariant, or mark the line \
-                     above with `{ALLOW_MARKER}`)",
-                    i + 1
-                ));
+        for rule in active {
+            for needle in &rule.needles {
+                if code.contains(needle.as_str()) {
+                    hits.push(format!(
+                        "{path}:{}: `{needle}` breaks the `{}` contract ({}; or mark \
+                         the line above with `{ALLOW_MARKER}`)",
+                        i + 1,
+                        rule.name,
+                        rule.advice,
+                    ));
+                }
             }
         }
     }
     hits
 }
 
+/// The repo root: the working directory when the manifest is reachable
+/// from it (how CI invokes this bin), the workspace root otherwise (how
+/// `cargo run` from a crate directory finds it).
+fn repo_root() -> &'static str {
+    if Path::new(MANIFEST).exists() {
+        "."
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../..")
+    }
+}
+
 fn main() -> ExitCode {
+    let root = repo_root();
+    let manifest = match std::fs::read_to_string(format!("{root}/{MANIFEST}")) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("lint_sources: cannot read {MANIFEST}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (rules, entries) = match parse_manifest(&manifest) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("lint_sources: {MANIFEST}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut failures = 0usize;
-    for path in HOT_PATH {
-        let source = match std::fs::read_to_string(path) {
+    for entry in &entries {
+        let source = match std::fs::read_to_string(format!("{root}/{}", entry.path)) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("lint_sources: cannot read {path}: {e}");
+                eprintln!("lint_sources: cannot read {}: {e}", entry.path);
                 failures += 1;
                 continue;
             }
         };
-        for hit in lint_file(path, &source) {
+        let active: Vec<&Rule> = entry.rules.iter().map(|&i| &rules[i]).collect();
+        for hit in lint_file(&entry.path, &source, &active) {
             eprintln!("lint_sources: {hit}");
             failures += 1;
         }
@@ -89,7 +178,7 @@ fn main() -> ExitCode {
         eprintln!("lint_sources: {failures} hit(s)");
         ExitCode::FAILURE
     } else {
-        println!("lint_sources: clean ({} hot-path file(s))", HOT_PATH.len());
+        println!("lint_sources: clean ({} manifest path(s))", entries.len());
         ExitCode::SUCCESS
     }
 }
@@ -98,34 +187,67 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
+    fn manifest_text() -> String {
+        std::fs::read_to_string(format!("{}/{MANIFEST}", repo_root())).expect("manifest readable")
+    }
+
+    fn rule<'a>(rules: &'a [Rule], name: &str) -> &'a Rule {
+        rules.iter().find(|r| r.name == name).expect("rule present")
+    }
+
     #[test]
     fn denies_unwrap_outside_tests() {
+        let (rules, _) = parse_manifest(&manifest_text()).expect("parse");
         let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n";
-        let hits = lint_file("m.rs", src);
+        let hits = lint_file("m.rs", src, &[rule(&rules, "no-panic")]);
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert!(hits[0].contains("m.rs:1"), "{hits:?}");
+        assert!(hits[0].contains("no-panic"), "{hits:?}");
+    }
+
+    #[test]
+    fn denies_wallclock_and_unordered_iteration() {
+        let (rules, _) = parse_manifest(&manifest_text()).expect("parse");
+        let src = "fn f() { let t = Instant::now(); }\nuse std::collections::HashMap;\n";
+        let active = [rule(&rules, "no-wallclock"), rule(&rules, "no-unordered-iter")];
+        let hits = lint_file("m.rs", src, &active);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].contains("no-wallclock"), "{hits:?}");
+        assert!(hits[1].contains("no-unordered-iter"), "{hits:?}");
     }
 
     #[test]
     fn allow_marker_exempts_the_next_line() {
+        let (rules, _) = parse_manifest(&manifest_text()).expect("parse");
         let src = "// lint_sources: allow (documented panic)\nfn f() { x.expect(\"boom\"); }\n";
-        assert!(lint_file("m.rs", src).is_empty());
+        assert!(lint_file("m.rs", src, &[rule(&rules, "no-panic")]).is_empty());
     }
 
     #[test]
     fn comments_do_not_trip_the_lint() {
+        let (rules, _) = parse_manifest(&manifest_text()).expect("parse");
         let src = "fn f() {} // never unwrap() here\n";
-        assert!(lint_file("m.rs", src).is_empty());
+        assert!(lint_file("m.rs", src, &[rule(&rules, "no-panic")]).is_empty());
     }
 
     #[test]
-    fn the_workspace_hot_path_is_clean() {
+    fn unknown_rule_references_are_rejected() {
+        let text = r#"{"rules": {"no-panic": {"needles": ["unwrap()"], "advice": ""}},
+                       "paths": {"a.rs": ["no-such-rule"]}}"#;
+        let e = parse_manifest(text).expect_err("must fail");
+        assert!(e.contains("no-such-rule"), "{e}");
+    }
+
+    #[test]
+    fn the_workspace_manifest_paths_are_clean() {
         // Mirrors main() so `cargo test` catches a regression before CI.
-        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-        for path in HOT_PATH {
-            let full = format!("{root}/{path}");
-            let source = std::fs::read_to_string(&full).expect("hot-path file readable");
-            let hits = lint_file(path, &source);
+        let root = repo_root();
+        let (rules, entries) = parse_manifest(&manifest_text()).expect("parse");
+        for entry in &entries {
+            let source = std::fs::read_to_string(format!("{root}/{}", entry.path))
+                .expect("manifest path readable");
+            let active: Vec<&Rule> = entry.rules.iter().map(|&i| &rules[i]).collect();
+            let hits = lint_file(&entry.path, &source, &active);
             assert!(hits.is_empty(), "{hits:#?}");
         }
     }

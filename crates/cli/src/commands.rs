@@ -71,10 +71,10 @@ impl From<ParseArgsError> for CliError {
 /// Returns [`CliError`] for malformed input or failed derivations.
 pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let parsed = Parsed::parse(argv)?;
-    // Only the spec-file commands (`run`, `analyze`, `lint`) and `cache`
-    // (the action) take a positional; everywhere else a stray argument is
-    // a mistake.
-    if !matches!(parsed.command.as_str(), "run" | "analyze" | "lint" | "cache") {
+    // Only the spec-file commands (`run`, `analyze`, `verify`, `lint`)
+    // and `cache` (the action) take a positional; everywhere else a
+    // stray argument is a mistake.
+    if !matches!(parsed.command.as_str(), "run" | "analyze" | "verify" | "lint" | "cache") {
         parsed.require_no_positionals()?;
     }
     match parsed.command.as_str() {
@@ -86,6 +86,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "campaign" => cmd_campaign(&parsed),
         "run" => cmd_run(&parsed),
         "analyze" => cmd_analyze(&parsed),
+        "verify" => cmd_verify(&parsed),
         "lint" => cmd_lint(&parsed),
         "export-spec" => cmd_export_spec(&parsed),
         "cache" => cmd_cache(&parsed),
@@ -544,13 +545,9 @@ fn cmd_analyze(parsed: &Parsed) -> Result<String, CliError> {
     let path = spec_path_from(parsed, "rrb analyze <spec.json>")?;
     let spec = ExperimentSpec::from_file(path).map_err(|e| CliError::Tool(Box::new(e)))?;
     let rows = rrb::analyze::analyze_spec(&spec);
-    let mut out = match parsed.get("format").unwrap_or("text") {
-        "text" => rrb::analyze::render_rows(&rows),
-        "json" => {
-            let mut s = rrb::Json::Arr(rows.iter().map(|r| r.to_json()).collect()).render_pretty();
-            s.push('\n');
-            s
-        }
+    let json = match parsed.get("format").unwrap_or("text") {
+        "text" => false,
+        "json" => true,
         other => {
             return Err(CliError::UnknownChoice {
                 flag: "format",
@@ -558,6 +555,11 @@ fn cmd_analyze(parsed: &Parsed) -> Result<String, CliError> {
                 allowed: "text, json",
             })
         }
+    };
+    let mut out = if json {
+        ndjson(rows.iter().map(rrb::CellStaticBound::to_json))
+    } else {
+        rrb::analyze::render_rows(&rows)
     };
     let mut violations: Vec<String> = rows.iter().filter_map(|r| r.violation()).collect();
     if parsed.get_switch("check-runs") {
@@ -574,15 +576,105 @@ fn cmd_analyze(parsed: &Parsed) -> Result<String, CliError> {
             report_store_use(&result, store);
         }
         let measured = rrb::analyze::check_measured(&rows, &result);
-        out.push_str(&format!(
-            "measured cross-check: {} run record(s), {} violation(s)\n",
-            result.records.len(),
-            measured.len()
-        ));
+        let tightness = rrb::analyze::measured_tightness(&rows, &result);
+        if json {
+            out.push_str(&ndjson(tightness.iter().map(|t| {
+                rrb::Json::obj(vec![
+                    ("cell", rrb::Json::str(t.cell.clone())),
+                    ("measured", rrb::Json::U64(t.measured)),
+                    ("static_total", rrb::Json::U64(t.static_total)),
+                    ("tightness", rrb::Json::F64(t.tightness)),
+                ])
+            })));
+        } else {
+            out.push_str(&format!(
+                "measured cross-check: {} run record(s), {} violation(s)\n",
+                result.records.len(),
+                measured.len()
+            ));
+            // How much of each static bound the runs actually realised:
+            // the per-cell pessimism, not just pass/fail.
+            for t in &tightness {
+                out.push_str(&format!(
+                    "  tightness {}: measured {} / static {} = {:.3}\n",
+                    t.cell, t.measured, t.static_total, t.tightness
+                ));
+            }
+        }
         violations.extend(measured);
     }
     if !violations.is_empty() {
         let mut msg = String::from("static soundness violated:\n");
+        for v in &violations {
+            msg.push_str(&format!("  {v}\n"));
+        }
+        return Err(CliError::Tool(msg.into()));
+    }
+    write_or_return(parsed, out)
+}
+
+/// Renders an iterator of JSON values as NDJSON: one compact object per
+/// line, the format the serve daemon already streams and the easiest one
+/// to `grep`/`jq` incrementally.
+fn ndjson(values: impl Iterator<Item = rrb::Json>) -> String {
+    let mut out = String::new();
+    for v in values {
+        out.push_str(&v.render_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// `rrb verify <spec.json>`: bounded model checking of every cell the
+/// spec would run — the *exact* worst-case per-request delay per
+/// resource (enumerating request alignments against the real arbiter
+/// implementations), the tightness certificate `exact / static`, and a
+/// replayable adversarial witness. Fails on any `exact > static`
+/// violation; with `--check-runs`, also replays each witness on the full
+/// simulator and fails if a measured delay exceeds the exact bound.
+fn cmd_verify(parsed: &Parsed) -> Result<String, CliError> {
+    let path = spec_path_from(parsed, "rrb verify <spec.json>")?;
+    let spec = ExperimentSpec::from_file(path).map_err(|e| CliError::Tool(Box::new(e)))?;
+    let opts = rrb::statics::VerifyOptions::with_horizon(parsed.get_u64("horizon", 0)?);
+    let rows = rrb::verify::verify_spec(&spec, &opts);
+    let json = match parsed.get("format").unwrap_or("text") {
+        "text" => false,
+        "json" => true,
+        other => {
+            return Err(CliError::UnknownChoice {
+                flag: "format",
+                value: other.to_string(),
+                allowed: "text, json",
+            })
+        }
+    };
+    let mut out = if json {
+        ndjson(rows.iter().map(rrb::VerifiedCell::to_json))
+    } else {
+        rrb::verify::render_verified(&rows)
+    };
+    let mut violations: Vec<String> = rows.iter().flat_map(|r| r.violations()).collect();
+    if parsed.get_switch("check-runs") {
+        let iterations = parsed.get_u64("iterations", 60)?;
+        for row in &rows {
+            for replay in rrb::verify::replay_cell_witnesses(row, iterations) {
+                if json {
+                    out.push_str(&replay.to_json().render_compact());
+                    out.push('\n');
+                } else {
+                    let measured =
+                        replay.measured.map_or_else(|| String::from("none"), |m| m.to_string());
+                    out.push_str(&format!(
+                        "witness replay {} [{}]: measured {measured} / exact {} ({} runs)\n",
+                        replay.cell, replay.resource, replay.exact, replay.runs
+                    ));
+                }
+                violations.extend(replay.violation());
+            }
+        }
+    }
+    if !violations.is_empty() {
+        let mut msg = String::from("exact-bound soundness violated:\n");
         for v in &violations {
             msg.push_str(&format!("  {v}\n"));
         }
@@ -599,7 +691,17 @@ fn cmd_lint(parsed: &Parsed) -> Result<String, CliError> {
     let path = spec_path_from(parsed, "rrb lint <spec.json>")?;
     let spec = ExperimentSpec::from_file(path).map_err(|e| CliError::Tool(Box::new(e)))?;
     let findings = rrb::lint::lint_spec(&spec);
-    let rendered = rrb::lint::render_findings(&findings);
+    let rendered = match parsed.get("format").unwrap_or("text") {
+        "text" => rrb::lint::render_findings(&findings),
+        "json" => ndjson(findings.iter().map(rrb::LintFinding::to_json)),
+        other => {
+            return Err(CliError::UnknownChoice {
+                flag: "format",
+                value: other.to_string(),
+                allowed: "text, json",
+            })
+        }
+    };
     if rrb::lint::has_errors(&findings) {
         return Err(CliError::Tool(rendered.into()));
     }
@@ -762,8 +864,17 @@ fn help_text() -> String {
                      [--format text|json] [--out FILE] [--check-runs]\n\
                      (--check-runs also executes the campaign and fails\n\
                      if any measured delay exceeds its static bound)\n\
+           verify    bounded exhaustive model check of every cell of an\n\
+                     experiment file: exact worst-case delays, tightness\n\
+                     certificates vs the static bounds, and replayable\n\
+                     adversarial witnesses: rrb verify <spec.json>\n\
+                     [--horizon N] [--format text|json] [--out FILE]\n\
+                     [--check-runs [--iterations N]]  (--check-runs\n\
+                     replays each witness on the cycle-accurate\n\
+                     simulator and fails if measured exceeds exact)\n\
            lint      static semantic checks on an experiment file:\n\
-                     rrb lint <spec.json> (errors fail the command)\n\
+                     rrb lint <spec.json> [--format text|json]\n\
+                     (errors fail the command)\n\
            cache     inspect/maintain the persistent result store:\n\
                      rrb cache stats | verify | fingerprint\n\
                      rrb cache gc [--max-age SECS] [--max-size BYTES]\n\
@@ -796,7 +907,9 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let h = run("help").expect("help");
-        for cmd in ["derive", "naive", "gamma", "audit", "simulate", "campaign", "cache", "serve"] {
+        for cmd in [
+            "derive", "naive", "gamma", "audit", "simulate", "campaign", "cache", "serve", "verify",
+        ] {
             assert!(h.contains(cmd), "help must mention {cmd}");
         }
     }
@@ -1171,9 +1284,12 @@ mod tests {
     #[test]
     fn analyze_json_format_carries_the_soundness_fields() {
         let out = run(&format!("analyze {NGMP_SPEC} --format json")).expect("analyze");
-        for key in ["\"static_total\"", "\"truth_total\"", "\"sound_vs_truth\": true"] {
+        for key in ["\"static_total\"", "\"truth_total\"", "\"sound_vs_truth\":true"] {
             assert!(out.contains(key), "missing {key}:\n{out}");
         }
+        // NDJSON: one compact object per line, one line per cell.
+        assert_eq!(out.trim().lines().count(), 5, "{out}");
+        assert!(out.trim().lines().all(|l| l.starts_with('{') && l.ends_with('}')), "{out}");
         let e = run(&format!("analyze {NGMP_SPEC} --format yaml")).expect_err("must fail");
         assert!(e.to_string().contains("text, json"), "{e}");
         let e = run("analyze").expect_err("must fail");
@@ -1219,6 +1335,54 @@ mod tests {
         // bounds what the spec *would* run (nothing), so lint is the gate.
         let out = run(&format!("analyze {}", file.as_str())).expect("analyze");
         assert!(out.contains("0 cells"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_format_is_ndjson_with_dotted_paths() {
+        let grid = CampaignGrid::new(GridScenario::Derive, rrb_sim::MachineConfig::toy(4, 2));
+        let mut spec = ExperimentSpec::from_grid("broken", &grid);
+        spec.grid.as_mut().expect("grid spec").cores.clear();
+        let file = TempFile::new("broken-json-spec.json");
+        std::fs::write(&file.0, spec.to_text()).expect("write");
+        let e = run(&format!("lint {} --format json", file.as_str())).expect_err("must fail");
+        let msg = e.to_string();
+        assert!(msg.contains("\"severity\":\"error\""), "{msg}");
+        assert!(msg.contains("\"path\":\"grid.cores\""), "{msg}");
+        assert!(msg.trim().lines().all(|l| l.starts_with('{') && l.ends_with('}')), "{msg}");
+        let e = run(&format!("lint {} --format yaml", file.as_str())).expect_err("must fail");
+        assert!(e.to_string().contains("text, json"), "{e}");
+    }
+
+    #[test]
+    fn verify_certifies_the_toy_grid_and_replays_witnesses() {
+        let spec_file = TempFile::new("verify-spec.json");
+        run(&format!(
+            "export-spec --arch toy --cores 4 --l-bus 2 --scenario derive \
+             --arbiters rr,fp,fifo --grid-cores 2,4 --max-k 8 --iterations 40 --out {}",
+            spec_file.as_str()
+        ))
+        .expect("export");
+        let out = run(&format!("verify {}", spec_file.as_str())).expect("verify");
+        assert!(out.contains("6 cells: 6 exact, 0 unbounded, 0 UNSOUND"), "{out}");
+        let json =
+            run(&format!("verify {} --format json", spec_file.as_str())).expect("verify json");
+        assert!(json.contains("\"tightness\""), "{json}");
+        assert!(json.contains("\"sound\":true"), "{json}");
+        assert_eq!(json.trim().lines().count(), 6, "{json}");
+    }
+
+    #[test]
+    fn verify_check_runs_replays_witnesses_within_the_exact_bound() {
+        let spec_file = TempFile::new("verify-replay.json");
+        run(&format!(
+            "export-spec --arch toy --cores 4 --l-bus 2 --scenario derive \
+             --arbiters rr,fifo --grid-cores 4 --max-k 8 --iterations 40 --out {}",
+            spec_file.as_str()
+        ))
+        .expect("export");
+        let out = run(&format!("verify {} --check-runs --iterations 40", spec_file.as_str()))
+            .expect("witness replay must stay within the exact bound");
+        assert!(out.contains("witness replay"), "{out}");
     }
 
     #[test]

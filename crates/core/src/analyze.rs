@@ -128,7 +128,7 @@ fn profile_kernel(kernel: &KernelSpec, cfg: &MachineConfig, core: CoreId) -> Cor
 /// `rsk-nop(t, k)` for `k = 0..=max_k` (joined over the endpoints — the
 /// count/makespan envelope is monotone in `k`), the other cores run
 /// endless resource-stressing kernels.
-fn grid_cell_profiles(cell: &GridCell) -> Vec<CoreProfile> {
+pub(crate) fn grid_cell_profiles(cell: &GridCell) -> Vec<CoreProfile> {
     let cfg = &cell.cfg;
     let scua0 = rsk_nop(cell.access, 0, cfg, CoreId::new(0), cell.iterations);
     let scua_k = rsk_nop(cell.access, cell.max_k, cfg, CoreId::new(0), cell.iterations);
@@ -156,14 +156,21 @@ pub fn analyze_grid_cell(cell: &GridCell) -> CellStaticBound {
     }
 }
 
-/// Statically bounds one workload case on `machine`.
-pub fn analyze_workload(machine: &MachineConfig, case: &WorkloadCase) -> CellStaticBound {
+/// Per-core demand profiles for a workload case: the scua on core 0,
+/// each contender kernel on the next core up, truncated to the machine.
+pub(crate) fn workload_profiles(machine: &MachineConfig, case: &WorkloadCase) -> Vec<CoreProfile> {
     let mut profiles = vec![profile_kernel(&case.scua, machine, CoreId::new(0))];
     for (i, contender) in case.contenders.iter().enumerate() {
         let core = CoreId::new((i + 1).min(machine.num_cores.saturating_sub(1)));
         profiles.push(profile_kernel(contender, machine, core));
     }
     profiles.truncate(machine.num_cores);
+    profiles
+}
+
+/// Statically bounds one workload case on `machine`.
+pub fn analyze_workload(machine: &MachineConfig, case: &WorkloadCase) -> CellStaticBound {
+    let profiles = workload_profiles(machine, case);
     let bound = StaticBound::analyze(machine, &profiles);
     let (truth_bus, truth_mc) = truth_terms(machine);
     CellStaticBound {
@@ -219,6 +226,40 @@ pub fn check_measured(rows: &[CellStaticBound], result: &CampaignResult) -> Vec<
         }
     }
     violations
+}
+
+/// Per-cell measured/static tightness from a campaign run: how much of
+/// the static bound the worst observed delay actually realised. A low
+/// ratio is not a bug — it quantifies the pessimism of the static model
+/// on that cell (Fig. 5's "how tight is the bound" question).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTightness {
+    /// Cell (scenario) name.
+    pub cell: String,
+    /// Worst observed total delay across the cell's runs (bus γ + MC γ).
+    pub measured: u64,
+    /// The cell's finite static total.
+    pub static_total: u64,
+    /// `measured / static_total` (1.0 when the static total is zero).
+    pub tightness: f64,
+}
+
+/// Computes per-cell measured/static tightness for every cell that has
+/// both a finite static total and at least one successful run record.
+pub fn measured_tightness(rows: &[CellStaticBound], result: &CampaignResult) -> Vec<CellTightness> {
+    let mut out = Vec::new();
+    for row in rows {
+        let Some(static_total) = row.static_total() else { continue };
+        let mut measured: Option<u64> = None;
+        for record in result.records.iter().filter(|r| r.is_ok() && r.scenario == row.cell) {
+            let total = record.max_gamma.unwrap_or(0) + record.max_gamma_mc.unwrap_or(0);
+            measured = Some(measured.map_or(total, |m| m.max(total)));
+        }
+        let Some(measured) = measured else { continue };
+        let tightness = if static_total == 0 { 1.0 } else { measured as f64 / static_total as f64 };
+        out.push(CellTightness { cell: row.cell.clone(), measured, static_total, tightness });
+    }
+    out
 }
 
 /// Renders the rows as an aligned text table with a one-line verdict.

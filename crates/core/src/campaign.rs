@@ -103,6 +103,52 @@ impl RunSpec {
         RunSpec { label: label.into(), cfg, scua: scua_program, contenders: contender_programs }
     }
 
+    /// A run that replays a model-checker [`Witness`] on the full
+    /// simulator: core 0 runs a finite kernel that posts at the witness
+    /// resource with `nops` padding per iteration, and every contender
+    /// core the witness marks as requesting runs an endless kernel that
+    /// saturates the same resource (non-requesting cores in between get a
+    /// tiny finite nop program so the slot indices line up). The nop
+    /// padding plays the §4 saw-tooth role: sweeping it over one rotation
+    /// period drives the observed stream through every arrival alignment
+    /// class the witness's abstract gap denotes, so the worst measured γ
+    /// over the sweep is the replayed delay.
+    ///
+    /// [`Witness`]: rrb_static::Witness
+    pub fn from_witness(
+        label: impl Into<String>,
+        cfg: MachineConfig,
+        witness: &rrb_static::Witness,
+        nops: u64,
+        iterations: u64,
+    ) -> Self {
+        use rrb_kernels::{nop_kernel, rsk, rsk_l2_miss, rsk_l2_miss_nop};
+        use rrb_sim::ResourceKind;
+        let requesting = witness.requesting_contenders();
+        let last = requesting.iter().copied().max().unwrap_or(0);
+        let mut contenders = Vec::new();
+        for core in 1..=last.min(cfg.num_cores.saturating_sub(1)) {
+            let program = if requesting.contains(&core) {
+                match witness.resource {
+                    ResourceKind::Bus => rsk(AccessKind::Load, &cfg, CoreId::new(core)),
+                    ResourceKind::MemoryController => rsk_l2_miss(&cfg, CoreId::new(core)),
+                }
+            } else {
+                nop_kernel(&cfg, 1)
+            };
+            contenders.push(program);
+        }
+        let scua = match witness.resource {
+            ResourceKind::Bus => {
+                rsk_nop(AccessKind::Load, nops as usize, &cfg, CoreId::new(0), iterations)
+            }
+            ResourceKind::MemoryController => {
+                rsk_l2_miss_nop(&cfg, CoreId::new(0), nops, iterations)
+            }
+        };
+        RunSpec { label: label.into(), cfg, scua, contenders }
+    }
+
     /// The deduplication key: a 64-bit FNV-1a digest of everything that
     /// determines the (fully deterministic) measurement — configuration
     /// and workload, but **not** the label. Two runs with equal hashes

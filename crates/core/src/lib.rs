@@ -106,6 +106,7 @@ pub mod scenario;
 pub mod spec;
 pub mod store;
 pub mod validation;
+pub mod verify;
 
 /// Re-export of the simulator substrate.
 pub use rrb_analysis as analysis;
@@ -118,7 +119,7 @@ pub use rrb_static as statics;
 
 pub use analyze::{
     analyze_grid, analyze_grid_cell, analyze_spec, analyze_workload, check_measured,
-    CellStaticBound,
+    measured_tightness, CellStaticBound, CellTightness,
 };
 pub use campaign::{
     clamped_jobs, execute_plan, execute_plan_stored, execute_run, execute_run_stored, Campaign,
@@ -148,4 +149,8 @@ pub use store::{
 };
 pub use validation::{
     validate_gamma_model, GammaComparison, GammaValidationScenario, ValidationReport,
+};
+pub use verify::{
+    render_verified, replay_cell_witnesses, replay_witness, verify_grid, verify_grid_cell,
+    verify_spec, verify_workload, VerifiedCell, WitnessReplay,
 };

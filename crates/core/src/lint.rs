@@ -13,9 +13,11 @@
 //!
 //! [`SpecError::Field`]: crate::spec::SpecError
 
+use crate::json::Json;
 use crate::spec::ExperimentSpec;
 use rrb_kernels::KernelSpec;
 use rrb_sim::{ArbiterKind, CoreId, MachineConfig};
+use rrb_static::steady_state_silent;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -52,6 +54,18 @@ pub struct LintFinding {
 impl fmt::Display for LintFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}: spec field `{}`: {}", self.severity, self.path, self.message)
+    }
+}
+
+impl LintFinding {
+    /// The finding as a JSON object (one NDJSON line of
+    /// `rrb lint --format json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("severity", Json::str(self.severity.to_string())),
+            ("path", Json::str(self.path.clone())),
+            ("message", Json::str(self.message.clone())),
+        ])
     }
 }
 
@@ -316,6 +330,15 @@ pub fn lint_spec(spec: &ExperimentSpec) -> Vec<LintFinding> {
                 );
             }
             lint_kernel(&mut lint, &cpath, contender, machine);
+            if let Ok(program) = contender.try_build(machine, CoreId::new(j + 1)) {
+                if steady_state_silent(&program, machine) {
+                    lint.warning(
+                        &cpath,
+                        "contender never posts a bus or memory-controller request; \
+                         it adds no contention and the cell silently measures isolation",
+                    );
+                }
+            }
         }
     }
     for (i, a) in spec.workloads.iter().enumerate() {
@@ -412,5 +435,46 @@ mod tests {
         spec.grid.as_mut().expect("grid").cores.clear();
         let text = render_findings(&lint_spec(&spec));
         assert!(text.contains("spec field `grid.cores`"), "{text}");
+    }
+
+    #[test]
+    fn grr_group_spanning_every_core_warns_of_degeneration() {
+        let mut spec = clean_spec();
+        // Max cores in the clean grid is 4; one group of 4 is plain rr.
+        spec.grid.as_mut().expect("grid").arbiters =
+            vec![ArbiterKind::GroupedRoundRobin { group_size: 4 }];
+        let findings = lint_spec(&spec);
+        let hit = findings.iter().find(|f| f.path == "grid.arbiters[0]").expect("grr finding");
+        assert_eq!(hit.severity, LintSeverity::Warning);
+        assert!(hit.message.contains("degenerates"), "{}", hit.message);
+    }
+
+    #[test]
+    fn tdma_slot_matching_worst_occupancy_is_boundary_not_starvation() {
+        let mut spec = clean_spec();
+        // Worst occupancy on the toy(4, 2) bus is exactly 2: a 2-cycle slot
+        // fits every transaction with zero slack and must lint clean.
+        spec.grid.as_mut().expect("grid").arbiters = vec![ArbiterKind::Tdma { slot_cycles: 2 }];
+        let findings = lint_spec(&spec);
+        assert!(
+            !findings.iter().any(|f| f.path == "grid.arbiters[0]"),
+            "boundary slot flagged: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn contender_that_never_requests_is_a_warning_not_a_silent_pass() {
+        let mut spec = clean_spec();
+        spec.workloads.push(crate::spec::WorkloadCase {
+            name: "quiet".into(),
+            scua: KernelSpec::RskNop { access: AccessKind::Load, nops: 0, iterations: 10 },
+            contenders: vec![KernelSpec::Nop { iterations: 10 }],
+        });
+        let findings = lint_spec(&spec);
+        let hit = findings
+            .iter()
+            .find(|f| f.path == "workloads[0].contenders[0]" && f.message.contains("never posts"))
+            .expect("silent-contender finding");
+        assert_eq!(hit.severity, LintSeverity::Warning);
     }
 }

@@ -61,5 +61,5 @@ pub use layout::DataLayout;
 pub use nop_kernel::{estimate_delta_nop, nop_kernel};
 pub use rng::KernelRng;
 pub use rsk::{rsk, rsk_nop, AccessKind, ParseAccessError, RskBuilder};
-pub use rsk_variants::{rsk_capacity, rsk_l2_miss, rsk_mixed, rsk_pointer_chase};
+pub use rsk_variants::{rsk_capacity, rsk_l2_miss, rsk_l2_miss_nop, rsk_mixed, rsk_pointer_chase};
 pub use workload::{random_eembc_workload, scua_vs_contenders, WorkloadError, WorkloadSpec};

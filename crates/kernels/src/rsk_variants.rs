@@ -104,6 +104,26 @@ pub fn rsk_l2_miss(cfg: &MachineConfig, core: CoreId) -> Program {
     b.endless().build()
 }
 
+/// The finite, nop-padded variant of [`rsk_l2_miss`]: the same
+/// partition-exceeding stride (every access misses DL1 *and* the L2
+/// partition, so each request queues at the memory controller), but with
+/// `nops` padding appended per iteration and a bounded iteration count so
+/// the program terminates. This is the observed kernel when replaying a
+/// memory-controller witness: the nop padding plays the §4 saw-tooth
+/// role, sweeping the request stream through arrival alignments.
+pub fn rsk_l2_miss_nop(cfg: &MachineConfig, core: CoreId, nops: u64, iterations: u64) -> Program {
+    let line = cfg.dl1.line_bytes;
+    let partition = cfg.l2.partition(cfg.num_cores).size_bytes;
+    let dl1_span = cfg.dl1.sets() * line;
+    let count = 2 * partition / dl1_span;
+    let base: Addr = 0x4000_0000 + 0x0400_0000 * core.index() as Addr;
+    let mut b = ProgramBuilder::new();
+    for i in 0..count {
+        b = b.load(base + i * dl1_span);
+    }
+    b.nops(nops as usize).iterations(iterations).build()
+}
+
 /// A mixed kernel: alternating loads and stores over the conflict lines,
 /// exercising the interaction between the load path and the store buffer.
 pub fn rsk_mixed(cfg: &MachineConfig, core: CoreId, iterations: Option<u64>) -> Program {

@@ -108,8 +108,8 @@ pub mod trace;
 mod types;
 
 pub use bus::{
-    Arbiter, ArbiterKind, BusOpKind, FifoArbiter, FixedPriorityArbiter, GroupedRoundRobinArbiter,
-    ParseArbiterError, RoundRobinArbiter, TdmaArbiter,
+    build_arbiter, Arbiter, ArbiterKind, BusOpKind, FifoArbiter, FixedPriorityArbiter,
+    GroupedRoundRobinArbiter, ParseArbiterError, RequestView, RoundRobinArbiter, TdmaArbiter,
 };
 pub use cache::{Cache, CacheStats, Replacement};
 pub use config::{

@@ -113,17 +113,17 @@ impl StaticBound {
 }
 
 /// Arbitrated-resource parameters the per-arbiter models need.
-struct ResourceModel {
-    kind: ResourceKind,
-    arbiter: ArbiterKind,
+pub(crate) struct ResourceModel {
+    pub(crate) kind: ResourceKind,
+    pub(crate) arbiter: ArbiterKind,
     /// Worst single-transaction occupancy (the simulator arbitrates on
     /// this uniform worst-case view).
-    max_occ: u64,
+    pub(crate) max_occ: u64,
     /// Smallest occupancy any transaction can hold the resource for.
-    min_occ: u64,
+    pub(crate) min_occ: u64,
 }
 
-fn resource_models(cfg: &MachineConfig) -> Vec<ResourceModel> {
+pub(crate) fn resource_models(cfg: &MachineConfig) -> Vec<ResourceModel> {
     let bus = &cfg.topology.bus;
     let mut models = vec![ResourceModel {
         kind: ResourceKind::Bus,
@@ -143,14 +143,14 @@ fn resource_models(cfg: &MachineConfig) -> Vec<ResourceModel> {
 }
 
 /// Request count of `profile` at the resource `kind` (bus vs MC demand).
-fn requests_at(profile: &CoreProfile, kind: ResourceKind) -> Option<u64> {
+pub(crate) fn requests_at(profile: &CoreProfile, kind: ResourceKind) -> Option<u64> {
     match kind {
         ResourceKind::Bus => profile.bus_requests,
         ResourceKind::MemoryController => profile.mc_requests,
     }
 }
 
-fn can_request(profile: &CoreProfile, kind: ResourceKind) -> bool {
+pub(crate) fn can_request(profile: &CoreProfile, kind: ResourceKind) -> bool {
     requests_at(profile, kind) != Some(0)
 }
 

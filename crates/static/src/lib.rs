@@ -7,7 +7,7 @@
 //! a measured UBD above the static bound, or a static bound below the
 //! simulated truth, is a bug in one of the two models.
 //!
-//! The analysis has two layers:
+//! The analysis has three layers:
 //!
 //! * [`profile`] — an abstract interpreter over [`Program`] bodies that
 //!   bounds each core's shared-resource demand: total bus/memory-controller
@@ -25,10 +25,17 @@
 //!   | `tdma:s` | `(Nc-1)·s + L - 1`, unbounded if `s < L` |
 //!   | `fp` | per-core response-time analysis over higher-priority request curves, with a whole-run window fallback |
 //!
+//! * [`verify`] — a bounded exhaustive model checker that drives the *real*
+//!   arbiter implementations over the abstract single-resource model,
+//!   enumerating request-arrival alignments (with per-arbiter symmetry
+//!   pruning) to compute the **exact** worst-case delay of the observed
+//!   core, plus a replayable adversarial [`Witness`].
+//!
 //! Every formula is an upper bound on the simulator's observable
 //! `γ = granted - ready` for the corresponding resource; the repo-level
-//! property test `prop_static_soundness` pins `static ≥ observed max γ`
-//! over randomized arbiters, topologies, and workloads.
+//! property tests `prop_static_soundness` and `prop_verify_exact` pin
+//! `observed max γ ≤ exact ≤ static` over randomized arbiters, topologies,
+//! and workloads.
 //!
 //! ## Example
 //!
@@ -50,6 +57,8 @@
 
 pub mod bounds;
 pub mod profile;
+pub mod verify;
 
 pub use bounds::{Bound, ResourceBound, StaticBound};
-pub use profile::{profile_program, CoreProfile};
+pub use profile::{profile_program, steady_state_silent, CoreProfile};
+pub use verify::{exact_bounds, ExactBound, VerifyOptions, Witness};

@@ -143,6 +143,20 @@ pub fn profile_program(program: &Program, cfg: &MachineConfig) -> CoreProfile {
     CoreProfile { bus_requests, mc_requests, min_gap, isolated_cycles }
 }
 
+/// Whether `program` posts no shared-resource requests in steady state:
+/// no data accesses, and an instruction stream that fits the IL1 so the
+/// only fetch traffic is the one-off cold fill. Such a program adds no
+/// sustained contention no matter how long it runs.
+pub fn steady_state_silent(program: &Program, cfg: &MachineConfig) -> bool {
+    let body = program.body();
+    if body.iter().any(Instr::accesses_memory) {
+        return false;
+    }
+    let line = cfg.il1.line_bytes.max(1);
+    let body_lines = (body.len() as u64).saturating_mul(INSTR_BYTES).div_ceil(line);
+    body_lines <= cfg.il1.size_bytes / line
+}
+
 /// Core-side latency an instruction burns before the next one can issue,
 /// excluding any shared-resource service time.
 fn local_latency(instr: &Instr, cfg: &MachineConfig) -> u64 {
@@ -172,8 +186,16 @@ fn min_request_gap(
     if mem_positions.is_empty() {
         return u64::MAX;
     }
+    // On this path every request is a demand load or a cold ifetch, and
+    // either way the requester performs an L1 lookup between dispatch and
+    // the request becoming ready — so even back-to-back loads are
+    // separated by at least the smaller L1 latency. (Store-buffer drains,
+    // the one mechanism that posts with no lookup in between, are
+    // excluded above.)
+    let lookup = cfg.dl1.latency.min(cfg.il1.latency);
     // Circular minimum over the latencies of instructions between
-    // consecutive memory ops (the body loops).
+    // consecutive memory ops (the body loops), plus the next request's
+    // lookup.
     let mut min_gap = u64::MAX;
     let k = mem_positions.len();
     for idx in 0..k {
@@ -190,7 +212,7 @@ fn min_request_gap(
             break;
         }
     }
-    min_gap
+    min_gap.saturating_add(lookup)
 }
 
 /// Upper bound on the contention-free makespan of `n` iterations of `body`.

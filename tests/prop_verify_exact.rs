@@ -1,0 +1,184 @@
+//! Properties of the bounded model checker (`rrb verify`): for
+//! randomized arbiters, topologies, and workloads,
+//!
+//! 1. the exact worst-case delay never exceeds a finite static bound
+//!    (`exact <= static` — the tightness certificate is a fraction),
+//! 2. every adversarial witness replays to exactly the delay it claims
+//!    (the checker's maximum is constructive, not an estimate), and
+//! 3. replaying a witness on the full cycle-accurate simulator never
+//!    measures a delay above the exact bound (the abstract arbiter
+//!    model dominates the real machine).
+//!
+//! Cases are drawn from the workspace's deterministic [`KernelRng`], so
+//! a failure reproduces exactly.
+
+use rrb::campaign::{CampaignGrid, GridScenario};
+use rrb::statics::{exact_bounds, profile_program, CoreProfile, StaticBound, VerifyOptions};
+use rrb::verify::{replay_cell_witnesses, verify_grid};
+use rrb_kernels::{rsk, AccessKind, KernelRng, RskBuilder};
+use rrb_sim::{ArbiterKind, CoreId, MachineConfig, McQueueConfig, Program};
+
+/// Runs `body` for `cases` pseudo-random cases drawn from a fixed seed.
+fn for_cases(seed: u64, cases: usize, mut body: impl FnMut(&mut KernelRng)) {
+    let mut rng = KernelRng::seed_from_u64(seed);
+    for _ in 0..cases {
+        body(&mut rng);
+    }
+}
+
+/// A random bus arbiter that cannot starve by construction (TDMA slots
+/// always fit the worst occupancy).
+fn random_arbiter(rng: &mut KernelRng, num_cores: usize, worst_occ: u64) -> ArbiterKind {
+    match rng.gen_below(5) {
+        0 => ArbiterKind::RoundRobin,
+        1 => ArbiterKind::Fifo,
+        2 => ArbiterKind::FixedPriority,
+        3 => ArbiterKind::Tdma { slot_cycles: worst_occ + rng.gen_below(4) },
+        _ => ArbiterKind::GroupedRoundRobin {
+            group_size: rng.gen_range(1, num_cores as u64 + 1) as usize,
+        },
+    }
+}
+
+/// A random machine: 2-4 cores, bus latency 1-4, one of the five bus
+/// arbiters, and (half the time) a chained memory-controller queue.
+fn random_machine(rng: &mut KernelRng) -> MachineConfig {
+    let num_cores = rng.gen_range(2, 5) as usize;
+    let l_bus = rng.gen_range(1, 5);
+    let mut cfg = MachineConfig::toy(num_cores, l_bus);
+    cfg.topology.bus.arbiter = random_arbiter(rng, num_cores, l_bus);
+    if rng.gen_below(2) == 0 {
+        cfg.topology.mc = Some(McQueueConfig {
+            service_occupancy: rng.gen_range(1, 4),
+            arbiter: if rng.gen_below(2) == 0 {
+                ArbiterKind::RoundRobin
+            } else {
+                ArbiterKind::Fifo
+            },
+        });
+    }
+    cfg
+}
+
+/// A grid-shaped workload: a finite rsk-nop on core 0 and a random
+/// contender per other core (endless under fixed priority, so the
+/// whole-run window stays anchored by core 0 alone).
+fn random_workload(rng: &mut KernelRng, cfg: &MachineConfig) -> Vec<Program> {
+    let access = |rng: &mut KernelRng| {
+        if rng.gen_below(2) == 0 {
+            AccessKind::Load
+        } else {
+            AccessKind::Store
+        }
+    };
+    let fp = cfg.topology.bus.arbiter == ArbiterKind::FixedPriority;
+    let scua = RskBuilder::new(access(rng))
+        .nops(rng.gen_below(8) as usize)
+        .iterations(rng.gen_range(10, 50))
+        .build(cfg, CoreId::new(0));
+    let mut programs = vec![scua];
+    for core in 1..cfg.num_cores {
+        let core = CoreId::new(core);
+        if !fp && rng.gen_below(3) == 0 {
+            programs.push(
+                RskBuilder::new(access(rng))
+                    .nops(rng.gen_below(4) as usize)
+                    .iterations(rng.gen_range(10, 40))
+                    .build(cfg, core),
+            );
+        } else {
+            programs.push(rsk(access(rng), cfg, core));
+        }
+    }
+    programs
+}
+
+/// Property 1: where the static analyzer claims a finite per-resource
+/// bound, the exhaustive exact worst case exists and never exceeds it.
+#[test]
+fn exact_never_exceeds_a_finite_static_bound() {
+    for_cases(0x40, 20, |rng| {
+        let cfg = random_machine(rng);
+        let programs = random_workload(rng, &cfg);
+        let profiles: Vec<CoreProfile> =
+            programs.iter().map(|p| profile_program(p, &cfg)).collect();
+        let statics = StaticBound::analyze(&cfg, &profiles);
+        for row in exact_bounds(&cfg, &profiles, &VerifyOptions::default()) {
+            let Some(sb) = statics.resource(row.resource).and_then(|r| r.bound) else {
+                continue;
+            };
+            let exact = row.exact.unwrap_or_else(|| {
+                panic!(
+                    "checker found no bound where statics claims {sb} at {} \
+                     (arbiter {:?}, {} cores): {:?}",
+                    row.resource.slug(),
+                    cfg.topology.bus.arbiter,
+                    cfg.num_cores,
+                    row.reason,
+                )
+            });
+            assert!(
+                exact <= sb,
+                "exact {exact} > static {sb} at {} (arbiter {:?}, {} cores, mc {:?})",
+                row.resource.slug(),
+                cfg.topology.bus.arbiter,
+                cfg.num_cores,
+                cfg.topology.mc,
+            );
+        }
+    });
+}
+
+/// Property 2: the checker's maximum is constructive — every witness
+/// replays on the abstract arbiter model to exactly the delay claimed.
+#[test]
+fn witnesses_replay_to_their_claimed_delay() {
+    for_cases(0x41, 20, |rng| {
+        let cfg = random_machine(rng);
+        let programs = random_workload(rng, &cfg);
+        let profiles: Vec<CoreProfile> =
+            programs.iter().map(|p| profile_program(p, &cfg)).collect();
+        for row in exact_bounds(&cfg, &profiles, &VerifyOptions::default()) {
+            let Some(w) = &row.witness else { continue };
+            assert_eq!(w.delay, row.exact.expect("a witness implies an exact bound"));
+            assert_eq!(
+                w.replay(),
+                Some(w.delay),
+                "witness does not reproduce its delay at {} (arbiter {:?}, {} cores)",
+                row.resource.slug(),
+                cfg.topology.bus.arbiter,
+                cfg.num_cores,
+            );
+        }
+    });
+}
+
+/// Property 3 (end to end): replaying a witness on the full simulator
+/// never measures a per-request delay above the exact bound — the chain
+/// `measured <= exact <= static` holds on every verified grid cell.
+#[test]
+fn witness_replay_on_the_simulator_stays_within_exact() {
+    for_cases(0x42, 8, |rng| {
+        let num_cores = rng.gen_range(2, 5) as usize;
+        let l_bus = rng.gen_range(1, 4);
+        let mut cfg = MachineConfig::toy(num_cores, l_bus);
+        if rng.gen_below(2) == 0 {
+            cfg.topology.mc = Some(McQueueConfig {
+                service_occupancy: rng.gen_range(1, 4),
+                arbiter: ArbiterKind::Fifo,
+            });
+        }
+        let arbiter = random_arbiter(rng, num_cores, l_bus);
+        let grid = CampaignGrid::new(GridScenario::Derive, cfg)
+            .arbiters(vec![arbiter])
+            .iterations(vec![30])
+            .max_k(8);
+        for cell in verify_grid(&grid, &VerifyOptions::default()) {
+            assert!(cell.violations().is_empty(), "{:?}", cell.violations());
+            for replay in replay_cell_witnesses(&cell, 30) {
+                assert!(replay.errors.is_empty(), "{:?}", replay.errors);
+                assert_eq!(replay.violation(), None, "arbiter {arbiter:?}");
+            }
+        }
+    });
+}
