@@ -52,7 +52,7 @@ impl std::error::Error for ParseArgsError {}
 
 /// Boolean flags that take no value.
 const SWITCHES: &[&str] =
-    &["store-scua", "store-contenders", "verbose", "no-cache", "resume", "check-runs"];
+    &["store-scua", "store-contenders", "verbose", "no-cache", "resume", "check-runs", "composed"];
 
 impl Parsed {
     /// Parses `argv` (without the program name).

@@ -540,7 +540,9 @@ fn spec_path_from<'a>(parsed: &'a Parsed, usage: &'static str) -> Result<&'a str
 /// arbiter × topology cell, no simulation, no refusals — and flag
 /// soundness violations (a static bound below the analytic truth, or,
 /// with `--check-runs`, a measured per-request delay above the static
-/// bound).
+/// bound). `--composed` switches the text table to the interference-flow
+/// columns: the flow-composed bound next to the saturating sum, with the
+/// per-resource slack the topology proves unreachable.
 fn cmd_analyze(parsed: &Parsed) -> Result<String, CliError> {
     let path = spec_path_from(parsed, "rrb analyze <spec.json>")?;
     let spec = ExperimentSpec::from_file(path).map_err(|e| CliError::Tool(Box::new(e)))?;
@@ -558,6 +560,8 @@ fn cmd_analyze(parsed: &Parsed) -> Result<String, CliError> {
     };
     let mut out = if json {
         ndjson(rows.iter().map(rrb::CellStaticBound::to_json))
+    } else if parsed.get_switch("composed") {
+        rrb::analyze::render_rows_composed(&rows)
     } else {
         rrb::analyze::render_rows(&rows)
     };
@@ -861,8 +865,10 @@ fn help_text() -> String {
            analyze   static contention bounds for every cell of an\n\
                      experiment file — finite for every arbiter, no\n\
                      simulation: rrb analyze <spec.json>\n\
-                     [--format text|json] [--out FILE] [--check-runs]\n\
-                     (--check-runs also executes the campaign and fails\n\
+                     [--format text|json] [--out FILE] [--composed]\n\
+                     [--check-runs]  (--composed shows the interference-\n\
+                     flow bound and its slack vs the saturating sum;\n\
+                     --check-runs also executes the campaign and fails\n\
                      if any measured delay exceeds its static bound)\n\
            verify    bounded exhaustive model check of every cell of an\n\
                      experiment file: exact worst-case delays, tightness\n\
@@ -1294,6 +1300,19 @@ mod tests {
         assert!(e.to_string().contains("text, json"), "{e}");
         let e = run("analyze").expect_err("must fail");
         assert!(e.to_string().contains("rrb analyze <spec.json>"), "{e}");
+    }
+
+    #[test]
+    fn analyze_composed_renders_the_flow_columns() {
+        let out = run(&format!("analyze {NGMP_SPEC} --composed")).expect("analyze");
+        assert!(out.contains("flow(tot)"), "{out}");
+        assert!(out.contains("slack"), "{out}");
+        assert!(out.contains("provable slack"), "{out}");
+        // The flow keys also ride along in the JSON rows.
+        let json = run(&format!("analyze {NGMP_SPEC} --format json")).expect("analyze");
+        for key in ["\"flow_total\"", "\"flow_bus\"", "\"flow_mc\"", "\"flow_slack\""] {
+            assert!(json.contains(key), "missing {key}:\n{json}");
+        }
     }
 
     #[test]

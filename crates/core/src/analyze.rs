@@ -22,7 +22,10 @@ use crate::json::Json;
 use crate::spec::{ExperimentSpec, WorkloadCase};
 use rrb_kernels::{rsk, rsk_nop, KernelSpec};
 use rrb_sim::{CoreId, MachineConfig, ResourceKind};
-pub use rrb_static::{profile_program, CoreProfile, ResourceBound, StaticBound};
+pub use rrb_static::{
+    classified_profile, compose_flow, profile_program, ComposedBound, CoreProfile, FlowTerm,
+    ResourceBound, StaticBound,
+};
 use std::fmt::Write as _;
 
 /// The static bound for one campaign cell, alongside the analytic truth
@@ -39,8 +42,13 @@ pub struct CellStaticBound {
     pub truth_bus: u64,
     /// Analytic truth for the MC term (0 for single-level topologies).
     pub truth_mc: u64,
-    /// The composed machine-wide static bound.
+    /// The composed machine-wide static bound (worst-case envelope
+    /// profiles — unchanged by the flow layer, so existing baselines
+    /// stay pinned).
     pub bound: StaticBound,
+    /// The interference-flow composition for the observed core, computed
+    /// from must/may-classified demand profiles.
+    pub composed: ComposedBound,
 }
 
 impl CellStaticBound {
@@ -67,19 +75,77 @@ impl CellStaticBound {
         }
     }
 
+    /// The observed core's static total: the machine-wide terms with the
+    /// request-cycle tightenings core 0's known demand permits. This is
+    /// the denominator of the verifier's tightness certificate — the
+    /// exact checker bounds core 0, so core 0's bound is what exactness
+    /// is measured against.
+    pub fn observed_total(&self) -> Option<u64> {
+        self.bound.observed_total()
+    }
+
+    /// The observed core's bus term.
+    pub fn observed_bus(&self) -> Option<u64> {
+        self.bound.resource(ResourceKind::Bus).and_then(|r| r.observed)
+    }
+
+    /// The observed core's MC term (`Some(0)` for single-level
+    /// topologies).
+    pub fn observed_mc(&self) -> Option<u64> {
+        match self.bound.resource(ResourceKind::MemoryController) {
+            Some(r) => r.observed,
+            None => Some(0),
+        }
+    }
+
+    /// The flow-composed total for the observed core.
+    pub fn flow_total(&self) -> Option<u64> {
+        self.composed.flow_total()
+    }
+
+    /// The flow-composed bus term.
+    pub fn flow_bus(&self) -> Option<u64> {
+        self.composed.term(ResourceKind::Bus).and_then(|t| t.flow)
+    }
+
+    /// The flow-composed MC term (`Some(0)` for single-level topologies).
+    pub fn flow_mc(&self) -> Option<u64> {
+        match self.composed.term(ResourceKind::MemoryController) {
+            Some(t) => t.flow,
+            None => Some(0),
+        }
+    }
+
+    /// Provable slack between the saturating static total and the flow
+    /// composition: interference the saturating sum charges that no
+    /// execution of this workload can realise.
+    pub fn flow_slack(&self) -> Option<u64> {
+        Some(self.static_total()?.saturating_sub(self.flow_total()?))
+    }
+
     /// A soundness violation: the static bound fell below the analytic
     /// truth. `None` when the bound is sound (or honestly unbounded).
     pub fn violation(&self) -> Option<String> {
         let total = self.static_total()?;
         if total < self.truth_total() {
-            Some(format!(
+            return Some(format!(
                 "static bound {total} < analytic truth {} on `{}`",
                 self.truth_total(),
                 self.cell
-            ))
-        } else {
-            None
+            ));
         }
+        // The flow composition refines the *observed core's* bound, so it
+        // may drop below the machine-wide truth — but it must never
+        // exceed the saturating sum it claims to refine.
+        if let Some(flow) = self.flow_total() {
+            if flow > total {
+                return Some(format!(
+                    "flow composed {flow} exceeds saturating sum {total} on `{}`",
+                    self.cell
+                ));
+            }
+        }
+        None
     }
 
     /// The row as a JSON object (used by `rrb analyze --json` and the
@@ -95,6 +161,10 @@ impl CellStaticBound {
             ("static_bus", Json::option(self.static_bus(), Json::U64)),
             ("static_mc", Json::option(self.static_mc(), Json::U64)),
             ("static_total", Json::option(self.static_total(), Json::U64)),
+            ("flow_bus", Json::option(self.flow_bus(), Json::U64)),
+            ("flow_mc", Json::option(self.flow_mc(), Json::U64)),
+            ("flow_total", Json::option(self.flow_total(), Json::U64)),
+            ("flow_slack", Json::option(self.flow_slack(), Json::U64)),
             ("finite", Json::Bool(self.bound.is_finite())),
             ("sound_vs_truth", Json::Bool(self.violation().is_none())),
             ("reason", Json::option(self.bound.reason().map(String::from), Json::Str)),
@@ -124,6 +194,15 @@ fn profile_kernel(kernel: &KernelSpec, cfg: &MachineConfig, core: CoreId) -> Cor
     }
 }
 
+/// Classified (must/may) profile of a kernel spec on `cfg`; same
+/// fallback behaviour as [`profile_kernel`].
+fn classify_kernel(kernel: &KernelSpec, cfg: &MachineConfig, core: CoreId) -> CoreProfile {
+    match kernel.try_build(cfg, core) {
+        Ok(program) => classified_profile(&program, cfg, core),
+        Err(_) => CoreProfile::saturating(),
+    }
+}
+
 /// Per-core demand profiles for a grid cell: the scua sweeps
 /// `rsk-nop(t, k)` for `k = 0..=max_k` (joined over the endpoints — the
 /// count/makespan envelope is monotone in `k`), the other cores run
@@ -141,10 +220,32 @@ pub(crate) fn grid_cell_profiles(cell: &GridCell) -> Vec<CoreProfile> {
     profiles
 }
 
+/// Classified per-core demand profiles for a grid cell: the same
+/// programs as [`grid_cell_profiles`], but with must/may-proven request
+/// counts and gaps instead of the worst-case envelope.
+pub(crate) fn grid_cell_classified_profiles(cell: &GridCell) -> Vec<CoreProfile> {
+    let cfg = &cell.cfg;
+    let scua0 = rsk_nop(cell.access, 0, cfg, CoreId::new(0), cell.iterations);
+    let scua_k = rsk_nop(cell.access, cell.max_k, cfg, CoreId::new(0), cell.iterations);
+    let scua = classified_profile(&scua0, cfg, CoreId::new(0)).join(&classified_profile(
+        &scua_k,
+        cfg,
+        CoreId::new(0),
+    ));
+    let mut profiles = vec![scua];
+    for core in 1..cfg.num_cores {
+        let id = CoreId::new(core);
+        let contender = rsk(cell.contender_access, cfg, id);
+        profiles.push(classified_profile(&contender, cfg, id));
+    }
+    profiles
+}
+
 /// Statically bounds one expanded grid cell.
 pub fn analyze_grid_cell(cell: &GridCell) -> CellStaticBound {
     let profiles = grid_cell_profiles(cell);
     let bound = StaticBound::analyze(&cell.cfg, &profiles);
+    let composed = compose_flow(&cell.cfg, &grid_cell_classified_profiles(cell));
     let (truth_bus, truth_mc) = truth_terms(&cell.cfg);
     CellStaticBound {
         cell: cell.name.clone(),
@@ -153,6 +254,7 @@ pub fn analyze_grid_cell(cell: &GridCell) -> CellStaticBound {
         truth_bus,
         truth_mc,
         bound,
+        composed,
     }
 }
 
@@ -168,10 +270,25 @@ pub(crate) fn workload_profiles(machine: &MachineConfig, case: &WorkloadCase) ->
     profiles
 }
 
+/// Classified per-core demand profiles for a workload case.
+pub(crate) fn workload_classified_profiles(
+    machine: &MachineConfig,
+    case: &WorkloadCase,
+) -> Vec<CoreProfile> {
+    let mut profiles = vec![classify_kernel(&case.scua, machine, CoreId::new(0))];
+    for (i, contender) in case.contenders.iter().enumerate() {
+        let core = CoreId::new((i + 1).min(machine.num_cores.saturating_sub(1)));
+        profiles.push(classify_kernel(contender, machine, core));
+    }
+    profiles.truncate(machine.num_cores);
+    profiles
+}
+
 /// Statically bounds one workload case on `machine`.
 pub fn analyze_workload(machine: &MachineConfig, case: &WorkloadCase) -> CellStaticBound {
     let profiles = workload_profiles(machine, case);
     let bound = StaticBound::analyze(machine, &profiles);
+    let composed = compose_flow(machine, &workload_classified_profiles(machine, case));
     let (truth_bus, truth_mc) = truth_terms(machine);
     CellStaticBound {
         cell: case.name.clone(),
@@ -180,6 +297,7 @@ pub fn analyze_workload(machine: &MachineConfig, case: &WorkloadCase) -> CellSta
         truth_bus,
         truth_mc,
         bound,
+        composed,
     }
 }
 
@@ -222,6 +340,19 @@ pub fn check_measured(rows: &[CellStaticBound], result: &CampaignResult) -> Vec<
                         record.scenario, record.label
                     ));
                 }
+            }
+        }
+        // The flow composition bounds the observed core's *total* worst
+        // per-request delay across the topology, so the measured bus γ
+        // plus MC γ must stay under it.
+        if let Some(flow) = row.flow_total() {
+            let total =
+                record.max_gamma.unwrap_or(0).saturating_add(record.max_gamma_mc.unwrap_or(0));
+            if total > flow {
+                violations.push(format!(
+                    "measured composed γ {total} exceeds flow bound {flow} on `{}` ({})",
+                    record.scenario, record.label
+                ));
             }
         }
     }
@@ -308,6 +439,59 @@ pub fn render_rows(rows: &[CellStaticBound]) -> String {
     out
 }
 
+/// Renders the rows with the interference-flow columns next to the
+/// saturating sum (`rrb analyze --composed`): the flow-composed bus and
+/// MC terms for the observed core, the composed total, and the provable
+/// slack the saturating sum leaves on the table.
+pub fn render_rows_composed(rows: &[CellStaticBound]) -> String {
+    let mut out = String::new();
+    let name_width = rows.iter().map(|r| r.cell.len()).max().unwrap_or(4).max(4);
+    let _ = writeln!(
+        out,
+        "{:<name_width$}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>6}  {:>12}  status",
+        "cell", "stat(tot)", "flow(bus)", "flow(mc)", "flow(tot)", "slack", "s/f", "arbiter"
+    );
+    for r in rows {
+        let fmt_opt = |v: Option<u64>| match v {
+            Some(v) => v.to_string(),
+            None => "unbounded".to_string(),
+        };
+        let ratio = match (r.static_total(), r.flow_total()) {
+            (Some(s), Some(f)) if f > 0 => format!("{:.2}", s as f64 / f as f64),
+            (Some(_), Some(0)) => "inf".to_string(),
+            _ => "-".to_string(),
+        };
+        let status = if let Some(v) = r.violation() {
+            format!("UNSOUND: {v}")
+        } else if r.composed.is_finite() {
+            "sound".to_string()
+        } else {
+            format!("unbounded: {}", r.bound.reason().unwrap_or("unknown"))
+        };
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>6}  {:>12}  {}",
+            r.cell,
+            fmt_opt(r.static_total()),
+            fmt_opt(r.flow_bus()),
+            fmt_opt(r.flow_mc()),
+            fmt_opt(r.flow_total()),
+            fmt_opt(r.flow_slack()),
+            ratio,
+            r.arbiter,
+            status,
+        );
+    }
+    let total_slack: u64 = rows.iter().filter_map(CellStaticBound::flow_slack).sum();
+    let _ = writeln!(
+        out,
+        "{} cells, {} cycles of provable slack attributed across the topology",
+        rows.len(),
+        total_slack,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +533,45 @@ mod tests {
         let fp4 = rows.iter().find(|r| r.cell.contains("/fp/c4/")).expect("fp c4 cell");
         let total = fp4.static_total().expect("finite via run window");
         assert!(total >= fp4.truth_total());
+    }
+
+    #[test]
+    fn composed_flow_shaves_the_lookup_cycle_on_rr_cells() {
+        let rows = analyze_grid(&toy_grid());
+        let rr4 = rows.iter().find(|r| r.cell.contains("/rr/c4/")).expect("rr c4 cell");
+        // The classified scua has a proven request gap, so the observed
+        // core's flow bound drops the request cycle: (4-1)*2 - 1.
+        assert_eq!(rr4.flow_total(), Some(5), "{:?}", rr4.composed);
+        assert_eq!(rr4.flow_slack(), Some(1));
+        assert_eq!(rr4.static_total(), Some(6), "the saturating sum is untouched");
+    }
+
+    #[test]
+    fn composed_flow_zeroes_the_mc_term_when_the_bus_serialises_arrivals() {
+        let mut cfg = MachineConfig::toy(4, 2);
+        cfg.topology.mc =
+            Some(rrb_sim::McQueueConfig { service_occupancy: 2, arbiter: ArbiterKind::Fifo });
+        let grid = CampaignGrid::new(GridScenario::Derive, cfg)
+            .arbiters(vec![ArbiterKind::RoundRobin])
+            .cores(vec![4])
+            .accesses(vec![AccessKind::Load])
+            .contender_accesses(vec![AccessKind::Load])
+            .iterations(vec![40])
+            .max_k(8);
+        let rows = analyze_grid(&grid);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.static_total(), Some(12), "saturating: bus 6 + mc 6");
+        assert_eq!(
+            row.flow_mc(),
+            Some(0),
+            "transfer occupancy covers the service: {:?}",
+            row.composed
+        );
+        assert_eq!(row.flow_total(), Some(5), "{:?}", row.composed);
+        assert_eq!(row.violation(), None);
+        let text = render_rows_composed(&rows);
+        assert!(text.contains("flow(tot)"), "{text}");
     }
 
     #[test]

@@ -15,9 +15,9 @@
 
 use crate::json::Json;
 use crate::spec::ExperimentSpec;
-use rrb_kernels::KernelSpec;
+use rrb_kernels::{rsk, AccessKind, KernelSpec};
 use rrb_sim::{ArbiterKind, CoreId, MachineConfig};
-use rrb_static::steady_state_silent;
+use rrb_static::{classified_profile, compose_flow, steady_state_silent};
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -158,6 +158,39 @@ fn lint_arbiter(
     }
 }
 
+/// Flags a topology whose saturating sum is more than 2x the flow
+/// composition under the canonical derive workload (a classified rsk
+/// load kernel on every core): any per-resource sum reported against
+/// this machine carries that much provable pessimism, so consumers
+/// should read the flow columns (`rrb analyze --composed`) instead.
+fn lint_composed_slack(lint: &mut Linter, machine: &MachineConfig) {
+    if machine.num_cores < 2 {
+        return;
+    }
+    let profiles: Vec<_> = (0..machine.num_cores)
+        .map(|c| {
+            let prog = rsk(AccessKind::Load, machine, CoreId::new(c));
+            classified_profile(&prog, machine, CoreId::new(c))
+        })
+        .collect();
+    let composed = compose_flow(machine, &profiles);
+    if let (Some(flow), Some(sum)) = (composed.flow_total(), composed.sum_total()) {
+        if flow.saturating_mul(2) < sum {
+            lint.warning(
+                "machine.topology",
+                format!(
+                    "composed_slack: the saturating sum ({sum} cycles) is more than 2x \
+                     the flow-composed bound ({flow} cycles) on this topology; the bus \
+                     serialises memory-controller arrivals, so per-resource sums carry \
+                     {} provably unreachable cycles — read the flow columns \
+                     (`rrb analyze --composed`)",
+                    sum - flow
+                ),
+            );
+        }
+    }
+}
+
 fn lint_kernel(lint: &mut Linter, path: &str, kernel: &KernelSpec, machine: &MachineConfig) {
     if let Err(e) = kernel.try_build(machine, CoreId::new(0)) {
         lint.error(path, format!("kernel cannot be built for this machine: {e}"));
@@ -202,6 +235,7 @@ pub fn lint_spec(spec: &ExperimentSpec) -> Vec<LintFinding> {
             }
         }
     }
+    lint_composed_slack(&mut lint, machine);
 
     // ---- grid ---------------------------------------------------------
     if let Some(grid) = &spec.grid {
@@ -459,6 +493,41 @@ mod tests {
         assert!(
             !findings.iter().any(|f| f.path == "grid.arbiters[0]"),
             "boundary slot flagged: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn serialised_two_level_topology_warns_of_composed_slack() {
+        let mut spec = clean_spec();
+        spec.machine.topology.mc =
+            Some(rrb_sim::McQueueConfig { service_occupancy: 2, arbiter: ArbiterKind::Fifo });
+        let findings = lint_spec(&spec);
+        let hit =
+            findings.iter().find(|f| f.path == "machine.topology").expect("composed_slack finding");
+        assert_eq!(hit.severity, LintSeverity::Warning);
+        assert!(hit.message.contains("composed_slack"), "{}", hit.message);
+        // A single-level topology has at most the lookup cycle of slack.
+        let clean = lint_spec(&clean_spec());
+        assert!(!clean.iter().any(|f| f.path == "machine.topology"), "{clean:?}");
+    }
+
+    #[test]
+    fn always_hitting_contender_is_flagged_by_the_classification() {
+        let mut spec = clean_spec();
+        // A single-line pointer chase stays DL1-resident after the cold
+        // fill: the old accesses-memory heuristic could not prove this
+        // contender silent, the must/may classification can.
+        spec.workloads.push(crate::spec::WorkloadCase {
+            name: "resident".into(),
+            scua: KernelSpec::RskNop { access: AccessKind::Load, nops: 0, iterations: 10 },
+            contenders: vec![KernelSpec::PointerChase { lines: 1, seed: 1 }],
+        });
+        let findings = lint_spec(&spec);
+        assert!(
+            findings.iter().any(
+                |f| f.path == "workloads[0].contenders[0]" && f.message.contains("never posts")
+            ),
+            "{findings:?}"
         );
     }
 

@@ -58,6 +58,27 @@ pub struct ResourceBound {
     pub arbiter: ArbiterKind,
     /// Worst-case `granted - ready` in cycles; `None` if unbounded.
     pub bound: Option<u64>,
+    /// Worst-case delay of the *observed* core (core 0, the software
+    /// under analysis) specifically. At the bus this folds in the
+    /// request-cycle tightenings the machine-wide bound cannot use:
+    ///
+    /// * `rr`/`fifo` with a proven request gap ≥ 1: `(Nc-1)·L - 1`. A
+    ///   full `(Nc-1)·L` wait needs a foreign grant in the *same* cycle
+    ///   the request becomes ready, but the observed core's previous
+    ///   transaction completed at least one gap cycle earlier, so either
+    ///   the in-flight transaction has ≤ `L-1` cycles left or the
+    ///   rotation reaches the observed core after ≤ `Nc-2` full grants.
+    /// * `fp`: the top-priority core only blocks on a transaction granted
+    ///   in an *earlier* cycle (posting precedes arbitration within a
+    ///   cycle and priority 0 wins ties), so ≤ `L-1` cycles remain.
+    ///
+    /// Cold-start included: both arguments hold from cycle 0 (the
+    /// bounded model checker's `exact == observed` certificates and the
+    /// `prop_flow_soundness` property pin them against the simulator).
+    /// Machine-wide bounds — and therefore every existing baseline —
+    /// are unchanged: a high-index contender really can wait the full
+    /// `(Nc-1)·L` at cold start.
+    pub observed: Option<u64>,
     /// Human-readable reason when `bound` is `None`.
     pub reason: Option<String>,
 }
@@ -92,6 +113,17 @@ impl StaticBound {
         let mut total = 0u64;
         for r in &self.resources {
             total = total.saturating_add(r.bound?);
+        }
+        Some(total)
+    }
+
+    /// Sum of the per-resource *observed-core* bounds (core 0); `None`
+    /// if any term is unbounded. Always `≤ total()`: the observed core's
+    /// request-cycle structure is known, a saturating contender's is not.
+    pub fn observed_total(&self) -> Option<u64> {
+        let mut total = 0u64;
+        for r in &self.resources {
+            total = total.saturating_add(r.observed?);
         }
         Some(total)
     }
@@ -281,12 +313,14 @@ pub fn analyze(cfg: &MachineConfig, profiles: &[CoreProfile]) -> StaticBound {
     // Pass 2: the whole-run window, for divergent fixed-priority cores.
     let window = run_window(&models, &per_core, &padded);
 
-    // Pass 3: machine-wide bound per resource over the requesting cores.
+    // Pass 3: machine-wide bound per resource over the requesting cores,
+    // plus the observed core's own (possibly tighter) bound.
     let resources = models
         .iter()
         .enumerate()
         .map(|(r, model)| {
             let mut worst: Option<u64> = Some(0);
+            let mut observed: Option<u64> = Some(0);
             let mut reason: Option<String> = None;
             for (c, p) in padded.iter().enumerate() {
                 if !can_request(p, model.kind) {
@@ -316,6 +350,9 @@ pub fn analyze(cfg: &MachineConfig, profiles: &[CoreProfile]) -> StaticBound {
                         None
                     }
                 };
+                if c == 0 {
+                    observed = resolved.map(|b| observed_tightening(model, b, &padded[0]));
+                }
                 worst = match (worst, resolved) {
                     (Some(a), Some(b)) => Some(a.max(b)),
                     _ => None,
@@ -325,12 +362,32 @@ pub fn analyze(cfg: &MachineConfig, profiles: &[CoreProfile]) -> StaticBound {
                 resource: model.kind,
                 arbiter: model.arbiter,
                 bound: worst,
+                observed,
                 reason: if worst.is_none() { reason } else { None },
             }
         })
         .collect();
 
     StaticBound { num_cores, resources }
+}
+
+/// Request-cycle tightening of the observed core's bus bound (see the
+/// [`ResourceBound::observed`] docs for the arguments). Applies only at
+/// the bus, whose post-then-arbitrate cycle structure the proofs rely on;
+/// MC-queue and non-bus terms keep the machine-wide formula.
+fn observed_tightening(model: &ResourceModel, resolved: u64, observed: &CoreProfile) -> u64 {
+    if model.kind != ResourceKind::Bus {
+        return resolved;
+    }
+    match model.arbiter {
+        ArbiterKind::RoundRobin | ArbiterKind::Fifo if observed.min_gap >= 1 => {
+            resolved.saturating_sub(1)
+        }
+        // The top-priority core only blocks on an already-running
+        // transaction; no gap requirement.
+        ArbiterKind::FixedPriority => resolved.saturating_sub(1),
+        _ => resolved,
+    }
 }
 
 #[cfg(test)]
@@ -453,6 +510,34 @@ mod tests {
         assert_eq!(b.resource(ResourceKind::MemoryController).and_then(|r| r.bound), Some(9));
         assert_eq!(b.total(), Some(15));
         assert_eq!(b.total(), Some(cfg.ubd()), "matches ubd_breakdown composition");
+    }
+
+    #[test]
+    fn observed_core_bound_shaves_the_request_cycle() {
+        let cfg = toy(4, 2);
+        let mut profiles = vec![finite_scua(&cfg)];
+        profiles.resize(4, CoreProfile::saturating());
+        let b = StaticBound::analyze(&cfg, &profiles);
+        assert_eq!(b.total(), Some(6), "machine-wide Eq. 1 term is unchanged");
+        assert_eq!(b.observed_total(), Some(5), "rr with a proven gap: (4-1)*2 - 1");
+    }
+
+    #[test]
+    fn observed_tightening_requires_a_proven_gap_on_rr() {
+        let cfg = toy(4, 2);
+        let b = StaticBound::saturating(&cfg);
+        assert_eq!(b.observed_total(), b.total(), "no proven gap, no tightening");
+    }
+
+    #[test]
+    fn observed_fp_top_priority_shaves_unconditionally() {
+        let mut cfg = toy(4, 2);
+        cfg.topology.bus.arbiter = ArbiterKind::FixedPriority;
+        let mut profiles = vec![finite_scua(&cfg)];
+        profiles.resize(4, CoreProfile::saturating());
+        let b = StaticBound::analyze(&cfg, &profiles);
+        let bus = b.resource(ResourceKind::Bus).expect("bus term");
+        assert_eq!(bus.observed, Some(1), "blocking L minus the grant cycle");
     }
 
     #[test]

@@ -25,6 +25,18 @@
 //!   | `tdma:s` | `(Nc-1)·s + L - 1`, unbounded if `s < L` |
 //!   | `fp` | per-core response-time analysis over higher-priority request curves, with a whole-run window fallback |
 //!
+//!   Each [`ResourceBound`] also carries the *observed* core's own bound,
+//!   which folds in request-cycle tightenings (`(Nc-1)·L - 1` for
+//!   `rr`/`fifo` with a proven request gap, `L - 1` for top-priority `fp`)
+//!   that a machine-wide bound cannot use.
+//! * [`cache`] — must/may abstract interpretation of each program's access
+//!   stream against the L1/L2 configuration, classifying every access
+//!   AlwaysHit / AlwaysMiss / Unknown so [`classified_profile`] carries
+//!   *proven* (not assumed-worst) bus/MC demand and a tighter request gap.
+//! * [`flow`] — interference-flow composition: per-core arrival curves
+//!   propagated through the topology (the bus grant rate caps the MC-queue
+//!   arrival rate), emitting a [`ComposedBound`] with per-resource slack
+//!   attribution next to the saturating sum.
 //! * [`verify`] — a bounded exhaustive model checker that drives the *real*
 //!   arbiter implementations over the abstract single-resource model,
 //!   enumerating request-arrival alignments (with per-arbiter symmetry
@@ -56,9 +68,15 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod cache;
+pub mod flow;
 pub mod profile;
 pub mod verify;
 
 pub use bounds::{Bound, ResourceBound, StaticBound};
+pub use cache::{
+    classified_profile, classify_accesses, AccessClasses, Classification, LevelClasses, ReplayStats,
+};
+pub use flow::{compose_flow, ComposedBound, FlowTerm};
 pub use profile::{profile_program, steady_state_silent, CoreProfile};
 pub use verify::{exact_bounds, ExactBound, VerifyOptions, Witness};

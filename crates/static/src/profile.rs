@@ -78,7 +78,7 @@ impl CoreProfile {
 }
 
 /// Bytes per fetched instruction (mirrors the core model's fetch stream).
-const INSTR_BYTES: u64 = 4;
+pub(crate) const INSTR_BYTES: u64 = 4;
 
 /// Worst-case DRAM service time for one request behind the controller.
 fn dram_worst(cfg: &MachineConfig) -> u64 {
@@ -143,11 +143,20 @@ pub fn profile_program(program: &Program, cfg: &MachineConfig) -> CoreProfile {
     CoreProfile { bus_requests, mc_requests, min_gap, isolated_cycles }
 }
 
-/// Whether `program` posts no shared-resource requests in steady state:
-/// no data accesses, and an instruction stream that fits the IL1 so the
-/// only fetch traffic is the one-off cold fill. Such a program adds no
-/// sustained contention no matter how long it runs.
+/// Whether `program` posts no shared-resource requests in steady state.
+/// Decided by the must/may cache classification ([`crate::cache`]): when
+/// the replay converges on a per-iteration fixpoint, the program is
+/// silent iff the steady-state iteration provably posts zero bus and
+/// zero memory-controller requests — which also recognises data accesses
+/// that *always hit* their private caches after the cold fill, not just
+/// access-free bodies. When the replay does not converge, falls back to
+/// the conservative syntactic check (no data accesses, body fits the
+/// IL1).
 pub fn steady_state_silent(program: &Program, cfg: &MachineConfig) -> bool {
+    let classes = crate::cache::classify_accesses(program, cfg, rrb_sim::CoreId::new(0));
+    if classes.converged {
+        return classes.steady_bus_per_iter == 0 && classes.steady_mc_per_iter == 0;
+    }
     let body = program.body();
     if body.iter().any(Instr::accesses_memory) {
         return false;
@@ -159,7 +168,7 @@ pub fn steady_state_silent(program: &Program, cfg: &MachineConfig) -> bool {
 
 /// Core-side latency an instruction burns before the next one can issue,
 /// excluding any shared-resource service time.
-fn local_latency(instr: &Instr, cfg: &MachineConfig) -> u64 {
+pub(crate) fn local_latency(instr: &Instr, cfg: &MachineConfig) -> u64 {
     match instr {
         Instr::Load(_) | Instr::Store(_) => 0,
         Instr::Nop => cfg.nop_latency,
@@ -317,6 +326,28 @@ mod tests {
         assert_eq!(j.mc_requests, None);
         assert_eq!(j.min_gap, 3);
         assert_eq!(j.isolated_cycles, Some(100));
+    }
+
+    #[test]
+    fn always_hitting_loads_are_steady_state_silent() {
+        let cfg = toy();
+        // An endless loop re-loading one line: DL1-resident after the
+        // cold fill, so the classification proves silence where the old
+        // accesses-memory heuristic had to refuse.
+        let prog = ProgramBuilder::new().load(0x100).nops(2).branch().endless().build();
+        assert!(steady_state_silent(&prog, &cfg), "always-hit loads are silent");
+        // A DL1-thrashing loop keeps posting in steady state.
+        let ways = u64::from(cfg.dl1.ways);
+        let stride = cfg.dl1.size_bytes / u64::from(cfg.dl1.ways);
+        let mut thrash = ProgramBuilder::new();
+        for i in 0..=ways {
+            thrash = thrash.load(0x100 + i * stride);
+        }
+        let thrash = thrash.branch().endless().build();
+        assert!(!steady_state_silent(&thrash, &cfg), "set-thrashing loads are not");
+        // Pure compute stays silent, as under the old heuristic.
+        let nops = ProgramBuilder::new().nops(4).branch().endless().build();
+        assert!(steady_state_silent(&nops, &cfg));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Golden-kernel pins: the cache classification's replay must agree with
+//! the cycle-accurate simulator's DL1 / L2-partition hit-miss counters on
+//! the paper's kernels, run alone (no contention can change a private
+//! cache's behaviour, so run-alone is the ground truth for the replay).
+
+use rrb_kernels::{rsk, rsk_capacity, rsk_l2_miss_nop, rsk_pointer_chase, AccessKind};
+use rrb_sim::{CoreId, Machine, MachineConfig, Program, ResourceId};
+use rrb_static::{classified_profile, classify_accesses, AccessClasses};
+
+fn core0() -> CoreId {
+    CoreId::new(0)
+}
+
+/// Rebuilds an endless kernel as a finite program so the replay covers
+/// every iteration and the comparison with the machine run is exact.
+fn finite(kernel: &Program, iterations: u64) -> Program {
+    Program::from_body(kernel.body().to_vec(), iterations)
+}
+
+/// Runs `prog` alone on `cfg` and checks the model caches against the
+/// simulator counter for counter.
+fn pin_replay_against_machine(prog: &Program, cfg: &MachineConfig) -> (AccessClasses, Machine) {
+    let c = classify_accesses(prog, cfg, core0());
+    assert!(c.converged, "golden kernels must converge: {c:?}");
+    assert!(c.fully_replayed, "finite-ised kernels must replay fully");
+
+    let mut m = Machine::new(cfg.clone()).expect("valid config");
+    m.load_program(core0(), prog.clone());
+    let summary = m.run().expect("run-alone terminates");
+    assert!(summary.core(core0()).completed());
+
+    let dl1 = m.dl1_stats(core0());
+    assert_eq!(
+        (c.dl1_replay.hits, c.dl1_replay.misses),
+        (dl1.hits, dl1.misses),
+        "model DL1 diverged from the simulator"
+    );
+    let l2 = m.l2().stats(core0());
+    assert_eq!(
+        (c.l2_replay.hits, c.l2_replay.misses),
+        (l2.hits, l2.misses),
+        "model L2 partition diverged from the simulator"
+    );
+    (c, m)
+}
+
+#[test]
+fn rsk_load_is_always_miss_at_dl1_and_always_hit_at_l2() {
+    let cfg = MachineConfig::toy(4, 2);
+    let prog = finite(&rsk(AccessKind::Load, &cfg, core0()), 20);
+    let loads = prog.memory_ops_per_iteration();
+    let (c, _m) = pin_replay_against_machine(&prog, &cfg);
+    assert_eq!(c.dl1.always_miss, loads, "the rsk thrashes its DL1 set: {c:?}");
+    assert_eq!(c.dl1.always_hit, 0);
+    assert_eq!(c.l2.always_miss, 0, "after the cold fill the L2 absorbs it: {c:?}");
+    assert_eq!(c.steady_mc_per_iter, 0, "the rsk never reaches the controller");
+    assert!(c.steady_bus_per_iter >= loads, "every load crosses the bus");
+}
+
+#[test]
+fn pointer_chase_misses_like_the_rsk_but_in_permuted_order() {
+    let cfg = MachineConfig::toy(4, 2);
+    let lines = u64::from(cfg.dl1.ways) + 1;
+    let prog = finite(&rsk_pointer_chase(&cfg, core0(), lines, 7), 20);
+    let loads = prog.memory_ops_per_iteration();
+    let (c, _m) = pin_replay_against_machine(&prog, &cfg);
+    assert_eq!(c.dl1.always_miss, loads, "{c:?}");
+    assert_eq!(c.steady_mc_per_iter, 0, "chased lines stay L2-resident");
+}
+
+#[test]
+fn capacity_kernel_streams_through_dl1_but_stays_in_the_partition() {
+    let cfg = MachineConfig::ngmp_ref();
+    let prog = finite(&rsk_capacity(AccessKind::Load, &cfg, core0(), 2), 4);
+    let loads = prog.memory_ops_per_iteration();
+    let (c, _m) = pin_replay_against_machine(&prog, &cfg);
+    assert_eq!(c.dl1.always_miss, loads, "2x the DL1: every access evicted before reuse");
+    assert_eq!(c.l2.always_miss, 0, "half the partition: L2-resident after cold fill");
+    assert_eq!(c.steady_mc_per_iter, 0);
+}
+
+#[test]
+fn l2_miss_kernel_reaches_the_controller_on_every_access() {
+    let cfg = MachineConfig::ngmp_two_level();
+    let prog = rsk_l2_miss_nop(&cfg, core0(), 2, 8);
+    let loads = prog.memory_ops_per_iteration();
+    let (c, m) = pin_replay_against_machine(&prog, &cfg);
+    assert_eq!(c.dl1.always_miss, loads, "{c:?}");
+    assert_eq!(c.l2.always_miss, loads, "the stride exceeds the partition: {c:?}");
+    assert_eq!(c.steady_mc_per_iter, loads, "each L2 miss is one MC admission");
+    // The strongest cross-layer pin: the classified profile's proven MC
+    // total equals the machine's measured admission count exactly (loads
+    // plus the cold instruction-fetch lines that also miss the L2).
+    let p = classified_profile(&prog, &cfg, core0());
+    let measured = m.pmc().core(core0()).requests_at(ResourceId::MEMORY_CONTROLLER);
+    assert_eq!(p.mc_requests, Some(measured), "proven MC demand == measured admissions");
+    assert!(measured >= loads * 8, "at least one admission per load per iteration");
+}

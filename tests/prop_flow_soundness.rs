@@ -1,0 +1,194 @@
+//! Soundness property for the interference-flow composition: for
+//! randomized arbiters, topologies, and workloads, the flow-composed
+//! bound for the observed core — derived from must/may-classified demand
+//! profiles and propagated through the topology — dominates the composed
+//! per-request delay the simulator actually observes on core 0
+//! (`max γ_bus + max γ_mc`), while never exceeding the saturating sum it
+//! claims to tighten.
+//!
+//! This is the pin that keeps `rrb analyze --composed` honest, and it
+//! also pins the serialisation theorem the mc term rests on: when the
+//! bus transfer phase is at least as long as the controller's service
+//! occupancy and the mc arbiter is work-conserving, *no* core ever
+//! observes a non-zero mc delay — every admission finds an empty queue.
+//! Cases are drawn from the workspace's deterministic [`KernelRng`], so
+//! a failure reproduces exactly.
+
+use rrb::statics::{classified_profile, compose_flow, profile_program, CoreProfile, StaticBound};
+use rrb_kernels::{rsk, AccessKind, KernelRng, RskBuilder};
+use rrb_sim::{ArbiterKind, CoreId, Machine, MachineConfig, McQueueConfig, Program, ResourceId};
+
+/// Runs `body` for `cases` pseudo-random cases drawn from a fixed seed.
+fn for_cases(seed: u64, cases: usize, mut body: impl FnMut(&mut KernelRng)) {
+    let mut rng = KernelRng::seed_from_u64(seed);
+    for _ in 0..cases {
+        body(&mut rng);
+    }
+}
+
+/// A random bus arbiter that cannot starve by construction (TDMA slots
+/// always fit the worst occupancy).
+fn random_arbiter(rng: &mut KernelRng, num_cores: usize, worst_occ: u64) -> ArbiterKind {
+    match rng.gen_below(5) {
+        0 => ArbiterKind::RoundRobin,
+        1 => ArbiterKind::Fifo,
+        2 => ArbiterKind::FixedPriority,
+        3 => ArbiterKind::Tdma { slot_cycles: worst_occ + rng.gen_below(4) },
+        _ => ArbiterKind::GroupedRoundRobin {
+            group_size: rng.gen_range(1, num_cores as u64 + 1) as usize,
+        },
+    }
+}
+
+/// A random machine: 2-4 cores, bus latency 1-4, one of the five bus
+/// arbiters, and (most of the time, since the flow layer is what is
+/// under test) a chained memory-controller queue. Service occupancies
+/// both below and above the bus transfer phase are drawn, so the mc
+/// term exercises the serialised-to-zero path *and* the queueing
+/// fallback.
+fn random_machine(rng: &mut KernelRng) -> MachineConfig {
+    let num_cores = rng.gen_range(2, 5) as usize;
+    let l_bus = rng.gen_range(1, 5);
+    let mut cfg = MachineConfig::toy(num_cores, l_bus);
+    cfg.topology.bus.arbiter = random_arbiter(rng, num_cores, l_bus);
+    if rng.gen_below(4) != 0 {
+        cfg.topology.mc = Some(McQueueConfig {
+            service_occupancy: rng.gen_range(1, 7),
+            arbiter: if rng.gen_below(2) == 0 {
+                ArbiterKind::RoundRobin
+            } else {
+                ArbiterKind::Fifo
+            },
+        });
+    }
+    cfg
+}
+
+/// The workload under test: a finite rsk-nop on core 0 (the paper's
+/// software-under-analysis shape) and a random contender per other core.
+fn random_workload(rng: &mut KernelRng, cfg: &MachineConfig) -> Vec<Program> {
+    let access = |rng: &mut KernelRng| {
+        if rng.gen_below(2) == 0 {
+            AccessKind::Load
+        } else {
+            AccessKind::Store
+        }
+    };
+    let fp = cfg.topology.bus.arbiter == ArbiterKind::FixedPriority;
+    let scua = RskBuilder::new(access(rng))
+        .nops(rng.gen_below(8) as usize)
+        .iterations(rng.gen_range(10, 50))
+        .build(cfg, CoreId::new(0));
+    let mut programs = vec![scua];
+    for core in 1..cfg.num_cores {
+        let core = CoreId::new(core);
+        if !fp && rng.gen_below(3) == 0 {
+            programs.push(
+                RskBuilder::new(access(rng))
+                    .nops(rng.gen_below(4) as usize)
+                    .iterations(rng.gen_range(10, 40))
+                    .build(cfg, core),
+            );
+        } else {
+            programs.push(rsk(access(rng), cfg, core));
+        }
+    }
+    programs
+}
+
+/// The core property chain: `measured composed γ (core 0) ≤ flow
+/// composed ≤ classified saturating sum`, and the flow bound also never
+/// exceeds the envelope static total `rrb analyze` reports.
+#[test]
+fn flow_composed_bound_dominates_measured_composed_gamma() {
+    for_cases(0x46, 24, |rng| {
+        let cfg = random_machine(rng);
+        let programs = random_workload(rng, &cfg);
+        let profiles: Vec<CoreProfile> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| classified_profile(p, &cfg, CoreId::new(i)))
+            .collect();
+        let composed = compose_flow(&cfg, &profiles);
+        let envelope = StaticBound::analyze(
+            &cfg,
+            &programs.iter().map(|p| profile_program(p, &cfg)).collect::<Vec<_>>(),
+        );
+
+        if let (Some(flow), Some(sum)) = (composed.flow_total(), composed.sum_total()) {
+            assert!(
+                flow <= sum,
+                "flow {flow} > sum {sum} (arbiter {:?}, {} cores, mc {:?})",
+                cfg.topology.bus.arbiter,
+                cfg.num_cores,
+                cfg.topology.mc,
+            );
+        }
+        if let (Some(flow), Some(envelope_total)) = (composed.flow_total(), envelope.total()) {
+            assert!(
+                flow <= envelope_total,
+                "flow {flow} > envelope static {envelope_total} (arbiter {:?}, mc {:?})",
+                cfg.topology.bus.arbiter,
+                cfg.topology.mc,
+            );
+        }
+
+        let mut m = Machine::new(cfg.clone()).expect("config");
+        for (i, p) in programs.into_iter().enumerate() {
+            m.load_program(CoreId::new(i), p);
+        }
+        m.run().expect("run");
+
+        let scua = m.pmc().core(CoreId::new(0));
+        let measured = scua.max_gamma_at(ResourceId::BUS).unwrap_or(0)
+            + scua.max_gamma_at(ResourceId::MEMORY_CONTROLLER).unwrap_or(0);
+        if let Some(flow) = composed.flow_total() {
+            assert!(
+                measured <= flow,
+                "core 0 measured composed γ {measured} > flow bound {flow} \
+                 (arbiter {:?}, {} cores, mc {:?})",
+                cfg.topology.bus.arbiter,
+                cfg.num_cores,
+                cfg.topology.mc,
+            );
+        }
+    });
+}
+
+/// The serialisation theorem behind the flow mc term, pinned directly:
+/// when every admission is the completion of a bus transfer phase at
+/// least as long as the controller's service occupancy and the mc
+/// arbiter is work-conserving, the queue is empty at every arrival — no
+/// core, on any workload, ever observes a non-zero mc delay.
+#[test]
+fn serialised_work_conserving_controller_never_queues() {
+    for_cases(0x47, 24, |rng| {
+        let mut cfg = random_machine(rng);
+        let transfer = cfg.topology.bus.transfer_occupancy;
+        cfg.topology.mc = Some(McQueueConfig {
+            service_occupancy: rng.gen_range(1, transfer + 1),
+            arbiter: if rng.gen_below(2) == 0 {
+                ArbiterKind::RoundRobin
+            } else {
+                ArbiterKind::Fifo
+            },
+        });
+        let programs = random_workload(rng, &cfg);
+        let mut m = Machine::new(cfg.clone()).expect("config");
+        for (i, p) in programs.into_iter().enumerate() {
+            m.load_program(CoreId::new(i), p);
+        }
+        m.run().expect("run");
+        for core in 0..cfg.num_cores {
+            let observed =
+                m.pmc().core(CoreId::new(core)).max_gamma_at(ResourceId::MEMORY_CONTROLLER);
+            assert!(
+                observed.unwrap_or(0) == 0,
+                "core {core} observed mc γ {observed:?} with service {} <= transfer {transfer} \
+                 (bus arbiter {:?})",
+                cfg.topology.mc.as_ref().map_or(0, |mc| mc.service_occupancy),
+                cfg.topology.bus.arbiter,
+            );
+        }
+    });
+}
