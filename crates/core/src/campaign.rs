@@ -3,11 +3,11 @@
 //!
 //! The paper's methodology is inherently a sweep — the same
 //! scua/contender workload at many nop paddings, arbiters, core counts
-//! and access kinds — and every run owns its own
-//! [`Machine`], so a measurement campaign is
-//! embarrassingly parallel. This module turns a set of scenarios into
-//! one deduplicated run plan, executes it across a scoped thread pool,
-//! and hands each scenario its outcomes *in plan order*, which makes
+//! and access kinds — and runs are independent, so a measurement
+//! campaign is embarrassingly parallel. This module turns a set of
+//! scenarios into one deduplicated run plan, executes it through the
+//! [`Executor`] (each worker thread reusing one warm machine), and
+//! hands each scenario its outcomes *in plan order*, which makes
 //! campaign output **bit-identical between serial and parallel
 //! execution**:
 //!
@@ -23,21 +23,21 @@
 //! assert_eq!(serial.reports[0].metric_u64("ubd_m"), Some(6));
 //! ```
 
+use crate::executor::{Executor, MachineArena};
 use crate::json::{csv_field, Fnv64Hasher, Json};
 use crate::methodology::{MethodologyConfig, UbdScenario};
 use crate::naive::NaiveScenario;
 use crate::scenario::{RunOutcome, Scenario, ScenarioError, ScenarioReport, SweepScenario};
-use crate::store::{ResultStore, StoreLookup};
+use crate::store::ResultStore;
 use crate::validation::GammaValidationScenario;
 use rrb_analysis::Histogram;
 use rrb_kernels::{rsk_nop, AccessKind, KernelSpec};
-use rrb_sim::{ArbiterKind, CoreId, Machine, MachineConfig, Program, SimError};
+use rrb_sim::{ArbiterKind, CoreId, MachineConfig, Program, SimError};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // Run specification and measurement
@@ -172,19 +172,20 @@ impl RunSpec {
     }
 }
 
-/// The deduplication table behind campaign planning: specs keyed by
+/// The deduplication table behind campaign planning and
+/// [`Executor::dedup`](crate::executor::Executor::dedup): specs keyed by
 /// [`RunSpec::spec_hash`], with a structural [`RunSpec::same_measurement`]
 /// check on every hash hit so an FNV collision can only cost an extra
 /// comparison, never alias two different runs onto one measurement.
 #[derive(Default)]
-struct DedupTable {
+pub(crate) struct DedupTable {
     by_hash: HashMap<u64, Vec<usize>>,
 }
 
 impl DedupTable {
     /// Returns the index of `spec` in `unique`, appending it if no
     /// equal-measurement spec is present yet.
-    fn intern(&mut self, spec: &RunSpec, unique: &mut Vec<RunSpec>) -> usize {
+    pub(crate) fn intern(&mut self, spec: &RunSpec, unique: &mut Vec<RunSpec>) -> usize {
         let candidates = self.by_hash.entry(spec.spec_hash()).or_default();
         if let Some(&idx) = candidates.iter().find(|&&idx| unique[idx].same_measurement(spec)) {
             return idx;
@@ -292,31 +293,11 @@ impl From<SimError> for RunError {
 /// Returns [`RunError`] when the configuration is invalid, the workload
 /// does not fit the machine, the cycle budget is exhausted, or the scua
 /// never terminates.
+#[deprecated(
+    note = "use `Executor::new().run(spec)` — see the migration table in crates/README.md"
+)]
 pub fn execute_run(spec: &RunSpec) -> Result<RunMeasurement, RunError> {
-    let mut machine = Machine::new(spec.cfg.clone())?;
-    machine.try_load_program(CoreId::new(0), spec.scua.clone())?;
-    for (i, contender) in spec.contenders.iter().enumerate() {
-        machine.try_load_program(CoreId::new(i + 1), contender.clone())?;
-    }
-    let summary = machine.run()?;
-    let scua = CoreId::new(0);
-    let core = summary.core(scua);
-    let execution_time = core.execution_time().ok_or(RunError::NonTerminatingScua)?;
-    let pmc = machine.pmc().core(scua);
-    Ok(RunMeasurement {
-        execution_time,
-        bus_requests: core.bus_requests,
-        instructions: core.instructions,
-        gamma_histogram: Histogram::from_bins(pmc.gamma_histogram.iter().map(|(&g, &n)| (g, n))),
-        mc_gamma_histogram: Histogram::from_bins(
-            pmc.mc_gamma_histogram.iter().map(|(&g, &n)| (g, n)),
-        ),
-        contender_histogram: Histogram::from_bins(
-            pmc.contender_histogram.iter().map(|(&c, &n)| (u64::from(c), n)),
-        ),
-        bus_utilization: summary.bus_utilization,
-        mc_utilization: summary.mc_utilization,
-    })
+    Executor::new().run(spec)
 }
 
 /// Where one run's measurement came from, when executing against an
@@ -353,107 +334,53 @@ pub struct StoreUsage {
 /// corrupt, stale, or colliding entry simulates (recording a warning
 /// when the entry existed but could not be trusted) and persists the
 /// fresh measurement on success.
+#[deprecated(
+    note = "use `Executor::run_in` with a caller-owned `MachineArena` — see crates/README.md"
+)]
 pub fn execute_run_stored(
     spec: &RunSpec,
     store: Option<&ResultStore>,
 ) -> (Result<RunMeasurement, RunError>, RunSource, Vec<String>) {
-    let mut warnings = Vec::new();
-    if let Some(store) = store {
-        match store.lookup(spec) {
-            StoreLookup::Hit(m) => return (Ok(m), RunSource::Store, warnings),
-            StoreLookup::Miss => {}
-            StoreLookup::Rejected(reason) => warnings
-                .push(format!("cache entry rejected, re-executing `{}`: {reason}", spec.label)),
-        }
-    }
-    let result = execute_run(spec);
-    let mut recorded = false;
-    if let (Some(store), Ok(m)) = (store, &result) {
-        match store.insert(spec, m) {
-            Ok(written) => recorded = written,
-            Err(e) => warnings.push(format!("failed to cache `{}`: {e}", spec.label)),
-        }
-    }
-    (result, RunSource::Simulated { recorded }, warnings)
+    Executor::new().run_in(&mut MachineArena::new(), spec, store)
 }
 
 /// Executes a plan, spreading runs over `jobs` scoped worker threads.
 ///
 /// Results come back **indexed by plan position**, so the output is
 /// independent of scheduling: `execute_plan(specs, 8)` returns exactly
-/// what `execute_plan(specs, 1)` returns. Each run owns its machine;
-/// workers pull the next index from a shared atomic counter.
+/// what `execute_plan(specs, 1)` returns. Workers pull the next index
+/// from a shared atomic counter, each reusing one warm machine.
+#[deprecated(note = "use `Executor::new().jobs(jobs).execute(specs)` — see crates/README.md")]
 pub fn execute_plan(specs: &[RunSpec], jobs: usize) -> Vec<Result<RunMeasurement, RunError>> {
-    execute_plan_stored(specs, jobs, None).0
+    Executor::new().jobs(jobs).execute_with(specs, None).0
 }
 
-type StoredOutcome = (Result<RunMeasurement, RunError>, RunSource, Vec<String>);
-
-/// [`execute_plan`] against an optional persistent store: every run
-/// goes through [`execute_run_stored`], and the returned [`StoreUsage`]
-/// aggregates hits, writes, and warnings **in plan order** (independent
-/// of worker scheduling).
+/// [`execute_plan`] against an optional persistent store: the returned
+/// [`StoreUsage`] aggregates hits, writes, and warnings **in plan
+/// order** (independent of worker scheduling).
+#[deprecated(
+    note = "use `Executor::new().jobs(jobs).store(store).execute(specs)` — see crates/README.md"
+)]
 pub fn execute_plan_stored(
     specs: &[RunSpec],
     jobs: usize,
     store: Option<&ResultStore>,
 ) -> (Vec<Result<RunMeasurement, RunError>>, StoreUsage) {
-    let jobs = jobs.max(1).min(specs.len().max(1));
-    let outcomes: Vec<StoredOutcome> = if jobs == 1 {
-        specs.iter().map(|spec| execute_run_stored(spec, store)).collect()
-    } else {
-        let slots: Vec<Mutex<Option<StoredOutcome>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let outcome = execute_run_stored(spec, store);
-                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner().expect("result slot poisoned").expect("every run executed")
-            })
-            .collect()
-    };
-    let mut usage = StoreUsage::default();
-    let results = outcomes
-        .into_iter()
-        .map(|(result, source, warnings)| {
-            match source {
-                RunSource::Store => usage.hits += 1,
-                RunSource::Simulated { recorded: true } => usage.writes += 1,
-                RunSource::Simulated { recorded: false } => {}
-            }
-            usage.warnings.extend(warnings);
-            result
-        })
-        .collect();
-    (results, usage)
+    Executor::new().jobs(jobs).execute_with(specs, store)
 }
 
 /// [`execute_plan`] with identical specs deduplicated first: each
 /// distinct (configuration, workload) executes once and its result is
 /// scattered back to every plan position that asked for it. Labels are
 /// ignored for deduplication, exactly as in a [`Campaign`].
+#[deprecated(
+    note = "use `Executor::new().jobs(jobs).dedup(true).execute(specs)` — see crates/README.md"
+)]
 pub fn execute_plan_deduped(
     specs: &[RunSpec],
     jobs: usize,
 ) -> Vec<Result<RunMeasurement, RunError>> {
-    let mut unique: Vec<RunSpec> = Vec::new();
-    let mut seen = DedupTable::default();
-    let mut indices = Vec::with_capacity(specs.len());
-    for spec in specs {
-        indices.push(seen.intern(spec, &mut unique));
-    }
-    let results = execute_plan(&unique, jobs);
-    indices.into_iter().map(|idx| results[idx].clone()).collect()
+    Executor::new().jobs(jobs).dedup(true).execute_with(specs, None).0
 }
 
 // ---------------------------------------------------------------------
@@ -655,6 +582,7 @@ pub struct CampaignBuilder {
     scenarios: Vec<Box<dyn Scenario + Send + Sync>>,
     jobs: usize,
     dedup: bool,
+    arena: bool,
     store: Option<Arc<ResultStore>>,
 }
 
@@ -665,10 +593,10 @@ impl Default for CampaignBuilder {
 }
 
 impl CampaignBuilder {
-    /// An empty builder (serial execution, deduplication on, no
-    /// persistent store).
+    /// An empty builder (serial execution, deduplication on, machine
+    /// reuse on, no persistent store).
     pub fn new() -> Self {
-        CampaignBuilder { scenarios: Vec::new(), jobs: 1, dedup: true, store: None }
+        CampaignBuilder { scenarios: Vec::new(), jobs: 1, dedup: true, arena: true, store: None }
     }
 
     /// Adds one scenario.
@@ -709,6 +637,15 @@ impl CampaignBuilder {
         self
     }
 
+    /// Enables (default) or disables worker machine reuse
+    /// ([`Executor::arena`]). Off builds a fresh machine per run;
+    /// output is byte-identical either way.
+    #[must_use]
+    pub fn arena(mut self, arena: bool) -> Self {
+        self.arena = arena;
+        self
+    }
+
     /// Attaches a persistent [`ResultStore`]: warm entries skip
     /// simulation entirely, fresh results are recorded for the next
     /// campaign. Output is byte-identical with or without a store.
@@ -724,6 +661,7 @@ impl CampaignBuilder {
             scenarios: self.scenarios,
             jobs: self.jobs,
             dedup: self.dedup,
+            arena: self.arena,
             store: self.store,
         }
     }
@@ -734,6 +672,7 @@ pub struct Campaign {
     scenarios: Vec<Box<dyn Scenario + Send + Sync>>,
     jobs: usize,
     dedup: bool,
+    arena: bool,
     store: Option<Arc<ResultStore>>,
 }
 
@@ -761,8 +700,8 @@ impl Campaign {
     /// campaign itself always completes.
     pub fn run(&self) -> CampaignResult {
         let plan = self.plan();
-        let (results, usage) =
-            execute_plan_stored(plan.unique_specs(), self.jobs, self.store.as_deref());
+        let executor = Executor::new().jobs(self.jobs).arena(self.arena);
+        let (results, usage) = executor.execute_with(plan.unique_specs(), self.store.as_deref());
         plan.finish(&results, usage, self.jobs)
     }
 
@@ -1281,6 +1220,9 @@ impl CampaignGrid {
 }
 
 #[cfg(test)]
+// The deprecated free functions are exercised on purpose: they are kept
+// as working wrappers, and these tests pin their contracts.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use rrb_kernels::{rsk, rsk_nop};

@@ -12,11 +12,12 @@
 //!
 //! Since the `Scenario`/`Campaign` redesign these helpers are thin views
 //! over the batch runner: each one builds a [`RunSpec`] and executes it
-//! through [`execute_run`], the same code path the parallel
+//! through the [`Executor`], the same code path the parallel
 //! [`Campaign`](crate::campaign::Campaign) uses — so a measurement taken
 //! here is bit-identical to the same run inside a campaign.
 
-use crate::campaign::{execute_run, RunError, RunMeasurement, RunSpec};
+use crate::campaign::{RunError, RunMeasurement, RunSpec};
+use crate::executor::Executor;
 use rrb_analysis::Histogram;
 use rrb_sim::{CoreId, MachineConfig, Program};
 
@@ -102,7 +103,7 @@ impl SlowdownMeasurement {
 /// Returns [`RunError`] if the configuration is invalid, the cycle
 /// budget is exhausted, or the program never terminates.
 pub fn run_isolated(cfg: &MachineConfig, program: Program) -> Result<IsolatedRun, RunError> {
-    execute_run(&RunSpec::isolated("isolated", cfg.clone(), program)).map(IsolatedRun::from)
+    Executor::new().run(&RunSpec::isolated("isolated", cfg.clone(), program)).map(IsolatedRun::from)
 }
 
 /// Runs `scua_program` on core 0 against `contender(core)` on every other
@@ -121,7 +122,8 @@ where
     F: FnMut(CoreId) -> Program,
 {
     let contenders = (1..cfg.num_cores).map(|i| contender(CoreId::new(i))).collect();
-    execute_run(&RunSpec::contended("contended", cfg.clone(), scua_program, contenders))
+    Executor::new()
+        .run(&RunSpec::contended("contended", cfg.clone(), scua_program, contenders))
         .map(ContendedRun::from)
 }
 

@@ -95,6 +95,7 @@
 
 pub mod analyze;
 pub mod campaign;
+pub mod executor;
 pub mod experiment;
 pub mod json;
 pub mod lint;
@@ -121,12 +122,14 @@ pub use analyze::{
     analyze_grid, analyze_grid_cell, analyze_spec, analyze_workload, check_measured,
     measured_tightness, CellStaticBound, CellTightness,
 };
+#[allow(deprecated)]
 pub use campaign::{
     clamped_jobs, execute_plan, execute_plan_stored, execute_run, execute_run_stored, Campaign,
     CampaignBuilder, CampaignGrid, CampaignPlan, CampaignResult, CampaignStats, GridCell,
     GridScenario, ParseGridScenarioError, PlannedScenario, RunError, RunMeasurement, RunRecord,
     RunSource, RunSpec, StoreUsage,
 };
+pub use executor::{Executor, MachineArena, StoredOutcome};
 pub use experiment::{ContendedRun, IsolatedRun, SlowdownMeasurement};
 pub use json::{fnv1a_64, Fnv64Hasher, Json, JsonParseError};
 pub use lint::{has_errors, lint_spec, LintFinding, LintSeverity};

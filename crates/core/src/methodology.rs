@@ -21,7 +21,8 @@
 //! parallel and deduplicate shared runs. [`derive_ubd`] is the
 //! single-scenario convenience wrapper over the same code path.
 
-use crate::campaign::{execute_plan, execute_plan_deduped, RunError, RunSpec};
+use crate::campaign::{RunError, RunSpec};
+use crate::executor::Executor;
 use crate::scenario::{MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport};
 use rrb_analysis::sawtooth::{detect_period, ubd_candidates, PeriodEstimate};
 use rrb_kernels::{estimate_delta_nop, nop_kernel, AccessKind, KernelSpec};
@@ -460,7 +461,7 @@ pub fn derive_ubd(
 ) -> Result<UbdDerivation, MethodologyError> {
     let scenario = UbdScenario::new(cfg.clone(), mcfg.clone());
     let specs = scenario.plan()?;
-    let results = execute_plan(&specs, 1);
+    let results = Executor::new().execute(&specs).0;
     let outcomes: Vec<RunOutcome> = specs
         .into_iter()
         .zip(results)
@@ -512,7 +513,7 @@ pub fn store_tooth_check(
         .contenders(AccessKind::Load)
         .named("store-tooth");
     let specs = scenario.plan()?;
-    let results = execute_plan(&specs, 1);
+    let results = Executor::new().execute(&specs).0;
     let outcomes: Vec<RunOutcome> = specs
         .into_iter()
         .zip(results)
@@ -597,7 +598,7 @@ pub fn derive_ubd_repeated_jobs(
         spans.push((specs.len(), plan.len()));
         specs.extend(plan);
     }
-    let results = execute_plan_deduped(&specs, jobs);
+    let results = Executor::new().jobs(jobs).dedup(true).execute(&specs).0;
 
     let mut runs = Vec::with_capacity(scenarios.len());
     for (scenario, &(start, len)) in scenarios.iter().zip(&spans) {
@@ -713,7 +714,7 @@ mod tests {
         let cfg = MachineConfig::toy(4, 2);
         let scenario = UbdScenario::new(cfg, MethodologyConfig::fast()).named("toy");
         let specs = scenario.plan().expect("plan");
-        let results = execute_plan(&specs, 2);
+        let results = Executor::new().jobs(2).execute(&specs).0;
         let outcomes: Vec<RunOutcome> = specs
             .into_iter()
             .zip(results)

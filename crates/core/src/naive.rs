@@ -14,7 +14,8 @@
 //! pair); [`naive_scua_vs_rsk`] and [`naive_rsk_vs_rsk`] are the serial
 //! wrappers.
 
-use crate::campaign::{execute_plan, RunError, RunSpec};
+use crate::campaign::{RunError, RunSpec};
+use crate::executor::Executor;
 use crate::experiment::{ContendedRun, IsolatedRun, SlowdownMeasurement};
 use crate::scenario::{MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport};
 use rrb_kernels::{rsk_nop, AccessKind};
@@ -132,7 +133,7 @@ fn run_scenario(scenario: &NaiveScenario) -> Result<NaiveEstimate, RunError> {
         ScenarioError::Config(e) => RunError::Sim(e),
         ScenarioError::Analysis(msg) => RunError::Analysis(msg),
     })?;
-    let results = execute_plan(&specs, 1);
+    let results = Executor::new().execute(&specs).0;
     let outcomes: Vec<RunOutcome> = specs
         .into_iter()
         .zip(results)
@@ -231,7 +232,7 @@ mod tests {
         let scua = rsk_nop(AccessKind::Load, 0, &cfg, CoreId::new(0), 120);
         let scenario = NaiveScenario::new(cfg, scua, AccessKind::Load).named("toy-naive");
         let specs = scenario.plan().expect("plan");
-        let results = execute_plan(&specs, 1);
+        let results = Executor::new().execute(&specs).0;
         let outcomes: Vec<RunOutcome> = specs
             .into_iter()
             .zip(results)

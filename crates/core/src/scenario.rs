@@ -365,7 +365,7 @@ impl Scenario for SweepScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::execute_plan;
+    use crate::executor::Executor;
 
     #[test]
     fn report_builder_round_trips() {
@@ -393,7 +393,7 @@ mod tests {
         assert_eq!(specs.len(), 30, "an isolated/contended pair per k");
         let outcomes: Vec<RunOutcome> = specs
             .iter()
-            .zip(execute_plan(&specs, 1))
+            .zip(Executor::new().execute(&specs).0)
             .map(|(spec, result)| RunOutcome { label: spec.label.clone(), result })
             .collect();
         let report = s.analyze(&outcomes);

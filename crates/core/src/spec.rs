@@ -145,6 +145,18 @@ impl<'a> Fields<'a> {
         Err(SpecError::field(format!("{}.{key}", self.path), "missing required field"))
     }
 
+    /// Like [`Fields::take`], but absent keys read as `None` — for
+    /// fields added to the schema after specs were already in the wild.
+    fn take_opt(&mut self, key: &str) -> Option<&'a Json> {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if k == key {
+                self.taken[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
     fn finish(self) -> Result<(), SpecError> {
         for (i, (k, _)) in self.pairs.iter().enumerate() {
             if !self.taken[i] {
@@ -260,6 +272,7 @@ impl MachineSpec {
             ("record_requests", Json::Bool(cfg.record_requests)),
             ("record_trace", Json::Bool(cfg.record_trace)),
             ("quiescence_skip", Json::Bool(cfg.quiescence_skip)),
+            ("period_skip", Json::Bool(cfg.period_skip)),
         ])
     }
 
@@ -296,6 +309,13 @@ impl MachineSpec {
                 f.take("quiescence_skip")?,
                 &format!("{path}.quiescence_skip"),
             )?,
+            // Added after specs were already in the wild: absent reads
+            // as `true`, the preset default, so older files keep their
+            // (now faster, still cycle-identical) meaning.
+            period_skip: match f.take_opt("period_skip") {
+                Some(v) => get_bool(v, &format!("{path}.period_skip"))?,
+                None => true,
+            },
         };
         f.finish()?;
         Ok(MachineSpec(cfg))

@@ -731,7 +731,7 @@ fn measurement_from_json(v: &Json) -> Result<RunMeasurement, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::execute_run;
+    use crate::executor::Executor;
     use rrb_kernels::rsk_nop;
 
     fn scratch(name: &str) -> PathBuf {
@@ -809,7 +809,7 @@ mod tests {
         let dir = scratch("roundtrip");
         let store = ResultStore::open(&dir).expect("open");
         let spec = toy_spec(1);
-        let m = execute_run(&spec).expect("run");
+        let m = Executor::new().run(&spec).expect("run");
         assert!(store.insert(&spec, &m).expect("insert"));
         match store.lookup(&spec) {
             StoreLookup::Hit(back) => {
@@ -827,7 +827,7 @@ mod tests {
         let store = ResultStore::open(&dir).expect("open");
         let spec = toy_spec(2);
         assert_eq!(store.lookup(&spec), StoreLookup::Miss);
-        let m = execute_run(&spec).expect("run");
+        let m = Executor::new().run(&spec).expect("run");
         store.insert(&spec, &m).expect("insert");
         let mut relabelled = toy_spec(2);
         relabelled.label = String::from("another label");
@@ -844,7 +844,7 @@ mod tests {
         let dir = scratch("collision");
         let store = ResultStore::open(&dir).expect("open");
         let stored = toy_spec(1);
-        let m = execute_run(&stored).expect("run");
+        let m = Executor::new().run(&stored).expect("run");
         store.insert(&stored, &m).expect("insert");
         let queried = toy_spec(4);
         let text = std::fs::read_to_string(store.entry_path(stored.spec_hash())).expect("read");
@@ -870,7 +870,7 @@ mod tests {
         let dir = scratch("nonfinite");
         let store = ResultStore::open(&dir).expect("open");
         let spec = toy_spec(1);
-        let mut m = execute_run(&spec).expect("run");
+        let mut m = Executor::new().run(&spec).expect("run");
         m.bus_utilization = f64::NAN;
         assert!(!store.insert(&spec, &m).expect("insert refuses politely"));
         assert_eq!(store.lookup(&spec), StoreLookup::Miss);
@@ -889,7 +889,7 @@ mod tests {
         let spec = toy_spec(1);
         {
             let store = ResultStore::open(&dir).expect("open");
-            let m = execute_run(&spec).expect("run");
+            let m = Executor::new().run(&spec).expect("run");
             store.insert(&spec, &m).expect("insert");
         }
         let store = ResultStore::open(&dir).expect("reopen");
@@ -904,7 +904,7 @@ mod tests {
         let spec = toy_spec(1);
         {
             let store = ResultStore::open(&dir).expect("open");
-            let m = execute_run(&spec).expect("run");
+            let m = Executor::new().run(&spec).expect("run");
             store.insert(&spec, &m).expect("insert");
         }
         // Simulate a build with different simulator semantics.
@@ -925,7 +925,7 @@ mod tests {
         let store = ResultStore::open(&dir).expect("open");
         for k in 0..3 {
             let spec = toy_spec(k);
-            let m = execute_run(&spec).expect("run");
+            let m = Executor::new().run(&spec).expect("run");
             store.insert(&spec, &m).expect("insert");
         }
         // Drop a junk temp file and a corrupt entry into the store.
@@ -955,7 +955,7 @@ mod tests {
         let mut damage = Vec::new();
         for k in 1..=4 {
             let spec = toy_spec(k);
-            let m = execute_run(&spec).expect("run");
+            let m = Executor::new().run(&spec).expect("run");
             store.insert(&spec, &m).expect("insert");
             damage.push(store.entry_path(spec.spec_hash()));
         }

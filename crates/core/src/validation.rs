@@ -10,7 +10,8 @@
 //! configurations in parallel; [`validate_gamma_model`] is the serial
 //! wrapper.
 
-use crate::campaign::{execute_plan, RunError, RunSpec};
+use crate::campaign::{RunError, RunSpec};
+use crate::executor::Executor;
 use crate::scenario::{MetricValue, RunOutcome, Scenario, ScenarioError, ScenarioReport};
 use rrb_analysis::GammaModel;
 use rrb_kernels::{AccessKind, KernelSpec};
@@ -213,7 +214,7 @@ pub fn validate_gamma_model(
         ScenarioError::Config(e) => RunError::Sim(e),
         ScenarioError::Analysis(msg) => RunError::Analysis(msg),
     })?;
-    let results = execute_plan(&specs, 1);
+    let results = Executor::new().execute(&specs).0;
     let outcomes: Vec<RunOutcome> = specs
         .into_iter()
         .zip(results)
@@ -267,7 +268,7 @@ mod tests {
         let cfg = MachineConfig::toy(4, 2);
         let scenario = GammaValidationScenario::new(cfg, 6, 120).named("toy-validate");
         let specs = scenario.plan().expect("plan");
-        let results = execute_plan(&specs, 2);
+        let results = Executor::new().jobs(2).execute(&specs).0;
         let outcomes: Vec<RunOutcome> = specs
             .into_iter()
             .zip(results)

@@ -34,7 +34,8 @@
 use crate::analyze::{
     analyze_grid_cell, analyze_workload, grid_cell_profiles, workload_profiles, CellStaticBound,
 };
-use crate::campaign::{execute_run, CampaignGrid, GridCell, RunSpec};
+use crate::campaign::{CampaignGrid, GridCell, RunSpec};
+use crate::executor::MachineArena;
 use crate::json::Json;
 use crate::spec::{ExperimentSpec, WorkloadCase};
 use rrb_sim::{MachineConfig, ResourceKind};
@@ -346,11 +347,14 @@ pub fn replay_witness(
     let mut best_nops = None;
     let mut errors = Vec::new();
     let mut runs = 0;
+    // One warm machine replays every nop offset: the specs differ only in
+    // their programs, so each run is a reset, not a rebuild.
+    let mut arena = MachineArena::new();
     for nops in 0..=period {
         let label = format!("{cell}/witness-{}/k{nops}", witness.resource);
         let spec = RunSpec::from_witness(label.clone(), cfg.clone(), witness, nops, iterations);
         runs += 1;
-        match execute_run(&spec) {
+        match arena.execute(&spec) {
             Ok(m) => {
                 let gamma = match witness.resource {
                     ResourceKind::Bus => m.max_gamma(),

@@ -1,5 +1,8 @@
 //! The daemon's worker pool: long-lived threads executing [`RunSpec`]s
-//! through `execute_run_stored` against one shared [`ResultStore`].
+//! through the `rrb` [`Executor`] against one shared [`ResultStore`].
+//! Each worker keeps one warm [`MachineArena`] across jobs, so
+//! back-to-back runs reset an existing machine instead of rebuilding
+//! one — the daemon's steady-state fast path.
 //!
 //! Sharding model: every campaign request turns into one [`Job`] per
 //! deduplicated run, all submitted to a single process-wide MPMC queue
@@ -15,7 +18,8 @@
 //!
 //! This module is on the lint-enforced no-panic path (`lint_sources`).
 
-use rrb::campaign::{execute_run_stored, RunError, RunMeasurement, RunSource, RunSpec};
+use rrb::campaign::{RunError, RunMeasurement, RunSource, RunSpec};
+use rrb::executor::{Executor, MachineArena};
 use rrb::store::ResultStore;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -112,6 +116,8 @@ impl WorkerPool {
 }
 
 fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    let executor = Executor::new();
+    let mut arena = MachineArena::new();
     loop {
         // Recover the receiver even if a previous holder panicked while
         // holding the lock (the channel itself is not corrupted).
@@ -122,19 +128,25 @@ fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
         let job = guard.recv();
         drop(guard); // release the queue while simulating
         let Ok(job) = job else { return }; // queue closed: shutdown
-        let outcome =
-            catch_unwind(AssertUnwindSafe(|| execute_run_stored(&job.spec, job.store.as_deref())));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            executor.run_in(&mut arena, &job.spec, job.store.as_deref())
+        }));
         let (result, source, warnings) = match outcome {
             Ok(outcome) => outcome,
-            Err(panic) => (
-                Err(RunError::Analysis(format!(
-                    "worker caught a panic executing `{}`: {}",
-                    job.spec.label,
-                    panic_message(&panic)
-                ))),
-                RunSource::Simulated { recorded: false },
-                Vec::new(),
-            ),
+            Err(panic) => {
+                // A machine that panicked mid-run is in an unknown
+                // state; drop it so the next job builds fresh.
+                arena.clear();
+                (
+                    Err(RunError::Analysis(format!(
+                        "worker caught a panic executing `{}`: {}",
+                        job.spec.label,
+                        panic_message(&panic)
+                    ))),
+                    RunSource::Simulated { recorded: false },
+                    Vec::new(),
+                )
+            }
         };
         let _ = job.reply.send(RunDone { index: job.index, result, source, warnings });
     }

@@ -190,6 +190,17 @@ pub trait Arbiter: fmt::Debug + Send {
         let _ = core;
         Some(req.ready.max(now))
     }
+
+    /// Appends the policy's time-relative decision state to `out`: every
+    /// word that can influence a *future* `select` outcome, with absolute
+    /// cycles reduced relative to `now`. Two arbiters with equal
+    /// signatures at their respective `now`s make identical decisions on
+    /// identical future request patterns — the property the steady-state
+    /// fast-forward detector relies on. Stateless, time-free policies
+    /// (fixed priority, FIFO) append nothing.
+    fn ff_signature(&self, now: Cycle, out: &mut Vec<u64>) {
+        let _ = (now, out);
+    }
 }
 
 /// Rotating-priority round-robin (§2).
@@ -237,6 +248,10 @@ impl Arbiter for RoundRobinArbiter {
 
     fn reset(&mut self) {
         self.head = 0;
+    }
+
+    fn ff_signature(&self, _now: Cycle, out: &mut Vec<u64>) {
+        out.push(self.head as u64);
     }
 }
 
@@ -338,6 +353,12 @@ impl Arbiter for TdmaArbiter {
         }
         Some(q * slot)
     }
+
+    /// The schedule position: grants depend on `now` only through the
+    /// phase within the full rotation.
+    fn ff_signature(&self, now: Cycle, out: &mut Vec<u64>) {
+        out.push(now % (self.slot_cycles * self.num_cores as u64));
+    }
 }
 
 /// MBBA-style two-level round-robin: groups rotate, and members rotate
@@ -412,6 +433,11 @@ impl Arbiter for GroupedRoundRobinArbiter {
         for m in &mut self.member_head {
             *m = 0;
         }
+    }
+
+    fn ff_signature(&self, _now: Cycle, out: &mut Vec<u64>) {
+        out.push(self.group_head as u64);
+        out.extend(self.member_head.iter().map(|&m| m as u64));
     }
 }
 

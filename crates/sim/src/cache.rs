@@ -3,6 +3,10 @@
 //! Tracks tags only (no data), with LRU, FIFO, or pseudo-random
 //! replacement. Used for the private IL1/DL1 caches and for each core's
 //! L2 partition.
+//!
+//! Lines live in one contiguous allocation (`sets × ways`), so building
+//! or resetting a cache touches exactly one buffer — this is what makes
+//! the batched-execution arena's reset-not-rebuild path cheap.
 
 use crate::config::CacheConfig;
 pub use crate::config::Replacement;
@@ -42,13 +46,15 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
     valid: bool,
     /// LRU: last-touch stamp. FIFO: fill stamp.
     stamp: u64,
 }
+
+const COLD: Line = Line { tag: 0, valid: false, stamp: 0 };
 
 /// A set-associative, tag-only cache.
 ///
@@ -66,7 +72,11 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines, set-major: set `s` is `lines[s * ways .. (s + 1) * ways]`.
+    lines: Box<[Line]>,
+    /// Number of sets (cached so the hot path avoids re-deriving it).
+    sets: u64,
+    ways: usize,
     stats: CacheStats,
     /// Monotonic access counter; doubles as the xorshift seed for random
     /// replacement so the model stays deterministic.
@@ -81,11 +91,12 @@ impl Cache {
     /// Panics if the geometry is invalid; validate configurations with
     /// [`CacheConfig::validate`] first when they come from user input.
     pub fn new(cfg: CacheConfig) -> Self {
+        // lint_sources: allow (construction-time geometry check)
         cfg.validate("cache").expect("invalid cache geometry");
-        let sets = (0..cfg.sets())
-            .map(|_| (0..cfg.ways).map(|_| Line { tag: 0, valid: false, stamp: 0 }).collect())
-            .collect();
-        Cache { cfg, sets, stats: CacheStats::default(), clock: 0 }
+        let sets = cfg.sets();
+        let ways = cfg.ways as usize;
+        let lines = vec![COLD; sets as usize * ways].into_boxed_slice();
+        Cache { cfg, lines, sets, ways, stats: CacheStats::default(), clock: 0 }
     }
 
     /// The geometry this cache was built with.
@@ -103,12 +114,43 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// Adds a pre-computed delta to the counters (fast-forward scaling).
+    pub(crate) fn ff_add_stats(&mut self, hits: u64, misses: u64) {
+        self.stats.hits += hits;
+        self.stats.misses += misses;
+    }
+
+    /// Rewinds the cache to its just-built state — cold lines, zeroed
+    /// counters and replacement clock — without reallocating.
+    pub fn reset(&mut self) {
+        self.lines.fill(COLD);
+        self.stats = CacheStats::default();
+        self.clock = 0;
+    }
+
+    /// Re-targets this cache at `cfg`, reusing the line buffer when the
+    /// geometry (size, ways, line size) is unchanged — only the latency
+    /// and replacement policy are patched in. Falls back to a rebuild on
+    /// a geometry change. Either way the result is indistinguishable from
+    /// `Cache::new(cfg)`.
+    pub fn reset_to(&mut self, cfg: CacheConfig) {
+        if cfg.size_bytes == self.cfg.size_bytes
+            && cfg.ways == self.cfg.ways
+            && cfg.line_bytes == self.cfg.line_bytes
+        {
+            self.cfg = cfg;
+            self.reset();
+        } else {
+            *self = Cache::new(cfg);
+        }
+    }
+
     fn set_index(&self, addr: Addr) -> usize {
-        ((addr / self.cfg.line_bytes) % self.cfg.sets()) as usize
+        ((addr / self.cfg.line_bytes) % self.sets) as usize
     }
 
     fn tag(&self, addr: Addr) -> u64 {
-        addr / self.cfg.line_bytes / self.cfg.sets()
+        addr / self.cfg.line_bytes / self.sets
     }
 
     /// The set index an address maps to (exposed for kernel construction,
@@ -120,7 +162,8 @@ impl Cache {
     /// Whether the line containing `addr` is resident, without touching
     /// replacement state or statistics.
     pub fn probe(&self, addr: Addr) -> bool {
-        let set = &self.sets[self.set_index(addr)];
+        let base = self.set_index(addr) * self.ways;
+        let set = &self.lines[base..base + self.ways];
         let tag = self.tag(addr);
         set.iter().any(|l| l.valid && l.tag == tag)
     }
@@ -132,9 +175,9 @@ impl Cache {
         self.clock += 1;
         let clock = self.clock;
         let tag = self.tag(addr);
-        let idx = self.set_index(addr);
+        let base = self.set_index(addr) * self.ways;
         let replacement = self.cfg.replacement;
-        let set = &mut self.sets[idx];
+        let set = &mut self.lines[base..base + self.ways];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             if replacement == Replacement::Lru {
@@ -151,11 +194,13 @@ impl Cache {
             match replacement {
                 Replacement::Lru | Replacement::Fifo => {
                     // Oldest stamp. For FIFO the stamp is the fill time.
-                    set.iter()
-                        .enumerate()
-                        .min_by_key(|(_, l)| l.stamp)
-                        .map(|(i, _)| i)
-                        .expect("set is never empty")
+                    let mut best = 0;
+                    for (i, l) in set.iter().enumerate().skip(1) {
+                        if l.stamp < set[best].stamp {
+                            best = i;
+                        }
+                    }
+                    best
                 }
                 Replacement::Random => {
                     // Deterministic xorshift over the access counter.
@@ -174,9 +219,33 @@ impl Cache {
 
     /// Invalidates the whole cache (e.g. between warm-up and measurement).
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                line.valid = false;
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+    }
+
+    /// Appends a time-free signature of the named sets to `out`: per way,
+    /// validity, tag, and the line's *relative* stamp rank within its set.
+    /// Two caches with equal signatures behave identically on any future
+    /// LRU/FIFO access pattern confined to those sets, regardless of the
+    /// absolute clock values — the property the steady-state fast-forward
+    /// detector relies on. (Random replacement depends on the absolute
+    /// clock, which is why the detector refuses it.)
+    pub(crate) fn rank_signature(&self, sets: &[usize], out: &mut Vec<u64>) {
+        for &s in sets {
+            let base = s * self.ways;
+            let set = &self.lines[base..base + self.ways];
+            for l in set {
+                out.push(u64::from(l.valid));
+                out.push(if l.valid { l.tag } else { 0 });
+                // Rank = number of valid lines in this set with a strictly
+                // smaller stamp (stamps are unique per cache).
+                let rank = if l.valid {
+                    set.iter().filter(|o| o.valid && o.stamp < l.stamp).count() as u64
+                } else {
+                    0
+                };
+                out.push(rank);
             }
         }
     }
@@ -321,5 +390,80 @@ mod tests {
         c.touch(0);
         let r = c.stats().hit_rate();
         assert!(r > 0.0 && r <= 1.0);
+    }
+
+    /// Drives a cache through a workload twice — once fresh, once after a
+    /// reset — and checks every observable matches.
+    fn workload(c: &mut Cache) -> (Vec<Access>, CacheStats) {
+        let accesses: Vec<Access> = (0..200u64).map(|i| c.touch((i % 7) * 64)).collect();
+        (accesses, c.stats())
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_new() {
+        for repl in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+            let mut fresh = small(2, repl);
+            let expected = workload(&mut fresh);
+            let mut reused = small(2, repl);
+            let _ = workload(&mut reused); // dirty it
+            reused.reset();
+            assert_eq!(workload(&mut reused), expected, "{repl:?}");
+        }
+    }
+
+    #[test]
+    fn reset_to_patches_policy_on_same_geometry() {
+        let mut c = small(2, Replacement::Lru);
+        let _ = workload(&mut c);
+        let mut cfg = *c.config();
+        cfg.replacement = Replacement::Fifo;
+        cfg.latency = 9;
+        c.reset_to(cfg);
+        assert_eq!(c.config().latency, 9);
+        let mut fresh = Cache::new(cfg);
+        assert_eq!(workload(&mut c), workload(&mut fresh));
+    }
+
+    #[test]
+    fn reset_to_rebuilds_on_geometry_change() {
+        let mut c = small(2, Replacement::Lru);
+        let bigger = CacheConfig {
+            size_bytes: 4 * 4 * 32,
+            ways: 4,
+            line_bytes: 32,
+            latency: 1,
+            replacement: Replacement::Lru,
+        };
+        c.reset_to(bigger);
+        assert_eq!(*c.config(), bigger);
+        let mut fresh = Cache::new(bigger);
+        assert_eq!(workload(&mut c), workload(&mut fresh));
+    }
+
+    #[test]
+    fn rank_signature_is_clock_invariant() {
+        // Same residency + recency order at different absolute clocks must
+        // produce the same signature.
+        let mut a = small(2, Replacement::Lru);
+        let mut b = small(2, Replacement::Lru);
+        let line = |i: u64| i * 32 * 2;
+        a.touch(line(0));
+        a.touch(line(1));
+        // b reaches the same placement and recency order after extra
+        // re-hits (so at a strictly higher absolute clock).
+        b.touch(line(0));
+        b.touch(line(1));
+        b.touch(line(0));
+        b.touch(line(1));
+        let mut sa = Vec::new();
+        let mut sb = Vec::new();
+        a.rank_signature(&[0], &mut sa);
+        b.rank_signature(&[0], &mut sb);
+        assert_eq!(sa, sb);
+        // Disturbing the order changes it.
+        b.touch(line(0));
+        sb.clear();
+        b.rank_signature(&[0], &mut sb);
+        assert_ne!(sa, sb);
     }
 }

@@ -572,6 +572,23 @@ pub struct MachineConfig {
     /// [`Machine::run`]: crate::Machine::run
     /// [`Machine::run_for`]: crate::Machine::run_for
     pub quiescence_skip: bool,
+    /// Whether [`Machine::run`] may detect a steady-state period (the
+    /// whole machine returning to a time-shifted copy of an earlier
+    /// state at an iteration boundary) and fast-forward whole periods at
+    /// once, scaling the monotone counters instead of replaying them.
+    ///
+    /// Like [`MachineConfig::quiescence_skip`], the two modes are
+    /// cycle-identical — a period is only skipped when every
+    /// time-relative component signature (pipeline states, cache
+    /// contents and replacement ranks over the program's footprint,
+    /// arbiter positions, DRAM and store-buffer queues) matches exactly,
+    /// which the period-equivalence property test pins. The skip
+    /// disables itself when it cannot be proven sound: trace or request
+    /// recording is on, a cache uses random replacement, no core runs a
+    /// finite program, or the footprint is too large to fingerprint.
+    ///
+    /// [`Machine::run`]: crate::Machine::run
+    pub period_skip: bool,
 }
 
 impl MachineConfig {
@@ -591,6 +608,7 @@ impl MachineConfig {
             record_requests: true,
             record_trace: false,
             quiescence_skip: true,
+            period_skip: true,
         }
     }
 

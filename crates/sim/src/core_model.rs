@@ -111,6 +111,29 @@ impl CoreModel {
         self.id
     }
 
+    /// Rewinds the core to its just-built state for a possibly different
+    /// configuration — empty program, cold caches, empty store buffer,
+    /// zeroed counters, re-patched latencies — reusing the cache and
+    /// buffer allocations where the geometry allows. Indistinguishable
+    /// from `CoreModel::new(self.id(), cfg)`.
+    pub fn reset_to(&mut self, cfg: &MachineConfig) {
+        self.program = Program::empty();
+        self.pc = 0;
+        self.iteration = 0;
+        self.state = State::Done;
+        self.want_post = None;
+        self.dl1.reset_to(cfg.dl1);
+        self.il1.reset_to(cfg.il1);
+        self.store_buffer.reset_to(cfg.store_buffer.entries);
+        self.completed_at = Some(0);
+        self.instructions = 0;
+        self.dl1_lat = cfg.dl1.latency;
+        self.il1_lat = cfg.il1.latency;
+        self.nop_lat = cfg.nop_latency;
+        self.branch_lat = cfg.branch_latency;
+        self.line_bytes = cfg.dl1.line_bytes;
+    }
+
     /// Installs `program` and restarts execution from cycle `start`.
     pub fn load_program(&mut self, program: Program, start: Cycle) {
         let empty = match program.iterations() {
@@ -300,6 +323,81 @@ impl CoreModel {
     /// Whether the pipeline is stalled waiting for a bus transaction.
     pub fn is_waiting_for_bus(&self) -> bool {
         matches!(self.state, State::WaitLoad | State::WaitIfetch)
+    }
+
+    /// Completed loop iterations so far.
+    pub(crate) fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// The installed program.
+    pub(crate) fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Collects the line addresses this core's program can ever touch:
+    /// data lines (loads/stores) into `data`, instruction-fetch lines into
+    /// `fetch`. Programs are static, so these sets bound the reachable
+    /// cache footprint exactly.
+    pub(crate) fn ff_footprint(&self, data: &mut Vec<Addr>, fetch: &mut Vec<Addr>) {
+        for instr in self.program.body() {
+            match instr {
+                Instr::Load(a) | Instr::Store(a) => data.push(self.line_of(*a)),
+                _ => {}
+            }
+        }
+        for pc in 0..self.program.body().len() {
+            let addr =
+                IFETCH_BASE + IFETCH_STRIDE * self.id.index() as Addr + INSTR_BYTES * pc as Addr;
+            fetch.push(self.line_of(addr));
+        }
+    }
+
+    /// Appends a time-relative signature of the pipeline state to `out`
+    /// (pc, execution state, pending post), with cycle stamps relative to
+    /// `now`. Iteration and instruction counters are deliberately
+    /// excluded: they advance monotonically and are scaled separately
+    /// when a period is skipped.
+    pub(crate) fn ff_signature(&self, now: Cycle, out: &mut Vec<u64>) {
+        out.push(self.pc as u64);
+        match self.state {
+            State::Idle { resume_at } => {
+                out.push(0);
+                out.push(resume_at.wrapping_sub(now));
+            }
+            State::WaitLoad => out.push(1),
+            State::WaitIfetch => out.push(2),
+            State::Done => out.push(3),
+        }
+        match self.want_post {
+            None => out.push(u64::MAX),
+            Some(p) => {
+                out.push(p.kind as u64);
+                out.push(p.addr);
+                out.push(p.ready.wrapping_sub(now));
+            }
+        }
+        self.store_buffer.ff_signature(now, out);
+    }
+
+    /// Shifts every live cycle stamp forward by `delta` (fast-forward).
+    /// The completion stamp of an already-finished program is a fixed
+    /// past event and is left alone.
+    pub(crate) fn ff_shift(&mut self, delta: Cycle) {
+        if let State::Idle { resume_at } = &mut self.state {
+            *resume_at += delta;
+        }
+        if let Some(p) = &mut self.want_post {
+            p.ready += delta;
+        }
+        self.store_buffer.ff_shift(delta);
+    }
+
+    /// Credits `iterations` loop iterations and `instructions` retired
+    /// instructions for the skipped periods (fast-forward).
+    pub(crate) fn ff_add_progress(&mut self, iterations: u64, instructions: u64) {
+        self.iteration += iterations;
+        self.instructions += instructions;
     }
 
     /// The earliest cycle `>= now` at which this core can act on its own:

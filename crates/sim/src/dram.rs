@@ -85,6 +85,7 @@ impl Dram {
     /// Panics on an invalid configuration; validate user-supplied configs
     /// with [`DramConfig::validate`] first.
     pub fn new(cfg: DramConfig) -> Self {
+        // lint_sources: allow (construction-time config check)
         cfg.validate().expect("invalid DRAM configuration");
         Dram {
             open_rows: vec![None; cfg.banks as usize],
@@ -138,6 +139,70 @@ impl Dram {
             None if !self.queue.is_empty() => Some(now),
             None => None,
         }
+    }
+
+    /// Rewinds the controller to its just-built state for a possibly
+    /// different configuration, reusing the row-buffer allocation when the
+    /// bank count is unchanged. Indistinguishable from `Dram::new(cfg)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration, like [`Dram::new`].
+    pub fn reset_to(&mut self, cfg: DramConfig) {
+        // lint_sources: allow (construction-time config check)
+        cfg.validate().expect("invalid DRAM configuration");
+        if u64::from(cfg.banks) == self.open_rows.len() as u64 {
+            self.open_rows.fill(None);
+        } else {
+            self.open_rows.clear();
+            self.open_rows.resize(cfg.banks as usize, None);
+        }
+        self.cfg = cfg;
+        self.queue.clear();
+        self.in_flight = None;
+        self.stats = DramStats::default();
+    }
+
+    /// Appends a time-relative signature of the in-flight state to `out`
+    /// (open rows, queue, current access), encoding cycle stamps relative
+    /// to `now`.
+    pub(crate) fn ff_signature(&self, now: Cycle, out: &mut Vec<u64>) {
+        for row in &self.open_rows {
+            out.push(row.map_or(u64::MAX, |r| r));
+        }
+        out.push(self.queue.len() as u64);
+        for q in &self.queue {
+            out.push(q.core.index() as u64);
+            out.push(q.addr);
+            out.push(now.wrapping_sub(q.arrived));
+        }
+        match self.in_flight {
+            None => out.push(u64::MAX),
+            Some(f) => {
+                out.push(f.core.index() as u64);
+                out.push(f.addr);
+                out.push(f.done.wrapping_sub(now));
+                out.push(f.outcome as u64);
+            }
+        }
+    }
+
+    /// Shifts every live cycle stamp forward by `delta` (fast-forward).
+    pub(crate) fn ff_shift(&mut self, delta: Cycle) {
+        for q in &mut self.queue {
+            q.arrived += delta;
+        }
+        if let Some(f) = &mut self.in_flight {
+            f.done += delta;
+        }
+    }
+
+    /// Adds `k` copies of the per-period statistics delta (fast-forward).
+    pub(crate) fn ff_scale_stats(&mut self, delta: DramStats, k: u64) {
+        self.stats.requests += k * delta.requests;
+        self.stats.row_hits += k * delta.row_hits;
+        self.stats.row_conflicts += k * delta.row_conflicts;
+        self.stats.queue_wait_cycles += k * delta.queue_wait_cycles;
     }
 
     /// Advances the controller to cycle `now`; returns a completion if one

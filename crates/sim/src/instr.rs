@@ -8,6 +8,7 @@
 
 use crate::types::Addr;
 use std::fmt;
+use std::sync::Arc;
 
 /// One instruction of a simulated program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +86,12 @@ impl Iterations {
 
 /// A program: a loop body repeated a number of times.
 ///
+/// The body is reference-counted, so cloning a program — which batched
+/// execution does once per machine per run — shares the decoded
+/// instructions instead of copying them. Equality and hashing delegate
+/// to the instruction sequence itself, so two programs with equal
+/// bodies compare equal regardless of sharing.
+///
 /// ```
 /// use rrb_sim::{Program, Instr};
 /// let p = Program::from_body(vec![Instr::load(0x100), Instr::Nop], 10);
@@ -93,24 +100,24 @@ impl Iterations {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Program {
-    body: Vec<Instr>,
+    body: Arc<[Instr]>,
     iterations: Iterations,
 }
 
 impl Program {
     /// A program whose `body` repeats `iterations` times.
     pub fn from_body(body: Vec<Instr>, iterations: u64) -> Self {
-        Program { body, iterations: Iterations::Finite(iterations) }
+        Program { body: body.into(), iterations: Iterations::Finite(iterations) }
     }
 
     /// A program whose `body` repeats until the machine stops.
     pub fn endless(body: Vec<Instr>) -> Self {
-        Program { body, iterations: Iterations::Infinite }
+        Program { body: body.into(), iterations: Iterations::Infinite }
     }
 
     /// An empty program (the core idles immediately).
     pub fn empty() -> Self {
-        Program { body: Vec::new(), iterations: Iterations::Finite(0) }
+        Program { body: Vec::new().into(), iterations: Iterations::Finite(0) }
     }
 
     /// The loop body.
@@ -226,7 +233,10 @@ impl ProgramBuilder {
 
     /// Finalizes the program.
     pub fn build(self) -> Program {
-        Program { body: self.body, iterations: self.iterations.unwrap_or(Iterations::Finite(1)) }
+        Program {
+            body: self.body.into(),
+            iterations: self.iterations.unwrap_or(Iterations::Finite(1)),
+        }
     }
 }
 

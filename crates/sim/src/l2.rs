@@ -25,6 +25,7 @@ impl L2 {
     /// Panics on invalid geometry; validate with [`L2Config::validate`]
     /// first for user-supplied configurations.
     pub fn new(cfg: L2Config, num_cores: usize) -> Self {
+        // lint_sources: allow (construction-time geometry check)
         cfg.validate(num_cores).expect("invalid L2 geometry");
         let part = cfg.partition(num_cores);
         L2 { partitions: (0..num_cores).map(|_| Cache::new(part)).collect(), cfg }
@@ -60,6 +61,45 @@ impl L2 {
         for p in &mut self.partitions {
             p.invalidate_all();
         }
+    }
+
+    /// Rewinds every partition to its just-built state (cold lines, zero
+    /// counters) without reallocating.
+    pub fn reset(&mut self) {
+        for p in &mut self.partitions {
+            p.reset();
+        }
+    }
+
+    /// Re-targets the L2 at `cfg` for `num_cores` cores, reusing the
+    /// partition buffers when the per-partition geometry and core count
+    /// are unchanged. Equivalent to `L2::new(cfg, num_cores)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry, like [`L2::new`].
+    pub fn reset_to(&mut self, cfg: L2Config, num_cores: usize) {
+        // lint_sources: allow (construction-time geometry check)
+        cfg.validate(num_cores).expect("invalid L2 geometry");
+        if self.partitions.len() == num_cores {
+            let part = cfg.partition(num_cores);
+            for p in &mut self.partitions {
+                p.reset_to(part);
+            }
+            self.cfg = cfg;
+        } else {
+            *self = L2::new(cfg, num_cores);
+        }
+    }
+
+    /// Access to one partition for fast-forward signatures.
+    pub(crate) fn partition(&self, core: CoreId) -> &Cache {
+        &self.partitions[core.index()]
+    }
+
+    /// Mutable partition access for fast-forward statistics scaling.
+    pub(crate) fn partition_mut(&mut self, core: CoreId) -> &mut Cache {
+        &mut self.partitions[core.index()]
     }
 }
 
@@ -125,5 +165,20 @@ mod tests {
     #[should_panic(expected = "invalid L2 geometry")]
     fn too_many_cores_panics() {
         let _ = L2::new(L2Config::ngmp(), 8);
+    }
+
+    #[test]
+    fn reset_to_matches_a_fresh_l2() {
+        let mut reused = l2();
+        for i in 0..64u64 {
+            reused.touch(CoreId::new((i % 4) as usize), i * 32);
+        }
+        reused.reset_to(L2Config::ngmp(), 2);
+        let mut fresh = L2::new(L2Config::ngmp(), 2);
+        for i in 0..64u64 {
+            let c = CoreId::new((i % 2) as usize);
+            assert_eq!(reused.touch(c, i * 32), fresh.touch(c, i * 32));
+        }
+        assert_eq!(reused.stats(CoreId::new(0)), fresh.stats(CoreId::new(0)));
     }
 }

@@ -72,12 +72,14 @@
 //! A `Machine` is single-threaded and fully deterministic: the same
 //! configuration and programs always produce the same cycle-by-cycle
 //! behaviour. Batch experiments exploit both properties — the `rrb`
-//! crate's `Scenario`/`Campaign` layer describes each measurement as a
-//! `RunSpec` (one machine, one workload), executes many machines
-//! concurrently on a scoped thread pool, and still emits bit-identical
-//! results regardless of the thread count. When driving the simulator
-//! directly, prefer the same shape: build one `Machine` per run rather
-//! than resetting and reusing one across measurements.
+//! crate's `Executor` describes each measurement as a `RunSpec` (one
+//! machine, one workload), executes many machines concurrently on a
+//! scoped thread pool, and still emits bit-identical results regardless
+//! of the thread count. For back-to-back runs, [`Machine::reset_to`]
+//! rewinds a machine to a just-built state without reallocating — the
+//! arena idiom the `rrb` crate's `MachineArena` wraps; the reset is
+//! semantically indistinguishable from building a fresh machine (the
+//! arena property test pins this).
 //!
 //! The companion crates build on this substrate: [`rrb-kernels`] generates
 //! resource-stressing kernels, [`rrb-analysis`] provides the γ(δ) model and
@@ -98,6 +100,7 @@ pub mod config;
 pub mod core_model;
 pub mod dram;
 mod error;
+mod fastforward;
 pub mod instr;
 pub mod l2;
 pub mod machine;

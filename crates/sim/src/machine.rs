@@ -131,30 +131,34 @@ impl RunSummary {
 }
 
 /// The simulated multicore.
+///
+/// Fields are crate-visible so the fast-forward module
+/// ([`crate::fastforward`]) can fingerprint and shift the whole machine
+/// state without a wide accessor surface.
 #[derive(Debug)]
 pub struct Machine {
-    cfg: MachineConfig,
-    now: Cycle,
-    cores: Vec<CoreModel>,
-    bus: SharedResource,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) now: Cycle,
+    pub(crate) cores: Vec<CoreModel>,
+    pub(crate) bus: SharedResource,
     /// The memory-controller queue of two-level topologies.
-    mc: Option<SharedResource>,
-    l2: L2,
-    dram: Dram,
-    pmc: Pmc,
+    pub(crate) mc: Option<SharedResource>,
+    pub(crate) l2: L2,
+    pub(crate) dram: Dram,
+    pub(crate) pmc: Pmc,
     trace: Trace,
     /// Bus contender count captured when each core's current request was
     /// posted (one outstanding request per core).
-    contenders_at_post: Vec<u32>,
+    pub(crate) contenders_at_post: Vec<u32>,
     /// Same, for the memory-controller queue.
-    mc_contenders_at_post: Vec<u32>,
+    pub(crate) mc_contenders_at_post: Vec<u32>,
     /// Cores that were loaded with a finite program (the measurement
     /// targets; endless contenders never terminate).
-    finite: Vec<bool>,
+    pub(crate) finite: Vec<bool>,
     /// Number of finite cores that have not completed yet — maintained
     /// on load and on completion so the run loop never materialises the
     /// core list just to test emptiness.
-    unfinished_count: usize,
+    pub(crate) unfinished_count: usize,
     /// Cycle of the last [`Machine::reset_measurements`]: the start of
     /// the current measurement window. Utilisations divide by
     /// `now - measure_start`, not absolute `now`, so statistics stay
@@ -196,6 +200,61 @@ impl Machine {
     /// Starts a [`MachineBuilder`] over the reference configuration.
     pub fn builder() -> MachineBuilder {
         MachineBuilder::new()
+    }
+
+    /// Rewinds the machine to the just-built state of `cfg`, reusing
+    /// every allocation the new configuration's shape permits (cache
+    /// line arrays, queue buffers, per-core vectors). Semantically
+    /// indistinguishable from `*self = Machine::new(cfg)?` — the arena
+    /// property test pins that — but without the allocator round trips,
+    /// which dominate `Machine::new` on campaign-sized batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when the configuration is invalid;
+    /// the machine is left untouched in that case.
+    pub fn reset_to(&mut self, cfg: MachineConfig) -> Result<(), SimError> {
+        cfg.validate()?;
+        self.cores.truncate(cfg.num_cores);
+        for core in &mut self.cores {
+            core.reset_to(&cfg);
+        }
+        while self.cores.len() < cfg.num_cores {
+            self.cores.push(CoreModel::new(CoreId::new(self.cores.len()), &cfg));
+        }
+        self.bus.reset_to(
+            cfg.topology.bus.arbiter,
+            cfg.topology.bus.l2_hit_occupancy,
+            cfg.num_cores,
+        );
+        self.mc = match (self.mc.take(), cfg.topology.mc) {
+            (Some(mut mc), Some(mc_cfg)) => {
+                mc.reset_to(mc_cfg.arbiter, mc_cfg.service_occupancy, cfg.num_cores);
+                Some(mc)
+            }
+            (None, Some(mc_cfg)) => Some(SharedResource::memory_controller(mc_cfg, cfg.num_cores)),
+            (_, None) => None,
+        };
+        self.l2.reset_to(cfg.l2, cfg.num_cores);
+        self.dram.reset_to(cfg.dram);
+        self.pmc.reset_to(cfg.num_cores, cfg.record_requests);
+        if self.trace.is_enabled() == cfg.record_trace {
+            self.trace.clear();
+        } else {
+            self.trace = Trace::new(cfg.record_trace);
+        }
+        self.contenders_at_post.clear();
+        self.contenders_at_post.resize(cfg.num_cores, 0);
+        self.mc_contenders_at_post.clear();
+        self.mc_contenders_at_post.resize(cfg.num_cores, 0);
+        self.finite.clear();
+        self.finite.resize(cfg.num_cores, false);
+        self.unfinished_count = 0;
+        self.now = 0;
+        self.measure_start = 0;
+        self.steps_executed = 0;
+        self.cfg = cfg;
+        Ok(())
     }
 
     /// The machine's configuration.
@@ -305,6 +364,7 @@ impl Machine {
     pub fn run(&mut self) -> Result<RunSummary, SimError> {
         debug_assert_eq!(self.unfinished_count, self.unfinished().len());
         let budget = self.now + self.cfg.max_cycles;
+        let mut ff = crate::fastforward::PeriodSkip::new(self);
         while self.unfinished_count > 0 {
             if self.now >= budget {
                 return Err(SimError::CycleBudgetExhausted {
@@ -315,6 +375,7 @@ impl Machine {
             self.step();
             if self.unfinished_count > 0 {
                 self.skip_quiescence(budget);
+                ff.observe(self, budget);
             }
         }
         Ok(self.summary())
@@ -726,6 +787,16 @@ impl MachineBuilder {
     #[must_use]
     pub fn quiescence_skip(mut self, on: bool) -> Self {
         self.cfg.quiescence_skip = on;
+        self
+    }
+
+    /// Enables or disables steady-state period skipping in `run`
+    /// (cycle-identical either way; the skip also disables itself when
+    /// it cannot be proven sound — see
+    /// [`MachineConfig::period_skip`]).
+    #[must_use]
+    pub fn period_skip(mut self, on: bool) -> Self {
+        self.cfg.period_skip = on;
         self
     }
 

@@ -50,7 +50,7 @@ impl RequestRecord {
 }
 
 /// Counters for one core.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CorePmc {
     /// Every completed request, in completion order (present only when the
     /// machine was configured with `record_requests`).
@@ -174,10 +174,34 @@ impl Pmc {
         }
     }
 
-    /// Clears every counter (e.g. after warm-up).
+    /// Clears every counter (e.g. after warm-up) in place, keeping the
+    /// per-core allocations for reuse.
     pub fn reset(&mut self) {
-        let n = self.cores.len();
-        self.cores = (0..n).map(|_| CorePmc::default()).collect();
+        for c in &mut self.cores {
+            c.records.clear();
+            c.gamma_histogram.clear();
+            c.mc_gamma_histogram.clear();
+            c.contender_histogram.clear();
+            c.instructions = 0;
+            c.loads = 0;
+            c.stores = 0;
+            c.dl1_hits = 0;
+            c.dl1_misses = 0;
+            c.l2_hits = 0;
+            c.l2_misses = 0;
+            c.sb_stall_cycles = 0;
+        }
+    }
+
+    /// Rewinds the unit to its just-built state for a possibly different
+    /// core count or recording mode. Indistinguishable from `Pmc::new`.
+    pub fn reset_to(&mut self, num_cores: usize, record_requests: bool) {
+        self.cores.truncate(num_cores);
+        self.reset();
+        while self.cores.len() < num_cores {
+            self.cores.push(CorePmc::default());
+        }
+        self.record_requests = record_requests;
     }
 }
 

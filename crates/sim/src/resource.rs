@@ -341,6 +341,82 @@ impl SharedResource {
         let n = self.pending.len();
         self.stats = ResourceStats::new(n);
     }
+
+    /// Rewinds the resource to its just-built state for a possibly
+    /// different policy: drops pending and active transactions, resets
+    /// arbitration state and statistics, and re-targets the arbiter,
+    /// worst-case occupancy, and requester count. Indistinguishable from
+    /// `SharedResource::new` with the same parameters.
+    pub fn reset_to(&mut self, arbiter: ArbiterKind, worst_occupancy: u64, num_cores: usize) {
+        if self.arbiter.kind() == arbiter && self.pending.len() == num_cores {
+            self.arbiter.reset();
+        } else {
+            self.arbiter = build_arbiter(arbiter, num_cores);
+        }
+        self.worst_occupancy = worst_occupancy;
+        self.pending.clear();
+        self.pending.resize(num_cores, None);
+        self.active = None;
+        self.stats = ResourceStats::new(num_cores);
+        self.view_buf.clear();
+    }
+
+    /// Appends a time-relative signature of the in-flight state to `out`
+    /// (pending slots, active transaction, arbiter state), encoding every
+    /// cycle stamp relative to `now`. Two resources with equal signatures
+    /// evolve identically from their respective `now`s.
+    pub(crate) fn ff_signature(&self, now: Cycle, out: &mut Vec<u64>) {
+        for p in &self.pending {
+            match p {
+                None => out.push(u64::MAX),
+                Some(p) => {
+                    out.push(p.kind as u64);
+                    out.push(p.addr);
+                    out.push(now.wrapping_sub(p.ready));
+                }
+            }
+        }
+        match self.active {
+            None => out.push(u64::MAX),
+            Some(a) => {
+                out.push(a.core.index() as u64);
+                out.push(a.kind as u64);
+                out.push(a.addr);
+                out.push(now.wrapping_sub(a.ready));
+                out.push(now.wrapping_sub(a.granted));
+                out.push(a.until.wrapping_sub(now));
+                out.push(match a.l2_hit {
+                    None => 2,
+                    Some(h) => u64::from(h),
+                });
+            }
+        }
+        self.arbiter.ff_signature(now, out);
+    }
+
+    /// Shifts every live cycle stamp forward by `delta` (fast-forward).
+    pub(crate) fn ff_shift(&mut self, delta: Cycle) {
+        for p in self.pending.iter_mut().flatten() {
+            p.ready += delta;
+        }
+        if let Some(a) = &mut self.active {
+            a.ready += delta;
+            a.granted += delta;
+            a.until += delta;
+        }
+    }
+
+    /// Adds `k` copies of the per-period statistics delta (fast-forward).
+    pub(crate) fn ff_scale_stats(&mut self, delta: &ResourceStats, k: u64) {
+        self.stats.busy_cycles += k * delta.busy_cycles;
+        self.stats.grants += k * delta.grants;
+        for (s, d) in self.stats.per_core_busy.iter_mut().zip(&delta.per_core_busy) {
+            *s += k * d;
+        }
+        for (s, d) in self.stats.per_core_grants.iter_mut().zip(&delta.per_core_grants) {
+            *s += k * d;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -125,6 +125,7 @@ impl StoreBuffer {
     ///
     /// Panics if the buffer is empty.
     pub fn complete_head(&mut self, now: Cycle) -> Addr {
+        // lint_sources: allow (documented precondition: head must exist)
         let e = self.entries.pop_front().expect("completing a store from an empty buffer");
         self.last_drain_done = Some(now);
         e.addr
@@ -136,6 +137,53 @@ impl StoreBuffer {
         self.last_drain_done = None;
         self.high_water = 0;
         self.full_stalls = 0;
+    }
+
+    /// Clears the buffer and re-targets its capacity, reusing the entry
+    /// allocation. Indistinguishable from `StoreBuffer::new(capacity)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero, like [`StoreBuffer::new`].
+    pub fn reset_to(&mut self, capacity: usize) {
+        assert!(capacity > 0, "store buffer must have at least one entry");
+        self.reset();
+        self.capacity = capacity;
+    }
+
+    /// Appends a time-relative signature of the buffered state to `out`
+    /// (entries, drain deadline, peak occupancy), with cycle stamps
+    /// relative to `now`.
+    pub(crate) fn ff_signature(&self, now: Cycle, out: &mut Vec<u64>) {
+        out.push(self.entries.len() as u64);
+        for e in &self.entries {
+            out.push(e.addr);
+            out.push(now.wrapping_sub(e.pushed_at));
+        }
+        // The drain deadline only gates entries already buffered (a future
+        // push is always later than a past drain), so an empty buffer's
+        // deadline is unobservable and must not block a period match.
+        let drain = match (self.entries.is_empty(), self.last_drain_done) {
+            (false, Some(d)) => now.wrapping_sub(d),
+            _ => u64::MAX,
+        };
+        out.push(drain);
+        out.push(self.high_water as u64);
+    }
+
+    /// Shifts every live cycle stamp forward by `delta` (fast-forward).
+    pub(crate) fn ff_shift(&mut self, delta: Cycle) {
+        for e in &mut self.entries {
+            e.pushed_at += delta;
+        }
+        if let Some(d) = &mut self.last_drain_done {
+            *d += delta;
+        }
+    }
+
+    /// Adds to the full-stall counter (fast-forward statistics scaling).
+    pub(crate) fn ff_add_full_stalls(&mut self, n: u64) {
+        self.full_stalls += n;
     }
 }
 

@@ -135,7 +135,7 @@ fn campaign_derivation_matches_direct_derive_ubd() {
     let specs = scenario.plan().expect("plan");
     let outcomes: Vec<RunOutcome> = specs
         .iter()
-        .zip(rrb::campaign::execute_plan(&specs, 8))
+        .zip(rrb::executor::Executor::new().jobs(8).execute(&specs).0)
         .map(|(spec, result)| RunOutcome { label: spec.label.clone(), result })
         .collect();
     let via_campaign = scenario.derivation(&outcomes).expect("campaign derivation");

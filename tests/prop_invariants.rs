@@ -243,7 +243,8 @@ fn contention_never_speeds_up_the_scua() {
 /// mixed plans — the determinism contract behind `--jobs`.
 #[test]
 fn campaign_execution_is_schedule_invariant() {
-    use rrb::campaign::{execute_plan, RunSpec};
+    use rrb::campaign::RunSpec;
+    use rrb::executor::Executor;
     let cfg = MachineConfig::toy(4, 2);
     let mut rng = KernelRng::seed_from_u64(0x0d);
     let specs: Vec<RunSpec> = (0..10)
@@ -266,9 +267,9 @@ fn campaign_execution_is_schedule_invariant() {
             }
         })
         .collect();
-    let serial = execute_plan(&specs, 1);
+    let serial = Executor::new().execute(&specs).0;
     for jobs in [2usize, 3, 8] {
-        assert_eq!(execute_plan(&specs, jobs), serial, "jobs={jobs}");
+        assert_eq!(Executor::new().jobs(jobs).execute(&specs).0, serial, "jobs={jobs}");
     }
 }
 

@@ -103,6 +103,7 @@ fn random_machine(rng: &mut KernelRng) -> MachineConfig {
     cfg.record_requests = rng.gen_below(2) == 0;
     cfg.record_trace = rng.gen_below(2) == 0;
     cfg.quiescence_skip = rng.gen_below(2) == 0;
+    cfg.period_skip = rng.gen_below(2) == 0;
     cfg
 }
 
